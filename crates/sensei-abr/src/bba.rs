@@ -1,0 +1,144 @@
+//! Buffer-Based Adaptation (BBA).
+//!
+//! Huang et al. (SIGCOMM 2014): pick the bitrate as a function of buffer
+//! occupancy alone — a *reservoir* of low-bitrate safety at the bottom, a
+//! linear *cushion* mapping buffer to bitrate, and the top rate beyond.
+//! BBA is the paper's common baseline (every Fig. 12–14 gain is "over
+//! BBA").
+
+use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+
+/// The BBA policy.
+#[derive(Debug, Clone)]
+pub struct Bba {
+    /// Buffer level below which the lowest bitrate is forced, seconds.
+    reservoir_s: f64,
+    /// Width of the linear mapping region, seconds.
+    cushion_s: f64,
+}
+
+impl Bba {
+    /// Builds BBA with explicit reservoir/cushion (both must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters (configuration bug, not runtime
+    /// input).
+    pub fn new(reservoir_s: f64, cushion_s: f64) -> Self {
+        assert!(
+            reservoir_s > 0.0 && cushion_s > 0.0,
+            "BBA reservoir/cushion must be positive: {reservoir_s}, {cushion_s}"
+        );
+        Self {
+            reservoir_s,
+            cushion_s,
+        }
+    }
+
+    /// Paper-scale defaults for a 24-second buffer cap: 5 s reservoir,
+    /// 14 s cushion.
+    pub fn paper_default() -> Self {
+        Self::new(5.0, 14.0)
+    }
+
+    /// The buffer→level map, exposed for tests.
+    pub fn level_for_buffer(&self, buffer_s: f64, num_levels: usize) -> usize {
+        if num_levels == 0 {
+            return 0;
+        }
+        let top = num_levels - 1;
+        if buffer_s <= self.reservoir_s {
+            0
+        } else if buffer_s >= self.reservoir_s + self.cushion_s {
+            top
+        } else {
+            let frac = (buffer_s - self.reservoir_s) / self.cushion_s;
+            ((frac * top as f64).floor() as usize).min(top)
+        }
+    }
+}
+
+impl AbrPolicy for Bba {
+    fn name(&self) -> &str {
+        "BBA"
+    }
+
+    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+        Decision::level(self.level_for_buffer(state.buffer_s, ctx.num_levels()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{encoded, source};
+    use sensei_sim::{simulate, PlayerConfig};
+    use sensei_trace::ThroughputTrace;
+
+    #[test]
+    fn map_is_monotone_in_buffer() {
+        let bba = Bba::paper_default();
+        let mut prev = 0;
+        for b in 0..30 {
+            let level = bba.level_for_buffer(b as f64, 5);
+            assert!(level >= prev, "level dropped as buffer grew");
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn reservoir_and_cushion_boundaries() {
+        let bba = Bba::new(5.0, 10.0);
+        assert_eq!(bba.level_for_buffer(0.0, 5), 0);
+        assert_eq!(bba.level_for_buffer(5.0, 5), 0);
+        assert_eq!(bba.level_for_buffer(15.0, 5), 4);
+        assert_eq!(bba.level_for_buffer(100.0, 5), 4);
+        // Mid-cushion sits mid-ladder.
+        let mid = bba.level_for_buffer(10.0, 5);
+        assert!((1..=3).contains(&mid));
+    }
+
+    #[test]
+    #[should_panic(expected = "reservoir")]
+    fn rejects_bad_parameters() {
+        let _ = Bba::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn ramps_up_on_a_fast_link_with_few_stalls() {
+        let src = source();
+        let enc = encoded(&src);
+        let trace = ThroughputTrace::constant("fast", 8000.0, 600.0).unwrap();
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut Bba::paper_default(),
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        // Starts conservative, reaches the top rate once the buffer fills.
+        assert_eq!(result.levels[0], 0);
+        assert_eq!(*result.levels.last().unwrap(), 4);
+        let stalls = result.render.total_rebuffer_s() - result.render.startup_delay_s();
+        assert!(stalls < 0.5, "stalls = {stalls}");
+    }
+
+    #[test]
+    fn stays_low_on_a_slow_link() {
+        let src = source();
+        let enc = encoded(&src);
+        let trace = ThroughputTrace::constant("slow", 500.0, 600.0).unwrap();
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut Bba::paper_default(),
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert!(result.render.avg_bitrate_kbps() < 800.0);
+    }
+}

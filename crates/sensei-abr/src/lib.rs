@@ -1,0 +1,119 @@
+//! Adaptive-bitrate algorithms for the SENSEI reproduction.
+//!
+//! The paper's baselines (§7.1) and SENSEI's variants of them (§5.2):
+//!
+//! * [`bba`] — Buffer-Based Adaptation (Huang et al. 2014): a reservoir/
+//!   cushion map from buffer occupancy to bitrate. No explicit QoE
+//!   objective, hence "cannot be optimized by SENSEI as is" (§5.1).
+//! * [`predictor`] — harmonic-mean throughput prediction with discrete
+//!   error scenarios `p(γ)`, the uncertainty model in Fugu's objective
+//!   (Eq. 3).
+//! * [`fugu`] — Fugu (Yan et al. 2020) as described by the paper: MPC over
+//!   a horizon of h = 5 chunks maximizing expected KSQI chunk quality over
+//!   throughput scenarios.
+//! * [`sensei_fugu`] — SENSEI-Fugu (Eq. 4): the same controller with
+//!   per-chunk weights in the objective and the intentional-rebuffering
+//!   action.
+//! * [`pensieve`] — Pensieve (Mao et al. 2017): an actor-critic policy
+//!   trained in the simulator, rewarded by KSQI chunk quality.
+//! * [`sensei_pensieve`] — SENSEI-Pensieve: weights of the next h chunks
+//!   appended to the state, rebuffering added to the action space, reward
+//!   reweighted (§5.2).
+//! * [`offline`] — the idealistic §2.4 controllers that know the entire
+//!   throughput trace, used to bound the potential gains (Fig. 6).
+
+pub mod bba;
+pub mod fugu;
+pub mod offline;
+pub mod pensieve;
+pub mod predictor;
+pub mod sensei_fugu;
+pub mod sensei_pensieve;
+
+pub use bba::Bba;
+pub use fugu::Fugu;
+pub use offline::OracleMpc;
+pub use pensieve::{Pensieve, PensieveConfig};
+pub use predictor::{ThroughputPredictor, ThroughputScenario};
+pub use sensei_fugu::SenseiFugu;
+pub use sensei_pensieve::SenseiPensieve;
+
+/// Errors produced by ABR construction and training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbrError {
+    /// A hyperparameter is invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Training failed (empty corpus, simulator failure).
+    Training(String),
+    /// An underlying ML error.
+    Ml(sensei_ml::MlError),
+    /// An underlying simulator error.
+    Sim(sensei_sim::SimError),
+}
+
+impl std::fmt::Display for AbrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbrError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            AbrError::Training(msg) => write!(f, "training failed: {msg}"),
+            AbrError::Ml(e) => write!(f, "ml error: {e}"),
+            AbrError::Sim(e) => write!(f, "sim error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AbrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AbrError::Ml(e) => Some(e),
+            AbrError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sensei_ml::MlError> for AbrError {
+    fn from(e: sensei_ml::MlError) -> Self {
+        AbrError::Ml(e)
+    }
+}
+
+impl From<sensei_sim::SimError> for AbrError {
+    fn from(e: sensei_sim::SimError) -> Self {
+        AbrError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for ABR tests.
+    use sensei_video::content::{Genre, SceneKind, SceneSpec};
+    use sensei_video::{BitrateLadder, EncodedVideo, SourceVideo};
+
+    /// A 20-chunk sports-like video with a key moment in the second half.
+    pub fn source() -> SourceVideo {
+        SourceVideo::from_script(
+            "abr-test",
+            Genre::Sports,
+            &[
+                SceneSpec::new(SceneKind::NormalPlay, 8),
+                SceneSpec::new(SceneKind::Scenic, 4),
+                SceneSpec::new(SceneKind::KeyMoment, 4),
+                SceneSpec::new(SceneKind::NormalPlay, 4),
+            ],
+            55,
+        )
+        .unwrap()
+    }
+
+    pub fn encoded(src: &SourceVideo) -> EncodedVideo {
+        EncodedVideo::encode(src, &BitrateLadder::default_paper(), 5)
+    }
+}

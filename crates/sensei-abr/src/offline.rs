@@ -1,0 +1,277 @@
+//! Idealistic offline controllers for the §2.4 potential-gains experiment.
+//!
+//! The paper's Fig. 6 compares "two simple ABR algorithms whose only
+//! difference is the QoE model they explicitly optimize", both given the
+//! *entire throughput trace in advance* to eliminate prediction error. The
+//! paper solves a full-trace bitrate assignment; we approximate it with a
+//! receding-horizon controller that integrates the *exact* future
+//! throughput (no scenarios, no estimation) — documented in DESIGN.md as a
+//! substitution. The sensitivity-aware variant weights chunk quality and
+//! may schedule intentional rebuffering; the unaware variant optimizes the
+//! same objective with uniform weights.
+
+use sensei_qoe::Ksqi;
+use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+use sensei_trace::{CumulativeTrace, ThroughputTrace};
+
+/// Oracle-throughput receding-horizon controller.
+#[derive(Debug, Clone)]
+pub struct OracleMpc {
+    cum: CumulativeTrace,
+    qoe: Ksqi,
+    horizon: usize,
+    rtt_s: f64,
+    max_buffer_s: f64,
+    /// Whether the controller may schedule intentional rebuffering.
+    allow_pause: bool,
+    /// Whether the controller uses the manifest's sensitivity weights.
+    sensitivity_aware: bool,
+    name: String,
+}
+
+impl OracleMpc {
+    /// The §2.4 *dynamic-sensitivity-aware* idealistic ABR.
+    pub fn aware(trace: &ThroughputTrace) -> Self {
+        Self {
+            cum: CumulativeTrace::new(trace),
+            qoe: Ksqi::canonical(),
+            horizon: 6,
+            rtt_s: 0.08,
+            max_buffer_s: 24.0,
+            allow_pause: true,
+            sensitivity_aware: true,
+            name: "Oracle(aware)".to_string(),
+        }
+    }
+
+    /// The §2.4 *dynamic-sensitivity-unaware* idealistic ABR (optimizes
+    /// plain KSQI).
+    pub fn unaware(trace: &ThroughputTrace) -> Self {
+        Self {
+            allow_pause: false,
+            sensitivity_aware: false,
+            name: "Oracle(unaware)".to_string(),
+            ..Self::aware(trace)
+        }
+    }
+
+    /// Scores a plan with exact future throughput starting at wall time
+    /// `t0`, returning the weighted horizon quality.
+    fn plan_quality(
+        &self,
+        plan: &[usize],
+        t0: f64,
+        buffer0: f64,
+        state: &PlayerState,
+        ctx: &SessionContext<'_>,
+        weights: &[f64],
+    ) -> f64 {
+        let d = ctx.chunk_duration_s;
+        let mut t = t0;
+        let mut buf = buffer0;
+        let mut prev: Option<(f64, usize)> = state
+            .last_level
+            .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+        let mut total = 0.0;
+        for (j, &level) in plan.iter().enumerate() {
+            let chunk = state.next_chunk + j;
+            let size = ctx
+                .encoded
+                .size_bits(chunk, level)
+                .expect("plan stays in range");
+            let dt = self.rtt_s + self.cum.download_time(t + self.rtt_s, size);
+            let stall = (dt - buf).max(0.0);
+            buf = (buf - dt).max(0.0) + d;
+            buf = buf.min(self.max_buffer_s);
+            t += dt;
+            let vq = ctx.vq[chunk][level];
+            let switch = match prev {
+                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                _ => 0.0,
+            };
+            prev = Some((vq, level));
+            total += weights[j] * self.qoe.chunk_quality(vq, stall, switch, d);
+        }
+        total
+    }
+}
+
+impl AbrPolicy for OracleMpc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+        let remaining = ctx.num_chunks() - state.next_chunk;
+        let h = self.horizon.min(remaining);
+        if h == 0 {
+            return Decision::level(0);
+        }
+        let weights: Vec<f64> = if self.sensitivity_aware {
+            match ctx.weights {
+                Some(w) => {
+                    let mut v = w.window(state.next_chunk, h).to_vec();
+                    v.resize(h, 1.0);
+                    v
+                }
+                None => vec![1.0; h],
+            }
+        } else {
+            vec![1.0; h]
+        };
+        let playhead_w = if self.sensitivity_aware {
+            ctx.weights
+                .map(|w| {
+                    let buffered = (state.buffer_s / ctx.chunk_duration_s).ceil() as usize;
+                    let playhead = state.next_chunk.saturating_sub(buffered);
+                    w.get(playhead.min(w.len() - 1)).unwrap_or(1.0)
+                })
+                .unwrap_or(1.0)
+        } else {
+            1.0
+        };
+        let (_, stall_penalty, _, _) = self.qoe.coefficients();
+        let pauses: &[f64] = if self.allow_pause && state.playing {
+            &[0.0, 1.0, 2.0]
+        } else {
+            &[0.0]
+        };
+
+        let n_levels = ctx.num_levels();
+        let mut best = Decision::level(0);
+        let mut best_q = f64::NEG_INFINITY;
+        for &pause in pauses {
+            let pause_cost =
+                playhead_w * stall_penalty * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
+            let mut plan = vec![0usize; h];
+            loop {
+                let q = self.plan_quality(
+                    &plan,
+                    state.elapsed_s,
+                    state.buffer_s + pause,
+                    state,
+                    ctx,
+                    &weights,
+                ) - pause_cost;
+                if q > best_q {
+                    best_q = q;
+                    best = Decision {
+                        level: plan[0],
+                        pause_s: pause,
+                    };
+                }
+                let mut pos = h;
+                let mut done = false;
+                loop {
+                    if pos == 0 {
+                        done = true;
+                        break;
+                    }
+                    pos -= 1;
+                    plan[pos] += 1;
+                    if plan[pos] < n_levels {
+                        break;
+                    }
+                    plan[pos] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{encoded, source};
+    use sensei_crowd::TrueQoe;
+    use sensei_sim::{simulate, PlayerConfig};
+    use sensei_video::SensitivityWeights;
+
+    #[test]
+    fn oracle_avoids_stalls_a_predictor_cannot_foresee() {
+        // A trace with a deep fade: the oracle knows it is coming.
+        let mut samples = vec![3000.0; 30];
+        samples.extend(vec![300.0; 20]);
+        samples.extend(vec![3000.0; 100]);
+        let trace = ThroughputTrace::new("fade", 1.0, samples).unwrap();
+        let src = source();
+        let enc = encoded(&src);
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut OracleMpc::unaware(&trace),
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        let stalls = result.render.total_rebuffer_s() - result.render.startup_delay_s();
+        assert!(stalls < 1.0, "oracle stalled {stalls}s despite full knowledge");
+    }
+
+    #[test]
+    fn aware_beats_unaware_on_true_qoe_under_tight_bandwidth() {
+        // The Fig. 6 claim, in miniature.
+        let src = source();
+        let enc = encoded(&src);
+        let weights = SensitivityWeights::ground_truth(&src);
+        let oracle = TrueQoe::default();
+        let config = PlayerConfig::default();
+        let mut aware_total = 0.0;
+        let mut unaware_total = 0.0;
+        for seed in 0..5 {
+            let trace = sensei_trace::generate::hsdpa_like(1300.0, 600, 40 + seed);
+            let a = simulate(
+                &src,
+                &enc,
+                &trace,
+                &mut OracleMpc::aware(&trace),
+                &config,
+                Some(&weights),
+            )
+            .unwrap();
+            let u = simulate(
+                &src,
+                &enc,
+                &trace,
+                &mut OracleMpc::unaware(&trace),
+                &config,
+                None,
+            )
+            .unwrap();
+            aware_total += oracle.qoe01(&src, &a.render).unwrap();
+            unaware_total += oracle.qoe01(&src, &u.render).unwrap();
+        }
+        assert!(
+            aware_total > unaware_total,
+            "aware {aware_total:.3} vs unaware {unaware_total:.3}"
+        );
+    }
+
+    #[test]
+    fn unaware_never_pauses() {
+        let src = source();
+        let enc = encoded(&src);
+        let trace = sensei_trace::generate::hsdpa_like(1300.0, 600, 9);
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut OracleMpc::unaware(&trace),
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        let intentional: f64 = result
+            .render
+            .chunks()
+            .iter()
+            .map(|c| c.intentional_rebuffer_s)
+            .sum();
+        assert_eq!(intentional, 0.0);
+    }
+}

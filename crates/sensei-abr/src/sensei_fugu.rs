@@ -1,0 +1,275 @@
+//! SENSEI-Fugu: Fugu with sensitivity weights and intentional rebuffering
+//! (Eq. 4).
+//!
+//! Two changes over Fugu, exactly the §5.2 recipe:
+//!
+//! 1. The horizon objective weights each chunk's quality by its
+//!    sensitivity: `Σ_γ p(γ) Σ_j w_j · q(b_j, t_j)`.
+//! 2. The action space gains an intentional rebuffering time for the next
+//!    chunk, drawn from {0, 1, 2} seconds. Pausing now freezes playback at
+//!    the current playhead chunk (charged at *that* chunk's weight) and
+//!    buys buffer headroom for the high-sensitivity chunks ahead — the
+//!    "borrow from low-sensitivity chunks" optimization of Fig. 11(d).
+
+use crate::fugu::Fugu;
+use sensei_qoe::Ksqi;
+use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+
+/// The intentional-rebuffer action levels (§5.2: "{0, 1, 2} seconds ...
+/// only ... at chunk boundaries").
+pub const PAUSE_LEVELS_S: [f64; 3] = [0.0, 1.0, 2.0];
+
+/// The SENSEI-Fugu policy.
+#[derive(Debug, Clone)]
+pub struct SenseiFugu {
+    inner: Fugu,
+    qoe: Ksqi,
+    /// When false, the policy only reweights the objective and never
+    /// pauses — the "only bitrate adaptation" ablation of Fig. 18b.
+    allow_pause: bool,
+    /// Intentional stall spent so far this session, seconds.
+    pause_spent_s: f64,
+}
+
+impl SenseiFugu {
+    /// Fraction of the video duration the policy may spend on intentional
+    /// stalls. Peak-end raters punish *concentrated* stalls far beyond
+    /// their total length, so the budget keeps the new action surgical.
+    const PAUSE_BUDGET_FRACTION: f64 = 0.04;
+
+    /// Builds SENSEI-Fugu with the full action space.
+    pub fn new() -> Self {
+        Self {
+            inner: Fugu::new(),
+            qoe: Ksqi::canonical(),
+            allow_pause: true,
+            pause_spent_s: 0.0,
+        }
+    }
+
+    /// The Fig. 18b ablation: weighted objective, no new actions.
+    pub fn without_pause_action() -> Self {
+        Self {
+            allow_pause: false,
+            ..Self::new()
+        }
+    }
+
+    /// Overrides the objective QoE model (kept in sync with the inner MPC).
+    pub fn with_qoe(mut self, qoe: Ksqi) -> Self {
+        self.inner = self.inner.with_qoe(qoe.clone());
+        self.qoe = qoe;
+        self
+    }
+
+    /// Weight vector covering the horizon starting at `next_chunk`; falls
+    /// back to uniform when the manifest carried no weights.
+    fn horizon_weights(state: &PlayerState, ctx: &SessionContext<'_>, h: usize) -> Vec<f64> {
+        match ctx.weights {
+            Some(w) => {
+                let window = w.window(state.next_chunk, h);
+                let mut out = window.to_vec();
+                out.resize(h, 1.0);
+                out
+            }
+            None => vec![1.0; h],
+        }
+    }
+
+    /// Weight of the chunk currently at the playhead (where an intentional
+    /// pause would land).
+    fn playhead_weight(state: &PlayerState, ctx: &SessionContext<'_>) -> f64 {
+        let Some(w) = ctx.weights else { return 1.0 };
+        let buffered_chunks = (state.buffer_s / ctx.chunk_duration_s).ceil() as usize;
+        let playhead = state.next_chunk.saturating_sub(buffered_chunks);
+        w.get(playhead.min(w.len() - 1)).unwrap_or(1.0)
+    }
+}
+
+impl Default for SenseiFugu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AbrPolicy for SenseiFugu {
+    fn name(&self) -> &str {
+        if self.allow_pause {
+            "SENSEI-Fugu"
+        } else {
+            "SENSEI-Fugu(no-pause)"
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pause_spent_s = 0.0;
+    }
+
+    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+        let remaining = ctx.num_chunks() - state.next_chunk;
+        let h = crate::fugu::DEFAULT_HORIZON.min(remaining);
+        if h == 0 {
+            return Decision::level(0);
+        }
+        let weights = Self::horizon_weights(state, ctx, h);
+        let playhead_w = Self::playhead_weight(state, ctx);
+        let (_, stall_penalty, _, _) = self.qoe.coefficients();
+        let budget = Self::PAUSE_BUDGET_FRACTION
+            * ctx.num_chunks() as f64
+            * ctx.chunk_duration_s;
+
+        let mut best = (0usize, 0.0f64);
+        let mut best_q = f64::NEG_INFINITY;
+        // Pausing banks buffer for upcoming high-sensitivity chunks. That
+        // is meaningless when the buffer is already starving or the link
+        // cannot even sustain the lowest rung - there a pause only
+        // concentrates stalls, which peak-end raters punish brutally.
+        let predicted = state.harmonic_mean_throughput(5).unwrap_or(0.0);
+        let pause_sensible = state.buffer_s >= 2.0 * ctx.chunk_duration_s
+            && predicted * 0.85 > ctx.encoded.ladder().min_kbps();
+        let pauses: &[f64] = if self.allow_pause && state.playing && pause_sensible {
+            &PAUSE_LEVELS_S
+        } else {
+            &PAUSE_LEVELS_S[..1]
+        };
+        for &pause in pauses {
+            if pause > 0.0 && self.pause_spent_s + pause > budget {
+                continue;
+            }
+            // Pausing delays playback: the horizon walk sees extra buffer,
+            // and the stall is charged at the playhead chunk's weight —
+            // at the SAME risk multiplier the planner applies to predicted
+            // stalls, so relocation is never spuriously profitable.
+            let mut paused_state = state.clone();
+            paused_state.buffer_s += pause;
+            let pause_cost = playhead_w
+                * stall_penalty
+                * self.inner.risk_aversion()
+                * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
+            // Hysteresis: an intentional stall must buy a clear planned
+            // improvement, not a prediction-noise-sized one.
+            let margin = if pause > 0.0 { 0.05 } else { 0.0 };
+            let (level, plan_q) = self.inner.best_plan(&paused_state, ctx, Some(&weights));
+            let q = plan_q - pause_cost - margin;
+            if q > best_q {
+                best_q = q;
+                best = (level, pause);
+            }
+        }
+        self.pause_spent_s += best.1;
+        Decision {
+            level: best.0,
+            pause_s: best.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{encoded, source};
+    use sensei_crowd::TrueQoe;
+    use sensei_sim::{simulate, PlayerConfig};
+    use sensei_trace::ThroughputTrace;
+    use sensei_video::SensitivityWeights;
+
+    #[test]
+    fn reduces_to_fugu_with_uniform_weights_and_ample_bandwidth() {
+        let src = source();
+        let enc = encoded(&src);
+        let trace = ThroughputTrace::constant("fast", 10_000.0, 600.0).unwrap();
+        let uniform = SensitivityWeights::uniform(src.num_chunks()).unwrap();
+        let config = PlayerConfig::default();
+        let s = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut SenseiFugu::new(),
+            &config,
+            Some(&uniform),
+        )
+        .unwrap();
+        let f = simulate(&src, &enc, &trace, &mut crate::Fugu::new(), &config, None).unwrap();
+        // With no sensitivity variation and plenty of bandwidth the two
+        // should track closely (identical average bitrate).
+        assert!((s.render.avg_bitrate_kbps() - f.render.avg_bitrate_kbps()).abs() < 200.0);
+        let s_stall = s.render.total_rebuffer_s() - s.render.startup_delay_s();
+        assert!(s_stall < 0.5, "no reason to pause: stall = {s_stall}");
+    }
+
+    #[test]
+    fn improves_true_qoe_over_fugu_on_tight_links() {
+        // The headline behavior: with ground-truth weights on a link that
+        // cannot afford top bitrate everywhere, SENSEI-Fugu aligns quality
+        // with sensitivity and wins on true QoE.
+        let src = source();
+        let enc = encoded(&src);
+        let weights = SensitivityWeights::ground_truth(&src);
+        let oracle = TrueQoe::default();
+        let config = PlayerConfig::default();
+        let mut sensei_total = 0.0;
+        let mut fugu_total = 0.0;
+        for seed in 0..6 {
+            let trace = sensei_trace::generate::fcc_like(1500.0, 600, 100 + seed);
+            let s = simulate(
+                &src,
+                &enc,
+                &trace,
+                &mut SenseiFugu::new(),
+                &config,
+                Some(&weights),
+            )
+            .unwrap();
+            let f = simulate(&src, &enc, &trace, &mut crate::Fugu::new(), &config, None)
+                .unwrap();
+            sensei_total += oracle.qoe01(&src, &s.render).unwrap();
+            fugu_total += oracle.qoe01(&src, &f.render).unwrap();
+        }
+        assert!(
+            sensei_total > fugu_total,
+            "SENSEI-Fugu {sensei_total:.3} vs Fugu {fugu_total:.3}"
+        );
+    }
+
+    #[test]
+    fn no_pause_ablation_never_pauses() {
+        let src = source();
+        let enc = encoded(&src);
+        let weights = SensitivityWeights::ground_truth(&src);
+        let trace = sensei_trace::generate::hsdpa_like(1200.0, 600, 3);
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut SenseiFugu::without_pause_action(),
+            &PlayerConfig::default(),
+            Some(&weights),
+        )
+        .unwrap();
+        let intentional: f64 = result
+            .render
+            .chunks()
+            .iter()
+            .map(|c| c.intentional_rebuffer_s)
+            .sum();
+        assert_eq!(intentional, 0.0);
+    }
+
+    #[test]
+    fn runs_without_weights_in_manifest() {
+        // A SENSEI player on a legacy manifest degrades to weighted=uniform.
+        let src = source();
+        let enc = encoded(&src);
+        let trace = ThroughputTrace::constant("t", 2000.0, 600.0).unwrap();
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut SenseiFugu::new(),
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(result.levels.len(), src.num_chunks());
+    }
+}

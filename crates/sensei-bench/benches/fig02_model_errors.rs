@@ -1,0 +1,84 @@
+//! Fig. 2: relative QoE-prediction error (x) vs discordant ABR pairs (y)
+//! for KSQI, P.1203, LSTM-QoE and SENSEI's model.
+use sensei_bench::{build_experiment, header, labeled_render_set, Table};
+use sensei_core::experiment::PolicyKind;
+use sensei_qoe::eval::{discordant_pair_fraction, RankingCell};
+use sensei_qoe::{Ksqi, LstmQoe, P1203Like, QoeModel, SenseiQoe};
+
+fn main() {
+    header(
+        "Fig. 2",
+        "QoE model error vs discordant ABR-ranking pairs",
+        "baselines >10.4% error / >10.2% discordant; SENSEI far lower",
+    );
+    let data = labeled_render_set(11, 24);
+    let split = data.len() * 3 / 4;
+    let (train, test) = data.split_at(split);
+    let train_r: Vec<_> = train.iter().map(|(_, r, _)| r.clone()).collect();
+    let train_y: Vec<f64> = train.iter().map(|(_, _, y)| *y).collect();
+    let test_r: Vec<_> = test.iter().map(|(_, r, _)| r.clone()).collect();
+    let test_y: Vec<f64> = test.iter().map(|(_, _, y)| *y).collect();
+
+    let ksqi = Ksqi::fit(&train_r, &train_y).expect("ksqi fits");
+    let p1203 = P1203Like::fit(&train_r, &train_y, 5).expect("p1203 fits");
+    let lstm = LstmQoe::fit(&train_r, &train_y, &Default::default(), 5).expect("lstm fits");
+    let env = build_experiment(2021, false);
+    let sensei_for = |video: &str| -> Option<SenseiQoe> {
+        env.assets
+            .iter()
+            .find(|a| a.name == video)
+            .map(|a| SenseiQoe::new(ksqi.clone(), a.weights.clone()))
+    };
+
+    type Scorer<'a> = Box<dyn Fn(&sensei_video::RenderedVideo) -> f64 + 'a>;
+    let models: Vec<(&str, Scorer)> = vec![
+        ("KSQI", Box::new(|r| ksqi.predict(r).unwrap())),
+        ("P.1203", Box::new(|r| p1203.predict(r).unwrap())),
+        ("LSTM-QoE", Box::new(|r| lstm.predict(r).unwrap())),
+        (
+            "SENSEI",
+            Box::new(|r| match sensei_for(r.source_name()) {
+                Some(m) => m.predict(r).unwrap(),
+                None => ksqi.predict(r).unwrap(),
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(&["Model", "rel. error %", "discordant pairs %"]);
+    for (name, predict) in &models {
+        let preds: Vec<f64> = test_r.iter().map(|r| predict(r)).collect();
+        let rel = sensei_ml::stats::mean_relative_error(&preds, &test_y).unwrap();
+        // Rank BBA/Fugu/SENSEI-Fugu per (video, trace): does the model agree
+        // with the true-QoE ordering?
+        let mut cells: Vec<RankingCell> = Vec::new();
+        for asset in &env.assets {
+            for trace in &env.traces {
+                let mut truth = Vec::new();
+                let mut predicted = Vec::new();
+                for kind in [PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu] {
+                    let mut policy = env.policy(kind, trace).unwrap();
+                    let weights = kind.uses_weights().then_some(&asset.weights);
+                    let result = sensei_sim::simulate(
+                        &asset.source,
+                        &asset.encoded,
+                        trace,
+                        policy.as_mut(),
+                        &env.player,
+                        weights,
+                    )
+                    .unwrap();
+                    truth.push(env.oracle.qoe01(&asset.source, &result.render).unwrap());
+                    predicted.push(predict(&result.render));
+                }
+                cells.push(RankingCell { truth, predicted });
+            }
+        }
+        let disc = discordant_pair_fraction(&cells).unwrap_or(0.0);
+        table.add(vec![
+            name.to_string(),
+            format!("{:.1}", rel * 100.0),
+            format!("{:.1}", disc * 100.0),
+        ]);
+    }
+    table.print();
+}

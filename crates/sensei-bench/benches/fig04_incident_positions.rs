@@ -1,0 +1,34 @@
+//! Fig. 4: QoE vs incident position for 1-s rebuffer, 4-s rebuffer, and a
+//! bitrate drop — same variability pattern under all three.
+use sensei_bench::{header, Table};
+use sensei_crowd::series::{oracle_series_qoe, IncidentKind};
+use sensei_video::{corpus, BitrateLadder};
+
+fn main() {
+    header(
+        "Fig. 4",
+        "QoE variability per incident position (Soccer1)",
+        "absolute QoE depends on the incident; the pattern does not",
+    );
+    let entry = corpus::by_name("Soccer1", 2021).expect("Soccer1 exists");
+    let ladder = BitrateLadder::default_paper();
+    let series: Vec<(IncidentKind, Vec<f64>)> = IncidentKind::ALL
+        .iter()
+        .map(|&k| (k, oracle_series_qoe(&entry.video, &ladder, k).expect("series")))
+        .collect();
+    let mut table = Table::new(&["Chunk", "1-s rebuf", "4-s rebuf", "bitrate drop"]);
+    for k in 0..entry.video.num_chunks() {
+        table.add(vec![
+            k.to_string(),
+            format!("{:.3}", series[0].1[k]),
+            format!("{:.3}", series[1].1[k]),
+            format!("{:.3}", series[2].1[k]),
+        ]);
+    }
+    table.print();
+    for (kind, qoe) in &series {
+        let min = qoe.iter().cloned().fold(f64::INFINITY, f64::min);
+        let argmin = qoe.iter().position(|&q| q == min).unwrap();
+        println!("  {}: worst at chunk {argmin}", kind.label());
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 5: Spearman rank correlation of QoE series between incident types,
+//! per source video — quality sensitivity is inherent to content.
+use sensei_bench::{full_mode, header, Table, QUICK_VIDEOS};
+use sensei_crowd::series::{oracle_series_qoe, IncidentKind};
+use sensei_ml::stats::spearman;
+use sensei_video::{corpus, BitrateLadder};
+
+fn main() {
+    header(
+        "Fig. 5",
+        "QoE rank correlation between quality incidents",
+        "strong rank correlation for both comparisons (most videos > 0.6)",
+    );
+    let ladder = BitrateLadder::default_paper();
+    let mut table = Table::new(&["Video", "1s-vs-4s rebuf SRCC", "1s rebuf vs bitrate-drop SRCC"]);
+    let mut all_a = Vec::new();
+    let mut all_b = Vec::new();
+    for entry in corpus::table1(2021) {
+        if !full_mode() && !QUICK_VIDEOS.contains(&entry.video.name()) {
+            continue;
+        }
+        let one = oracle_series_qoe(&entry.video, &ladder, IncidentKind::Rebuffer1s).unwrap();
+        let four = oracle_series_qoe(&entry.video, &ladder, IncidentKind::Rebuffer4s).unwrap();
+        let drop = oracle_series_qoe(&entry.video, &ladder, IncidentKind::BitrateDrop4s).unwrap();
+        let a = spearman(&one, &four).unwrap_or(0.0);
+        let b = spearman(&one, &drop).unwrap_or(0.0);
+        all_a.push(a);
+        all_b.push(b);
+        table.add(vec![
+            entry.video.name().to_string(),
+            format!("{a:.2}"),
+            format!("{b:.2}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n  measured means: {:.2} and {:.2} (paper: strong positive correlation)",
+        sensei_ml::stats::mean(&all_a),
+        sensei_ml::stats::mean(&all_b)
+    );
+}

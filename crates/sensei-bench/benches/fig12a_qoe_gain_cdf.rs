@@ -1,0 +1,40 @@
+//! Fig. 12a: CDF of per-(video, trace) QoE gains over BBA for SENSEI,
+//! Pensieve, and Fugu.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::{qoe_gains_over, PolicyKind};
+
+fn main() {
+    header(
+        "Fig. 12a",
+        "Distribution of QoE gains over BBA",
+        "SENSEI median +14.4%; Pensieve/Fugu median ~+5.7%",
+    );
+    let env = build_experiment(2021, true);
+    let results = env
+        .run_grid(&[
+            PolicyKind::Bba,
+            PolicyKind::Fugu,
+            PolicyKind::Pensieve,
+            PolicyKind::SenseiFugu,
+        ])
+        .expect("grid runs");
+    let mut table = Table::new(&["Percentile", "SENSEI %", "Pensieve %", "Fugu %"]);
+    let sensei = qoe_gains_over(&results, "SENSEI", "BBA");
+    let pensieve = qoe_gains_over(&results, "Pensieve", "BBA");
+    let fugu = qoe_gains_over(&results, "Fugu", "BBA");
+    for p in [20.0, 40.0, 50.0, 60.0, 80.0] {
+        table.add(vec![
+            format!("p{p:.0}"),
+            format!("{:+.1}", sensei_ml::stats::percentile(&sensei, p).unwrap()),
+            format!("{:+.1}", sensei_ml::stats::percentile(&pensieve, p).unwrap()),
+            format!("{:+.1}", sensei_ml::stats::percentile(&fugu, p).unwrap()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n  measured medians: SENSEI {:+.1}%, Pensieve {:+.1}%, Fugu {:+.1}%",
+        sensei_ml::stats::percentile(&sensei, 50.0).unwrap(),
+        sensei_ml::stats::percentile(&pensieve, 50.0).unwrap(),
+        sensei_ml::stats::percentile(&fugu, 50.0).unwrap()
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 12b: QoE vs normalized bandwidth usage — SENSEI reaches a target
+//! QoE with less bandwidth than Pensieve/Fugu/BBA.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::PolicyKind;
+
+fn main() {
+    header(
+        "Fig. 12b",
+        "QoE vs bandwidth (one trace scaled down)",
+        "~27.9% bandwidth savings vs Pensieve/Fugu, 32.1% vs BBA @ QoE 0.8",
+    );
+    let env = build_experiment(2021, true);
+    let base = env.traces[7].clone();
+    let kinds = [
+        PolicyKind::SenseiFugu,
+        PolicyKind::Pensieve,
+        PolicyKind::Fugu,
+        PolicyKind::Bba,
+    ];
+    let mut table = Table::new(&["Scale", "SENSEI", "Pensieve", "Fugu", "BBA"]);
+    for scale in [0.2, 0.35, 0.5, 0.65, 0.8, 1.0] {
+        let trace = base.scaled(scale).expect("positive scale");
+        let mut cells = vec![format!("{scale:.2}")];
+        for kind in kinds {
+            let mut total = 0.0;
+            for asset in &env.assets {
+                total += env.run_session(asset, &trace, kind).unwrap().qoe01;
+            }
+            cells.push(format!("{:.3}", total / env.assets.len() as f64));
+        }
+        table.add(cells);
+    }
+    table.print();
+    println!("\n  read horizontally: the scale at which each policy reaches a target QoE");
+}

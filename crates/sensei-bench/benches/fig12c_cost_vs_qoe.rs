@@ -1,0 +1,88 @@
+//! Fig. 12c: crowdsourcing cost per minute vs resulting QoE, with and
+//! without the two-step cost pruning.
+use sensei_bench::{header, Table};
+use sensei_core::experiment::PolicyKind;
+use sensei_core::{Experiment, ExperimentConfig};
+use sensei_core::experiment::WeightSource;
+use sensei_crowd::WeightProfiler;
+use sensei_video::BitrateLadder;
+
+fn main() {
+    header(
+        "Fig. 12c",
+        "Crowdsourcing cost vs QoE (pruned vs exhaustive)",
+        "pruning cuts costs 96.7% with only 3.1% QoE degradation; ~$31/min",
+    );
+    // A compact grid: 4 videos, ground-truth env for ABR evaluation.
+    let cfg = ExperimentConfig {
+        seed: 2021,
+        videos: Some(
+            ["Soccer1", "FPS2", "Space", "Lava"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ),
+        weight_source: WeightSource::GroundTruth,
+        train_rl: false,
+        rl_episodes: 0,
+        ..ExperimentConfig::default()
+    };
+    let env = Experiment::build(&cfg).expect("environment builds");
+    let ladder = BitrateLadder::default_paper();
+    let profiler = WeightProfiler::paper_default(7);
+    let mut table = Table::new(&["Scheduler", "$ / min video", "mean QoE (SENSEI ABR)", "renders"]);
+    for (label, exhaustive) in [("two-step (pruned)", false), ("exhaustive", true)] {
+        let mut cost_per_min = 0.0;
+        let mut qoe_total = 0.0;
+        let mut renders = 0usize;
+        let mut sessions = 0usize;
+        for asset in &env.assets {
+            let profile = if exhaustive {
+                profiler
+                    .profile_exhaustive(&asset.source, &ladder, 13)
+                    .expect("profiling completes")
+            } else {
+                profiler
+                    .profile(&asset.source, &ladder, 13)
+                    .expect("profiling completes")
+            };
+            cost_per_min += profile.cost_per_minute_usd(&asset.source);
+            renders += profile.renders_rated;
+            // Evaluate SENSEI-Fugu with THESE weights on three traces.
+            let mut patched = asset.clone();
+            patched.weights = profile.weights.clone();
+            for trace in env.traces.iter().skip(2).take(3) {
+                qoe_total += env
+                    .run_session(&patched, trace, PolicyKind::SenseiFugu)
+                    .unwrap()
+                    .qoe01;
+                sessions += 1;
+            }
+        }
+        table.add(vec![
+            label.to_string(),
+            format!("{:.1}", cost_per_min / env.assets.len() as f64),
+            format!("{:.3}", qoe_total / sessions as f64),
+            renders.to_string(),
+        ]);
+    }
+    // Baseline: Pensieve-like cost 0 (no profiling), uniform weights.
+    let mut qoe_total = 0.0;
+    let mut sessions = 0usize;
+    for asset in &env.assets {
+        for trace in env.traces.iter().skip(2).take(3) {
+            qoe_total += env
+                .run_session(asset, trace, PolicyKind::Fugu)
+                .unwrap()
+                .qoe01;
+            sessions += 1;
+        }
+    }
+    table.add(vec![
+        "no profiling (base ABR)".to_string(),
+        "0.0".to_string(),
+        format!("{:.3}", qoe_total / sessions as f64),
+        "0".to_string(),
+    ]);
+    table.print();
+}

@@ -1,0 +1,45 @@
+//! Fig. 13: QoE gain over BBA per video, grouped by genre.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::{qoe_gains_over, PolicyKind};
+
+fn main() {
+    header(
+        "Fig. 13",
+        "QoE gains over BBA per source video (grouped by genre)",
+        "gains vary within genres; sensitivity is not genre-determined",
+    );
+    let env = build_experiment(2021, true);
+    let results = env
+        .run_grid(&[
+            PolicyKind::Bba,
+            PolicyKind::Fugu,
+            PolicyKind::Pensieve,
+            PolicyKind::SenseiFugu,
+        ])
+        .expect("grid runs");
+    let mut table = Table::new(&["Video", "Genre", "SENSEI %", "Pensieve %", "Fugu %"]);
+    let mut assets: Vec<_> = env.assets.iter().collect();
+    assets.sort_by_key(|a| a.genre);
+    for asset in assets {
+        let per_video = |policy: &str| {
+            let gains: Vec<f64> = qoe_gains_over(
+                &results
+                    .iter()
+                    .filter(|r| r.video == asset.name)
+                    .cloned()
+                    .collect::<Vec<_>>(),
+                policy,
+                "BBA",
+            );
+            sensei_ml::stats::mean(&gains)
+        };
+        table.add(vec![
+            asset.name.clone(),
+            asset.genre.to_string(),
+            format!("{:+.1}", per_video("SENSEI")),
+            format!("{:+.1}", per_video("Pensieve")),
+            format!("{:+.1}", per_video("Fugu")),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,40 @@
+//! Fig. 14: QoE gain over BBA per throughput trace, ordered by mean
+//! throughput — SENSEI helps most when the network is under stress.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::{qoe_gains_over, PolicyKind};
+
+fn main() {
+    header(
+        "Fig. 14",
+        "QoE gains over BBA per trace (increasing mean throughput)",
+        "larger SENSEI gains at lower average throughput",
+    );
+    let env = build_experiment(2021, true);
+    let results = env
+        .run_grid(&[
+            PolicyKind::Bba,
+            PolicyKind::Fugu,
+            PolicyKind::Pensieve,
+            PolicyKind::SenseiFugu,
+        ])
+        .expect("grid runs");
+    let mut table = Table::new(&["Trace", "Mean kbps", "SENSEI %", "Pensieve %", "Fugu %"]);
+    for trace in &env.traces {
+        let per_trace = |policy: &str| {
+            let subset: Vec<_> = results
+                .iter()
+                .filter(|r| r.trace == trace.name())
+                .cloned()
+                .collect();
+            sensei_ml::stats::mean(&qoe_gains_over(&subset, policy, "BBA"))
+        };
+        table.add(vec![
+            trace.name().to_string(),
+            format!("{:.0}", trace.mean_kbps()),
+            format!("{:+.1}", per_trace("SENSEI")),
+            format!("{:+.1}", per_trace("Pensieve")),
+            format!("{:+.1}", per_trace("Fugu")),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,77 @@
+//! Fig. 15: QoE prediction accuracy (PLCC/SRCC) of SENSEI's model vs
+//! KSQI, LSTM-QoE, and P.1203.
+use sensei_bench::{build_experiment, header, labeled_render_set, Table};
+use sensei_qoe::eval::evaluate_model;
+use sensei_qoe::{Ksqi, LstmQoe, P1203Like, QoeModel, SenseiQoe};
+use sensei_video::RenderedVideo;
+
+/// SENSEI wrapper that looks up the right per-video weights per render.
+struct PerVideoSensei {
+    models: Vec<(String, SenseiQoe)>,
+    fallback: Ksqi,
+}
+
+impl QoeModel for PerVideoSensei {
+    fn name(&self) -> &str {
+        "SENSEI"
+    }
+    fn predict(&self, render: &RenderedVideo) -> Result<f64, sensei_qoe::QoeError> {
+        match self
+            .models
+            .iter()
+            .find(|(name, _)| name == render.source_name())
+        {
+            Some((_, m)) => m.predict(render),
+            None => self.fallback.predict(render),
+        }
+    }
+}
+
+fn main() {
+    header(
+        "Fig. 15",
+        "QoE prediction accuracy (PLCC / SRCC)",
+        "SENSEI PLCC 0.85 / SRCC 0.84; KSQI 0.76/0.73; LSTM 0.60/0.63; P.1203 0.62/0.67",
+    );
+    let data = labeled_render_set(15, 40);
+    let split = data.len() * 5 / 8; // 400/640 as in §7.3
+    let (train, test) = data.split_at(split);
+    let train_r: Vec<_> = train.iter().map(|(_, r, _)| r.clone()).collect();
+    let train_y: Vec<f64> = train.iter().map(|(_, _, y)| *y).collect();
+    let test_r: Vec<_> = test.iter().map(|(_, r, _)| r.clone()).collect();
+    let test_y: Vec<f64> = test.iter().map(|(_, _, y)| *y).collect();
+
+    let ksqi = Ksqi::fit(&train_r, &train_y).expect("ksqi fits");
+    let p1203 = P1203Like::fit(&train_r, &train_y, 15).expect("p1203 fits");
+    let lstm = LstmQoe::fit(&train_r, &train_y, &Default::default(), 15).expect("lstm fits");
+    let env = build_experiment(2021, false);
+    let sensei = PerVideoSensei {
+        models: env
+            .assets
+            .iter()
+            .map(|a| (a.name.clone(), SenseiQoe::new(ksqi.clone(), a.weights.clone())))
+            .collect(),
+        fallback: ksqi.clone(),
+    };
+
+    let mut table = Table::new(&["Model", "PLCC", "SRCC", "paper PLCC", "paper SRCC"]);
+    let paper = [
+        ("SENSEI", 0.85, 0.84),
+        ("KSQI", 0.76, 0.73),
+        ("LSTM-QoE", 0.60, 0.63),
+        ("P.1203", 0.62, 0.67),
+    ];
+    let models: Vec<(&str, &dyn QoeModel)> =
+        vec![("SENSEI", &sensei), ("KSQI", &ksqi), ("LSTM-QoE", &lstm), ("P.1203", &p1203)];
+    for ((name, model), (_, p_plcc, p_srcc)) in models.iter().zip(paper.iter()) {
+        let acc = evaluate_model(*model, &test_r, &test_y).expect("evaluation succeeds");
+        table.add(vec![
+            name.to_string(),
+            format!("{:.2}", acc.plcc),
+            format!("{:.2}", acc.srcc),
+            format!("{p_plcc:.2}"),
+            format!("{p_srcc:.2}"),
+        ]);
+    }
+    table.print();
+}

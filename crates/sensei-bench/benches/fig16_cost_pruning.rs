@@ -1,0 +1,70 @@
+//! Fig. 16: QoE-model accuracy vs crowdsourcing cost across the four
+//! scheduler parameters (B, F, M, alpha).
+use sensei_bench::{header, Table};
+use sensei_crowd::{ProfilerConfig, RaterPool, WeightProfiler};
+use sensei_qoe::{Ksqi, QoeModel, SenseiQoe};
+use sensei_video::{corpus, BitrateLadder, Incident, RenderedVideo, SensitivityWeights};
+
+/// PLCC of a SENSEI model built from `weights` on a probe test set.
+fn accuracy(video: &sensei_video::SourceVideo, weights: &SensitivityWeights) -> f64 {
+    let ladder = BitrateLadder::default_paper();
+    let oracle = sensei_crowd::TrueQoe::default();
+    let model = SenseiQoe::new(Ksqi::canonical(), weights.clone());
+    let mut preds = Vec::new();
+    let mut truths = Vec::new();
+    for chunk in 0..video.num_chunks() {
+        for (secs, level) in [(2.0, None), (0.0, Some(0usize))] {
+            let incident = match level {
+                Some(l) => Incident::BitrateDrop { chunk, len_chunks: 1, level: l },
+                None => Incident::Rebuffer { chunk, duration_s: secs },
+            };
+            let render = RenderedVideo::with_incidents(video, &ladder, &[incident]).unwrap();
+            preds.push(model.predict(&render).unwrap());
+            truths.push(oracle.qoe01(video, &render).unwrap());
+        }
+    }
+    sensei_ml::stats::pearson(&preds, &truths).unwrap_or(0.0)
+}
+
+fn run(video: &sensei_video::SourceVideo, config: ProfilerConfig) -> (f64, f64) {
+    let profiler = WeightProfiler::new(RaterPool::masters(5), config);
+    let profile = profiler
+        .profile(video, &BitrateLadder::default_paper(), 9)
+        .expect("profiling completes");
+    (
+        profile.cost_per_minute_usd(video),
+        accuracy(video, &profile.weights),
+    )
+}
+
+fn main() {
+    header(
+        "Fig. 16",
+        "QoE model accuracy vs crowdsourcing cost (B, F, M, alpha sweeps)",
+        "each parameter can be cut to its sweet spot with <3% accuracy loss",
+    );
+    let video = corpus::by_name("Soccer1", 2021).unwrap().video;
+    let mut table = Table::new(&["Sweep", "Value", "$ / min", "PLCC"]);
+    for b in [1usize, 2, 4] {
+        let cfg = ProfilerConfig { bitrate_levels: b, ..ProfilerConfig::default() };
+        let (cost, plcc) = run(&video, cfg);
+        table.add(vec!["B (bitrate levels)".into(), b.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+    }
+    for f in [1usize, 2, 4] {
+        let cfg = ProfilerConfig { rebuffer_levels: f, ..ProfilerConfig::default() };
+        let (cost, plcc) = run(&video, cfg);
+        table.add(vec!["F (rebuffer levels)".into(), f.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+    }
+    for m in [5usize, 10, 20, 30] {
+        // Campaigns need at least min_ratings survivors per render.
+        let cfg = ProfilerConfig { m1: m, m2: (m / 2).max(3), ..ProfilerConfig::default() };
+        let (cost, plcc) = run(&video, cfg);
+        table.add(vec!["M (raters/video)".into(), m.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+    }
+    for alpha in [0.0, 0.06, 0.2, 0.5] {
+        let cfg = ProfilerConfig { alpha, ..ProfilerConfig::default() };
+        let (cost, plcc) = run(&video, cfg);
+        table.add(vec!["alpha (threshold)".into(), format!("{alpha:.2}"), format!("{cost:.1}"), format!("{plcc:.3}")]);
+    }
+    table.print();
+}

@@ -1,0 +1,44 @@
+//! Fig. 17: QoE under increasing throughput variance (zero-mean Gaussian
+//! noise) — SENSEI variants keep their edge over their base ABR logic.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::PolicyKind;
+
+fn main() {
+    header(
+        "Fig. 17",
+        "QoE vs throughput standard deviation",
+        "SENSEI degrades gracefully, keeping a gain over its base ABR",
+    );
+    let env = build_experiment(2021, true);
+    let base = env.traces[7].clone();
+    let mut table = Table::new(&[
+        "Added noise (kbps sd)",
+        "SENSEI-Fugu",
+        "Fugu",
+        "SENSEI-Pensieve",
+        "Pensieve",
+    ]);
+    for noise in [0.0, 300.0, 600.0, 1000.0, 1500.0] {
+        let trace = if noise > 0.0 {
+            base.with_gaussian_noise(noise, 42).expect("valid noise")
+        } else {
+            base.clone()
+        };
+        let kinds = [
+            PolicyKind::SenseiFugu,
+            PolicyKind::Fugu,
+            PolicyKind::SenseiPensieve,
+            PolicyKind::Pensieve,
+        ];
+        let mut cells = vec![format!("{noise:.0}")];
+        for kind in kinds {
+            let mut total = 0.0;
+            for asset in &env.assets {
+                total += env.run_session(asset, &trace, kind).unwrap().qoe01;
+            }
+            cells.push(format!("{:.3}", total / env.assets.len() as f64));
+        }
+        table.add(cells);
+    }
+    table.print();
+}

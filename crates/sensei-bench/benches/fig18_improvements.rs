@@ -1,0 +1,49 @@
+//! Fig. 18: (a) SENSEI's gains with either base ABR logic; (b) the
+//! breakdown between the reweighted objective and the new actions.
+use sensei_bench::{build_experiment, header, Table};
+use sensei_core::experiment::{mean_qoe, qoe_gains_over, PolicyKind};
+
+fn main() {
+    header(
+        "Fig. 18",
+        "Understanding SENSEI's improvements",
+        "(a) comparable gains on Fugu and Pensieve; (b) objective > actions",
+    );
+    let env = build_experiment(2021, true);
+    let results = env
+        .run_grid(&[
+            PolicyKind::Bba,
+            PolicyKind::Fugu,
+            PolicyKind::Pensieve,
+            PolicyKind::SenseiFugu,
+            PolicyKind::SenseiFuguNoPause,
+            PolicyKind::SenseiPensieve,
+        ])
+        .expect("grid runs");
+    println!("\n(a) Gain over BBA, by base ABR logic:");
+    let mut table = Table::new(&["Policy", "mean gain over BBA %"]);
+    for policy in ["Fugu", "SENSEI", "Pensieve", "SENSEI-Pensieve"] {
+        let gains = qoe_gains_over(&results, policy, "BBA");
+        table.add(vec![
+            policy.to_string(),
+            format!("{:+.1}", sensei_ml::stats::mean(&gains)),
+        ]);
+    }
+    table.print();
+    println!("\n(b) SENSEI QoE breakdown (Fugu base):");
+    let mut table = Table::new(&["Variant", "mean QoE", "gain over base %"]);
+    let base = mean_qoe(&results, "Fugu");
+    for (label, policy) in [
+        ("base ABR w/ KSQI", "Fugu"),
+        ("+ weighted objective", "SENSEI (bitrate only)"),
+        ("full SENSEI (+ rebuffer action)", "SENSEI"),
+    ] {
+        let q = mean_qoe(&results, policy);
+        table.add(vec![
+            label.to_string(),
+            format!("{q:.3}"),
+            format!("{:+.1}", (q - base) / base * 100.0),
+        ]);
+    }
+    table.print();
+}

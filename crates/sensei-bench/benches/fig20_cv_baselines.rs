@@ -1,0 +1,28 @@
+//! Fig. 20 (Appendix D): CV highlight detectors vs user-study sensitivity
+//! on Lava, Tank, Animal, and Soccer2.
+use sensei_bench::{header, Table};
+use sensei_crowd::cv_baselines::CvModel;
+use sensei_ml::stats::spearman;
+use sensei_video::{corpus, SensitivityWeights};
+
+fn main() {
+    header(
+        "Fig. 20",
+        "Quality-sensitivity estimation by CV models",
+        "AMVM/DSN/Video2GIF do not correlate with true sensitivity",
+    );
+    let mut table = Table::new(&["Video", "AMVM SRCC", "DSN SRCC", "Video2GIF SRCC"]);
+    for name in ["Lava", "Tank", "Animal", "Soccer2"] {
+        let entry = corpus::by_name(name, 2021).expect("table-1 video");
+        let truth = SensitivityWeights::ground_truth(&entry.video);
+        let mut cells = vec![name.to_string()];
+        for model in CvModel::ALL {
+            let scores = model.predict(&entry.video);
+            let srcc = spearman(&scores, truth.as_slice()).unwrap_or(0.0);
+            cells.push(format!("{srcc:+.2}"));
+        }
+        table.add(cells);
+    }
+    table.print();
+    println!("\n  paper: trends not aligned with the user study (low/negative correlation)");
+}

@@ -1,0 +1,110 @@
+//! §7.4 systems overhead: ABR decision latency and simulator throughput.
+//! The paper reports SENSEI's runtime overhead at under 1% of player CPU;
+//! here we measure decision cost directly: SENSEI-Fugu must stay within
+//! the same order of magnitude as Fugu, and both far below the 4-second
+//! chunk budget.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sensei_abr::{Bba, Fugu, SenseiFugu};
+use sensei_sim::{simulate, AbrPolicy, PlayerConfig, PlayerState, SessionContext};
+use sensei_video::content::{Genre, SceneKind, SceneSpec};
+use sensei_video::{BitrateLadder, EncodedVideo, SensitivityWeights, SourceVideo};
+
+fn fixture() -> (SourceVideo, EncodedVideo, Vec<Vec<f64>>, SensitivityWeights) {
+    let src = SourceVideo::from_script(
+        "perf",
+        Genre::Sports,
+        &[
+            SceneSpec::new(SceneKind::NormalPlay, 30),
+            SceneSpec::new(SceneKind::KeyMoment, 10),
+            SceneSpec::new(SceneKind::Scenic, 15),
+        ],
+        1,
+    )
+    .unwrap();
+    let ladder = BitrateLadder::default_paper();
+    let enc = EncodedVideo::encode(&src, &ladder, 2);
+    let vq: Vec<Vec<f64>> = src
+        .chunks()
+        .iter()
+        .map(|c| {
+            ladder
+                .levels()
+                .iter()
+                .map(|&b| sensei_video::visual_quality(b, c.complexity))
+                .collect()
+        })
+        .collect();
+    let weights = SensitivityWeights::ground_truth(&src);
+    (src, enc, vq, weights)
+}
+
+fn state() -> PlayerState {
+    PlayerState {
+        next_chunk: 12,
+        buffer_s: 12.0,
+        last_level: Some(2),
+        throughput_history_kbps: vec![1800.0, 2100.0, 1500.0, 1900.0, 2500.0],
+        download_time_history_s: vec![2.0, 1.8, 2.4, 2.1, 1.6],
+        elapsed_s: 60.0,
+        playing: true,
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let (_, enc, vq, weights) = fixture();
+    let state = state();
+    let mut group = c.benchmark_group("abr_decision");
+    group.bench_function("bba", |b| {
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: &vq,
+            weights: None,
+            chunk_duration_s: 4.0,
+        };
+        let mut policy = Bba::paper_default();
+        b.iter(|| policy.decide(&state, &ctx));
+    });
+    group.bench_function("fugu_mpc", |b| {
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: &vq,
+            weights: None,
+            chunk_duration_s: 4.0,
+        };
+        let mut policy = Fugu::new();
+        b.iter(|| policy.decide(&state, &ctx));
+    });
+    group.bench_function("sensei_fugu", |b| {
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: &vq,
+            weights: Some(&weights),
+            chunk_duration_s: 4.0,
+        };
+        let mut policy = SenseiFugu::new();
+        b.iter(|| policy.decide(&state, &ctx));
+    });
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    let (src, enc, _, weights) = fixture();
+    let trace = sensei_trace::generate::fcc_like(2000.0, 600, 3);
+    c.bench_function("full_session_sensei_fugu", |b| {
+        b.iter(|| {
+            let mut policy = SenseiFugu::new();
+            simulate(
+                &src,
+                &enc,
+                &trace,
+                &mut policy,
+                &PlayerConfig::default(),
+                Some(&weights),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_decisions, bench_session);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1: the 16-video test set (name, genre, length, source dataset).
+use sensei_bench::{header, Table};
+
+fn main() {
+    header(
+        "Table 1",
+        "Summary of the test video set",
+        "16 videos across Sports/Gaming/Nature/Animation, 1:24-9:56",
+    );
+    let mut table = Table::new(&["Name", "Genre", "Length", "Source dataset", "Chunks", "w-spread"]);
+    for entry in sensei_video::corpus::table1(2021) {
+        let weights = sensei_video::SensitivityWeights::ground_truth(&entry.video);
+        table.add(vec![
+            entry.video.name().to_string(),
+            entry.video.genre().label().to_string(),
+            entry.length_label(),
+            entry.source_dataset.to_string(),
+            entry.video.num_chunks().to_string(),
+            format!("{:.2}", weights.spread()),
+        ]);
+    }
+    table.print();
+}

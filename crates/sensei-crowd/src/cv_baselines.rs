@@ -1,0 +1,163 @@
+//! Computer-vision highlight detectors (Appendix D).
+//!
+//! The paper tests three CV models as cheap alternatives to crowdsourcing —
+//! AMVM (attention-model-based), DSN (deep summarization network), and
+//! Video2GIF — and finds their highlight scores "do not correlate well with
+//! the quality sensitivity weights inferred by SENSEI": the models key on
+//! information-richness (motion, object count), which is not quality
+//! sensitivity. The proxies here predict from exactly those channels of
+//! the synthetic content, reproducing both the models' behavior and their
+//! failure mode (replays/crowd shots score high, scoreboards score low).
+
+use sensei_video::SourceVideo;
+
+/// The three Appendix-D models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvModel {
+    /// Attention-model-based video mapping (Liu et al.).
+    Amvm,
+    /// Deep summarization network with diversity-representativeness reward
+    /// (Zhou et al.).
+    Dsn,
+    /// Video2GIF highlight detection (Gygli et al.).
+    Video2Gif,
+}
+
+impl CvModel {
+    /// All models.
+    pub const ALL: [CvModel; 3] = [CvModel::Amvm, CvModel::Dsn, CvModel::Video2Gif];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CvModel::Amvm => "AMVM",
+            CvModel::Dsn => "DSN",
+            CvModel::Video2Gif => "Video2GIF",
+        }
+    }
+
+    /// Per-chunk highlight score in `[0, 1]` (min-max normalized per
+    /// video, as the models' outputs are presented in Fig. 20).
+    pub fn predict(self, source: &SourceVideo) -> Vec<f64> {
+        let raw: Vec<f64> = source
+            .chunks()
+            .iter()
+            .map(|c| match self {
+                // Attention models track visual saliency: motion-dominated
+                // with a complexity component.
+                CvModel::Amvm => 0.7 * c.motion + 0.3 * c.complexity,
+                // Summarizers reward diverse, representative, object-rich
+                // segments.
+                CvModel::Dsn => 0.65 * c.objects + 0.35 * c.motion,
+                // GIF-worthiness: dynamic AND busy.
+                CvModel::Video2Gif => 0.55 * c.motion + 0.45 * c.objects,
+            })
+            .collect();
+        // Light temporal smoothing (the real models operate on windows).
+        let smoothed: Vec<f64> = (0..raw.len())
+            .map(|i| {
+                let lo = i.saturating_sub(1);
+                let hi = (i + 1).min(raw.len() - 1);
+                raw[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+            })
+            .collect();
+        let min = smoothed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if max - min < 1e-12 {
+            return vec![0.5; smoothed.len()];
+        }
+        smoothed.iter().map(|&v| (v - min) / (max - min)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensei_ml::stats::spearman;
+    use sensei_video::content::{Genre, SceneKind, SceneSpec};
+    use sensei_video::SensitivityWeights;
+
+    /// A video exercising both confounders: an ad break (dynamic,
+    /// insensitive) and a scoreboard (static, sensitive).
+    fn confounder_video() -> SourceVideo {
+        SourceVideo::from_script(
+            "cv-test",
+            Genre::Sports,
+            &[
+                SceneSpec::new(SceneKind::NormalPlay, 6),
+                SceneSpec::new(SceneKind::AdBreak, 4),
+                SceneSpec::new(SceneKind::Informational, 4),
+                SceneSpec::new(SceneKind::KeyMoment, 3),
+                SceneSpec::new(SceneKind::Replay, 4),
+                SceneSpec::new(SceneKind::Scenic, 4),
+            ],
+            9,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outputs_are_normalized_per_video() {
+        let src = confounder_video();
+        for model in CvModel::ALL {
+            let scores = model.predict(&src);
+            assert_eq!(scores.len(), src.num_chunks());
+            let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!((min - 0.0).abs() < 1e-9 && (max - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cv_models_misrank_the_confounders() {
+        // Appendix D: the CV scores must NOT track true sensitivity well.
+        // Ads (chunks 6-9) are rated highlight-worthy, scoreboards (10-13)
+        // are not — the opposite of true sensitivity.
+        let src = confounder_video();
+        let truth = SensitivityWeights::ground_truth(&src);
+        for model in CvModel::ALL {
+            let scores = model.predict(&src);
+            let ad_mean: f64 = scores[6..10].iter().sum::<f64>() / 4.0;
+            let info_mean: f64 = scores[10..14].iter().sum::<f64>() / 4.0;
+            assert!(
+                ad_mean > info_mean,
+                "{}: ads ({ad_mean:.2}) should out-score scoreboards ({info_mean:.2})",
+                model.label()
+            );
+            let truth_ad: f64 = truth.as_slice()[6..10].iter().sum::<f64>() / 4.0;
+            let truth_info: f64 = truth.as_slice()[10..14].iter().sum::<f64>() / 4.0;
+            assert!(truth_info > truth_ad, "ground truth has the opposite order");
+        }
+    }
+
+    #[test]
+    fn correlation_with_truth_is_weak() {
+        let src = confounder_video();
+        let truth = SensitivityWeights::ground_truth(&src);
+        for model in CvModel::ALL {
+            let scores = model.predict(&src);
+            let srcc = spearman(&scores, truth.as_slice()).unwrap();
+            assert!(
+                srcc < 0.55,
+                "{} correlates too well with truth: SRCC = {srcc:.2}",
+                model.label()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_content_degenerates_gracefully() {
+        let src = SourceVideo::from_script(
+            "flat",
+            Genre::Nature,
+            &[SceneSpec::new(SceneKind::Scenic, 6)],
+            1,
+        )
+        .unwrap();
+        for model in CvModel::ALL {
+            let scores = model.predict(&src);
+            assert_eq!(scores.len(), 6);
+            assert!(scores.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The hidden ground-truth QoE function ("what users actually feel").
+//!
+//! Design (documented in DESIGN.md §3):
+//!
+//! 1. **Sensitivity-amplified degradation.** Each chunk's *experienced*
+//!    quality is its reference quality minus its degradations (visual
+//!    quality lost to lower bitrate, stalls, switches) scaled by the chunk's
+//!    latent sensitivity `s_i`: `e_i = ref_i − s_i · deg_i`. This encodes
+//!    the paper's central finding — the same incident hurts more at a
+//!    sensitive moment (§2.3) — and its rank-stability across incident
+//!    types (Fig. 5), since `s_i` multiplies *any* degradation.
+//! 2. **Peak-end judgment.** Session rating blends the mean experienced
+//!    quality with the worst moment: `Q* = 0.65·mean(e) + 0.35·min(e)`.
+//!    Humans do not average a 1-second stall away over a 3:40 video — a
+//!    salient bad moment dominates recall (Kahneman's peak-end rule). This
+//!    is what gives single-incident renders the large MOS gaps of Fig. 1
+//!    while keeping SENSEI's *linear* Eq.-2 model a good-but-imperfect
+//!    approximation (PLCC ≈ 0.85 in Fig. 15, not 1.0).
+//!
+//! Only this module (and the rater population built on it) may read
+//! `SourceVideo::true_sensitivity`.
+
+use sensei_video::quality::visual_quality;
+use sensei_video::{RenderedVideo, SourceVideo};
+
+use crate::CrowdError;
+
+/// The hidden QoE oracle.
+#[derive(Debug, Clone)]
+pub struct TrueQoe {
+    /// Stall penalty per unit normalized stall (mirrors the canonical
+    /// chunk-quality β).
+    pub rebuffer_penalty: f64,
+    /// Switch penalty per unit |Δvq| (mirrors the canonical γ).
+    pub switch_penalty: f64,
+    /// Weight of the mean term in the peak-end blend.
+    pub mean_weight: f64,
+    /// Weight of the worst-moment term in the peak-end blend.
+    pub worst_weight: f64,
+    /// Affine MOS map offset.
+    pub map_offset: f64,
+    /// Affine MOS map slope.
+    pub map_slope: f64,
+}
+
+impl Default for TrueQoe {
+    fn default() -> Self {
+        Self {
+            rebuffer_penalty: 0.9,
+            switch_penalty: 0.35,
+            mean_weight: 0.65,
+            worst_weight: 0.35,
+            map_offset: 0.10,
+            map_slope: 0.95,
+        }
+    }
+}
+
+impl TrueQoe {
+    /// Per-chunk *experienced* quality `e_i = ref_i − s_i · deg_i`,
+    /// clamped to `[-1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the render does not match the source video
+    /// (name or chunk count).
+    pub fn experienced_quality(
+        &self,
+        source: &SourceVideo,
+        render: &RenderedVideo,
+    ) -> Result<Vec<f64>, CrowdError> {
+        if render.source_name() != source.name() || render.num_chunks() != source.num_chunks() {
+            return Err(CrowdError::SourceMismatch {
+                render: render.source_name().to_string(),
+                source: source.name().to_string(),
+            });
+        }
+        let s = source.true_sensitivity();
+        let d = render.chunk_duration_s();
+        let top_kbps = render
+            .chunks()
+            .iter()
+            .map(|c| c.bitrate_kbps)
+            .fold(0.0, f64::max)
+            .max(2850.0);
+        let mut prev: Option<(f64, f64)> = None;
+        Ok(render
+            .chunks()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let reference = visual_quality(top_kbps, c.complexity);
+                let stall =
+                    c.rebuffer_s + if i == 0 { render.startup_delay_s() } else { 0.0 };
+                let switch = match prev {
+                    Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
+                    _ => 0.0,
+                };
+                prev = Some((c.vq, c.bitrate_kbps));
+                // The stall term grows without a cap: sitting through a
+                // 14-second freeze is strictly worse than a 4-second one.
+                let deg = (reference - c.vq).max(0.0)
+                    + self.rebuffer_penalty * (stall / d).max(0.0)
+                    + self.switch_penalty * switch;
+                (reference - s[i] * deg).clamp(-2.0, 1.0)
+            })
+            .collect())
+    }
+
+    /// True normalized QoE in `[0, 1]` — the peak-end blend mapped through
+    /// the affine MOS curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the render does not match the source video.
+    pub fn qoe01(&self, source: &SourceVideo, render: &RenderedVideo) -> Result<f64, CrowdError> {
+        let e = self.experienced_quality(source, render)?;
+        let mean = e.iter().sum::<f64>() / e.len() as f64;
+        let worst = e.iter().cloned().fold(f64::INFINITY, f64::min);
+        let q = self.mean_weight * mean + self.worst_weight * worst;
+        Ok((self.map_offset + self.map_slope * q).clamp(0.0, 1.0))
+    }
+
+    /// True QoE on the paper's 1–5 MOS scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the render does not match the source video.
+    pub fn mos(&self, source: &SourceVideo, render: &RenderedVideo) -> Result<f64, CrowdError> {
+        Ok(1.0 + 4.0 * self.qoe01(source, render)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensei_video::content::{Genre, SceneKind, SceneSpec};
+    use sensei_video::{BitrateLadder, Incident};
+
+    fn source() -> SourceVideo {
+        SourceVideo::from_script(
+            "oracle-test",
+            Genre::Sports,
+            &[
+                SceneSpec::new(SceneKind::Scenic, 3),
+                SceneSpec::new(SceneKind::NormalPlay, 3),
+                SceneSpec::new(SceneKind::KeyMoment, 3),
+                SceneSpec::new(SceneKind::AdBreak, 3),
+            ],
+            11,
+        )
+        .unwrap()
+    }
+
+    fn pristine() -> RenderedVideo {
+        RenderedVideo::pristine(&source(), &BitrateLadder::default_paper())
+    }
+
+    fn stall_at(chunk: usize, secs: f64) -> RenderedVideo {
+        RenderedVideo::with_incidents(
+            &source(),
+            &BitrateLadder::default_paper(),
+            &[Incident::Rebuffer {
+                chunk,
+                duration_s: secs,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pristine_scores_high() {
+        let oracle = TrueQoe::default();
+        let q = oracle.qoe01(&source(), &pristine()).unwrap();
+        assert!(q > 0.7, "pristine QoE = {q}");
+        let mos = oracle.mos(&source(), &pristine()).unwrap();
+        assert!((1.0..=5.0).contains(&mos));
+    }
+
+    #[test]
+    fn stall_at_key_moment_hurts_much_more_than_scenic() {
+        // The Fig. 1 phenomenon: same 1-second stall, very different MOS.
+        let oracle = TrueQoe::default();
+        let src = source();
+        let q_scenic = oracle.qoe01(&src, &stall_at(1, 1.0)).unwrap();
+        let q_key = oracle.qoe01(&src, &stall_at(7, 1.0)).unwrap();
+        let gap = (q_scenic - q_key) / q_key;
+        assert!(
+            gap > 0.15,
+            "key-moment stall should hurt >=15% more (gap = {gap:.3})"
+        );
+    }
+
+    #[test]
+    fn ad_break_stall_is_mild_despite_high_motion() {
+        // Ads are highly dynamic but insensitive — the LSTM-QoE confounder.
+        let oracle = TrueQoe::default();
+        let src = source();
+        let q_ad = oracle.qoe01(&src, &stall_at(10, 1.0)).unwrap();
+        let q_key = oracle.qoe01(&src, &stall_at(7, 1.0)).unwrap();
+        assert!(q_ad > q_key, "ad stall {q_ad} should beat key-moment stall {q_key}");
+    }
+
+    #[test]
+    fn longer_stalls_hurt_more_but_preserve_ranking() {
+        // Fig. 4/5: absolute QoE depends on the incident, rank does not.
+        let oracle = TrueQoe::default();
+        let src = source();
+        let one_s: Vec<f64> = (0..12)
+            .map(|k| oracle.qoe01(&src, &stall_at(k, 1.0)).unwrap())
+            .collect();
+        let four_s: Vec<f64> = (0..12)
+            .map(|k| oracle.qoe01(&src, &stall_at(k, 4.0)).unwrap())
+            .collect();
+        for (a, b) in one_s.iter().zip(&four_s) {
+            assert!(b < a, "4s stall must be worse than 1s at the same spot");
+        }
+        let srcc = sensei_ml::stats::spearman(&one_s, &four_s).unwrap();
+        assert!(srcc > 0.8, "rank stability across incidents: SRCC = {srcc}");
+    }
+
+    #[test]
+    fn bitrate_drops_are_also_sensitivity_scaled() {
+        let oracle = TrueQoe::default();
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let drop_at = |chunk| {
+            RenderedVideo::with_incidents(
+                &src,
+                &ladder,
+                &[Incident::BitrateDrop {
+                    chunk,
+                    len_chunks: 1,
+                    level: 0,
+                }],
+            )
+            .unwrap()
+        };
+        let q_scenic = oracle.qoe01(&src, &drop_at(1)).unwrap();
+        let q_key = oracle.qoe01(&src, &drop_at(7)).unwrap();
+        assert!(q_scenic > q_key);
+    }
+
+    #[test]
+    fn mismatched_render_is_rejected() {
+        let oracle = TrueQoe::default();
+        let other = SourceVideo::from_script(
+            "other",
+            Genre::Nature,
+            &[SceneSpec::new(SceneKind::Scenic, 12)],
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            oracle.qoe01(&other, &pristine()).unwrap_err(),
+            CrowdError::SourceMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn startup_delay_charged_like_a_stall() {
+        let oracle = TrueQoe::default();
+        let src = source();
+        let base = pristine();
+        let delayed = RenderedVideo::new(
+            base.source_name(),
+            base.chunk_duration_s(),
+            2.0,
+            base.chunks().to_vec(),
+        )
+        .unwrap();
+        assert!(
+            oracle.qoe01(&src, &delayed).unwrap() < oracle.qoe01(&src, &base).unwrap()
+        );
+    }
+}

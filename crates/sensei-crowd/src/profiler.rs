@@ -1,0 +1,492 @@
+//! The two-step crowdsourcing scheduler and weight inference (§4.2–§4.3).
+//!
+//! Step 1 probes *every* chunk with a single 1-second rebuffering event,
+//! rated by M1 participants. The per-chunk weight is inferred from the MOS
+//! drop relative to the pristine reference, scaled by the KSQI chunk-score
+//! delta of the probe (the diagonal case of the paper's regression
+//! `Q_j = Σ_i w_i·q_{i,j}`).
+//!
+//! Step 2 re-probes only the α-outlier chunks (weights ≥ α away from 1)
+//! with B extra bitrate-drop levels and F extra rebuffering durations,
+//! rated by M2 participants, and pools the per-probe estimates. "It is more
+//! important to identify which chunks have very high/low quality
+//! sensitivity than to precisely estimate the quality sensitivity of each
+//! chunk" (§4.3).
+//!
+//! The exhaustive variant (every chunk × every incident × 30 raters) is
+//! what Fig. 12c's "w/o cost pruning" line pays for.
+
+use crate::campaign::{Campaign, CampaignConfig, CampaignResult};
+use crate::oracle::TrueQoe;
+use crate::rater::RaterPool;
+use crate::CrowdError;
+use sensei_qoe::Ksqi;
+use sensei_video::{BitrateLadder, Incident, RenderedVideo, SensitivityWeights, SourceVideo};
+
+/// Configuration of the two-step scheduler.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Raters per rendered video in step 1 (paper: 10).
+    pub m1: usize,
+    /// Raters per rendered video in step 2 (paper: 5).
+    pub m2: usize,
+    /// Outlier threshold α: chunks with `|w − 1| > α` are re-probed
+    /// (paper: 0.06).
+    pub alpha: f64,
+    /// Number of bitrate-drop levels used in step 2 (paper: B = 2).
+    pub bitrate_levels: usize,
+    /// Number of extra rebuffering durations in step 2 (paper: F = 1).
+    pub rebuffer_levels: usize,
+    /// Campaign mechanics (wage, clips per rater, ...).
+    pub campaign: CampaignConfig,
+    /// Weight floor: inferred weights are clamped here before
+    /// normalization.
+    pub min_weight: f64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            m1: 10,
+            m2: 5,
+            alpha: 0.06,
+            bitrate_levels: 2,
+            rebuffer_levels: 1,
+            campaign: CampaignConfig::default(),
+            min_weight: 0.05,
+        }
+    }
+}
+
+/// Output of a profiling run.
+#[derive(Debug, Clone)]
+pub struct WeightProfile {
+    /// Inferred per-chunk sensitivity weights (mean 1).
+    pub weights: SensitivityWeights,
+    /// Total crowdsourcing cost in USD.
+    pub cost_usd: f64,
+    /// End-to-end delay in minutes.
+    pub delay_minutes: f64,
+    /// Rendered videos published.
+    pub renders_rated: usize,
+    /// Participants recruited across both steps.
+    pub raters_recruited: usize,
+}
+
+impl WeightProfile {
+    /// Cost normalized per minute of source video — the paper's headline
+    /// unit ("$31.4 per min video").
+    pub fn cost_per_minute_usd(&self, source: &SourceVideo) -> f64 {
+        self.cost_usd / (source.duration_s() / 60.0)
+    }
+}
+
+/// The profiling pipeline: oracle + rater pool + scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct WeightProfiler {
+    oracle: TrueQoe,
+    pool: RaterPool,
+    config: ProfilerConfig,
+}
+
+impl WeightProfiler {
+    /// Builds a profiler with the given rater pool and configuration.
+    pub fn new(pool: RaterPool, config: ProfilerConfig) -> Self {
+        Self {
+            oracle: TrueQoe::default(),
+            pool,
+            config,
+        }
+    }
+
+    /// A profiler with paper-default parameters and a master-worker pool.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(RaterPool::masters(seed), ProfilerConfig::default())
+    }
+
+    /// Runs the full two-step profiling pipeline on one source video.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors (quality-control exhaustion, mismatched
+    /// renders).
+    pub fn profile(
+        &self,
+        source: &SourceVideo,
+        ladder: &BitrateLadder,
+        seed: u64,
+    ) -> Result<WeightProfile, CrowdError> {
+        let n = source.num_chunks();
+        let reference = RenderedVideo::pristine(source, ladder);
+        let base = Ksqi::canonical();
+        let ref_scores = base.chunk_scores(&reference);
+
+        // ---- Step 1: 1-second stall at every chunk, M1 raters. ----
+        let probes1: Vec<(usize, Incident)> = (0..n)
+            .map(|k| {
+                (
+                    k,
+                    Incident::Rebuffer {
+                        chunk: k,
+                        duration_s: 1.0,
+                    },
+                )
+            })
+            .collect();
+        let (mos1, ref_mos1, result1) =
+            self.run_probe_campaign(source, ladder, &reference, &probes1, self.config.m1, seed)?;
+
+        // Per-probe weight estimate: ΔMOS / Δq (the diagonal regression),
+        // remembered together with the probe strength Δq so pooling can
+        // weight strong probes over noise-dominated ones.
+        let mut estimates: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+        for ((k, incident), mos) in probes1.iter().zip(&mos1) {
+            let dq = probe_score_delta(source, ladder, &base, &ref_scores, incident)?;
+            if dq > 1e-9 {
+                estimates[*k].push((((ref_mos1 - mos) / dq).max(0.0), dq));
+            }
+        }
+        let step1_weights = finalize(&estimates, self.config.min_weight);
+
+        // ---- Step 2: refine α-outliers with more incident types. ----
+        let provisional = SensitivityWeights::new(step1_weights.clone())?;
+        let outliers = provisional.outliers(self.config.alpha);
+        let mut probes2: Vec<(usize, Incident)> = Vec::new();
+        for &k in &outliers {
+            // B bitrate-drop levels below the top. The *lowest* levels are
+            // used: a drop to 300 kbps moves MOS enough to measure, whereas
+            // a 1850→2850 kbps delta drowns in rater quantization noise.
+            for level in 0..self.config.bitrate_levels.min(ladder.len() - 1) {
+                probes2.push((
+                    k,
+                    Incident::BitrateDrop {
+                        chunk: k,
+                        len_chunks: 1,
+                        level,
+                    },
+                ));
+            }
+            // F extra rebuffering durations (2 s, 3 s, ...).
+            for f in 0..self.config.rebuffer_levels {
+                probes2.push((
+                    k,
+                    Incident::Rebuffer {
+                        chunk: k,
+                        duration_s: 2.0 + f as f64,
+                    },
+                ));
+            }
+        }
+        let mut total_cost = result1.cost_usd;
+        let mut total_delay = result1.delay_minutes;
+        let mut renders_rated = probes1.len();
+        let mut recruited = result1.raters_recruited;
+        if !probes2.is_empty() && self.config.m2 > 0 {
+            let (mos2, ref_mos2, result2) = self.run_probe_campaign(
+                source,
+                ladder,
+                &reference,
+                &probes2,
+                self.config.m2,
+                seed ^ 0x57E9_2,
+            )?;
+            for ((k, incident), mos) in probes2.iter().zip(&mos2) {
+                let dq = probe_score_delta(source, ladder, &base, &ref_scores, incident)?;
+                if dq > 1e-9 {
+                    estimates[*k].push((((ref_mos2 - mos) / dq).max(0.0), dq));
+                }
+            }
+            total_cost += result2.cost_usd;
+            // Step 2 recruitment overlaps step 1's tail in practice; charge
+            // the serial part only.
+            total_delay += result2.delay_minutes * 0.5;
+            renders_rated += probes2.len();
+            recruited += result2.raters_recruited;
+        }
+
+        let final_weights = finalize(&estimates, self.config.min_weight);
+        Ok(WeightProfile {
+            weights: SensitivityWeights::new(final_weights)?,
+            cost_usd: total_cost,
+            delay_minutes: total_delay,
+            renders_rated,
+            raters_recruited: recruited,
+        })
+    }
+
+    /// The no-pruning strawman: every chunk × every below-top bitrate ×
+    /// rebuffering durations {1, 2, 3, 4} s, 30 raters per render.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn profile_exhaustive(
+        &self,
+        source: &SourceVideo,
+        ladder: &BitrateLadder,
+        seed: u64,
+    ) -> Result<WeightProfile, CrowdError> {
+        let n = source.num_chunks();
+        let reference = RenderedVideo::pristine(source, ladder);
+        let base = Ksqi::canonical();
+        let ref_scores = base.chunk_scores(&reference);
+        let mut probes: Vec<(usize, Incident)> = Vec::new();
+        for k in 0..n {
+            for secs in [1.0, 2.0, 3.0, 4.0] {
+                probes.push((
+                    k,
+                    Incident::Rebuffer {
+                        chunk: k,
+                        duration_s: secs,
+                    },
+                ));
+            }
+            for level in 0..ladder.len() - 1 {
+                probes.push((
+                    k,
+                    Incident::BitrateDrop {
+                        chunk: k,
+                        len_chunks: 1,
+                        level,
+                    },
+                ));
+            }
+        }
+        let (mos, ref_mos, result) =
+            self.run_probe_campaign(source, ladder, &reference, &probes, 30, seed)?;
+        let mut estimates: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+        for ((k, incident), m) in probes.iter().zip(&mos) {
+            let dq = probe_score_delta(source, ladder, &base, &ref_scores, incident)?;
+            if dq > 1e-9 {
+                estimates[*k].push((((ref_mos - m) / dq).max(0.0), dq));
+            }
+        }
+        Ok(WeightProfile {
+            weights: SensitivityWeights::new(finalize(&estimates, self.config.min_weight))?,
+            cost_usd: result.cost_usd,
+            delay_minutes: result.delay_minutes,
+            renders_rated: probes.len(),
+            raters_recruited: result.raters_recruited,
+        })
+    }
+
+    /// Publishes probe renders plus the reference and collects MOS.
+    /// Returns (per-probe MOS, reference MOS, campaign accounting).
+    fn run_probe_campaign(
+        &self,
+        source: &SourceVideo,
+        ladder: &BitrateLadder,
+        reference: &RenderedVideo,
+        probes: &[(usize, Incident)],
+        raters: usize,
+        seed: u64,
+    ) -> Result<(Vec<f64>, f64, CampaignResult), CrowdError> {
+        let mut renders: Vec<RenderedVideo> = probes
+            .iter()
+            .map(|(_, incident)| {
+                RenderedVideo::with_incidents(source, ladder, &[*incident]).map_err(CrowdError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        // The pristine reference is also rated (it anchors the MOS deltas),
+        // published as the last render.
+        renders.push(reference.clone());
+        let config = CampaignConfig {
+            raters_per_render: raters,
+            ..self.config.campaign.clone()
+        };
+        let campaign = Campaign::new(source, reference.clone(), &renders, &self.oracle, &self.pool, config)?;
+        let result = campaign.run(seed)?;
+        let ref_mos = *result.mos01.last().expect("reference was appended");
+        let probe_mos = result.mos01[..probes.len()].to_vec();
+        Ok((probe_mos, ref_mos, result))
+    }
+}
+
+/// KSQI chunk-score delta caused by a probe (pristine minus degraded,
+/// summed over affected chunks) — the `Δq` denominator of the diagonal
+/// regression.
+fn probe_score_delta(
+    source: &SourceVideo,
+    ladder: &BitrateLadder,
+    base: &Ksqi,
+    ref_scores: &[f64],
+    incident: &Incident,
+) -> Result<f64, CrowdError> {
+    let render = RenderedVideo::with_incidents(source, ladder, &[*incident])?;
+    let scores = base.chunk_scores(&render);
+    Ok(ref_scores
+        .iter()
+        .zip(&scores)
+        .map(|(r, s)| (r - s).max(0.0))
+        .sum())
+}
+
+/// Pools per-chunk probe estimates into a normalized weight vector.
+/// Estimates are combined by a Δq-weighted mean (stronger probes carry more
+/// information); chunks with no estimate default to 1 (the uniform prior).
+fn finalize(estimates: &[Vec<(f64, f64)>], min_weight: f64) -> Vec<f64> {
+    let per_chunk: Vec<Option<f64>> = estimates
+        .iter()
+        .map(|e| {
+            if e.is_empty() {
+                None
+            } else {
+                let total_dq: f64 = e.iter().map(|&(_, dq)| dq).sum();
+                Some(e.iter().map(|&(est, dq)| est * dq).sum::<f64>() / total_dq)
+            }
+        })
+        .collect();
+    let known: Vec<f64> = per_chunk.iter().filter_map(|&v| v).collect();
+    if known.is_empty() {
+        return vec![1.0; estimates.len()];
+    }
+    let mean = known.iter().sum::<f64>() / known.len() as f64;
+    per_chunk
+        .iter()
+        .map(|v| match v {
+            // Scale known estimates so their mean is 1; unknown chunks take
+            // the uniform prior.
+            Some(w) if mean > 1e-12 => (w / mean).max(min_weight),
+            _ => 1.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensei_video::content::{Genre, SceneKind, SceneSpec};
+
+    fn source() -> SourceVideo {
+        SourceVideo::from_script(
+            "profiler-test",
+            Genre::Sports,
+            &[
+                SceneSpec::new(SceneKind::NormalPlay, 4),
+                SceneSpec::new(SceneKind::KeyMoment, 3),
+                SceneSpec::new(SceneKind::Scenic, 3),
+                SceneSpec::new(SceneKind::AdBreak, 2),
+            ],
+            77,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn profiling_recovers_sensitivity_ordering() {
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let profiler = WeightProfiler::paper_default(3);
+        let profile = profiler.profile(&src, &ladder, 5).unwrap();
+        let w = profile.weights.as_slice();
+        let truth = SensitivityWeights::ground_truth(&src);
+        let srcc = sensei_ml::stats::spearman(w, truth.as_slice()).unwrap();
+        assert!(srcc > 0.6, "inferred-vs-true SRCC = {srcc}");
+        // Key moments (chunks 4-6) must outweigh scenic chunks (7-9).
+        let key_mean = (w[4] + w[5] + w[6]) / 3.0;
+        let scenic_mean = (w[7] + w[8] + w[9]) / 3.0;
+        assert!(key_mean > scenic_mean, "key {key_mean} vs scenic {scenic_mean}");
+    }
+
+    #[test]
+    fn weights_are_normalized_mean_one() {
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let profile = WeightProfiler::paper_default(7)
+            .profile(&src, &ladder, 9)
+            .unwrap();
+        let mean: f64 =
+            profile.weights.as_slice().iter().sum::<f64>() / profile.weights.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_costs_far_more_than_pruned() {
+        // Fig. 12c: cost pruning cuts ~96.7% of the cost.
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let profiler = WeightProfiler::paper_default(11);
+        let pruned = profiler.profile(&src, &ladder, 13).unwrap();
+        let exhaustive = profiler.profile_exhaustive(&src, &ladder, 13).unwrap();
+        let ratio = exhaustive.cost_usd / pruned.cost_usd;
+        assert!(ratio > 8.0, "exhaustive/pruned cost ratio = {ratio:.1}");
+        // Exhaustive estimates should be at least as good (more data).
+        let truth = SensitivityWeights::ground_truth(&src);
+        let srcc_ex = sensei_ml::stats::spearman(
+            exhaustive.weights.as_slice(),
+            truth.as_slice(),
+        )
+        .unwrap();
+        assert!(srcc_ex > 0.6, "exhaustive SRCC = {srcc_ex}");
+    }
+
+    #[test]
+    fn cost_per_minute_is_in_paper_ballpark() {
+        // The paper pays ≈ $31.4 per minute of video with the pruned
+        // pipeline; we accept the same order of magnitude.
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let profile = WeightProfiler::paper_default(15)
+            .profile(&src, &ladder, 17)
+            .unwrap();
+        let per_min = profile.cost_per_minute_usd(&src);
+        assert!(
+            (5.0..150.0).contains(&per_min),
+            "cost per minute = ${per_min:.1}"
+        );
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let run = || {
+            WeightProfiler::paper_default(19)
+                .profile(&src, &ladder, 21)
+                .unwrap()
+                .weights
+        };
+        assert_eq!(run().as_slice(), run().as_slice());
+    }
+
+    #[test]
+    fn step2_runs_only_on_outliers() {
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        // With a huge alpha nothing is an outlier -> fewer renders rated.
+        let mut config = ProfilerConfig::default();
+        config.alpha = 10.0;
+        let no_step2 = WeightProfiler::new(RaterPool::masters(1), config)
+            .profile(&src, &ladder, 3)
+            .unwrap();
+        assert_eq!(no_step2.renders_rated, src.num_chunks());
+        let with_step2 = WeightProfiler::paper_default(1)
+            .profile(&src, &ladder, 3)
+            .unwrap();
+        assert!(with_step2.renders_rated > src.num_chunks());
+        assert!(with_step2.cost_usd > no_step2.cost_usd);
+    }
+
+    #[test]
+    fn finalize_defaults_unknown_chunks_to_uniform() {
+        let estimates = vec![
+            vec![(2.0, 0.2), (2.2, 0.2)],
+            vec![],
+            vec![(1.0, 0.2)],
+        ];
+        let w = finalize(&estimates, 0.05);
+        assert_eq!(w[1], 1.0);
+        assert!(w[0] > w[2]);
+        let all_empty = finalize(&[vec![], vec![]], 0.05);
+        assert_eq!(all_empty, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn finalize_weights_strong_probes_more() {
+        // A noisy weak probe must not drag a strong probe's estimate far.
+        let estimates = vec![vec![(2.0, 0.5), (8.0, 0.01)], vec![(1.0, 0.5)]];
+        let w = finalize(&estimates, 0.05);
+        // dq-weighted mean of chunk 0 is ~2.12, so the ratio stays near 2.
+        assert!((w[0] / w[1] - 2.1).abs() < 0.2, "ratio = {}", w[0] / w[1]);
+    }
+}

@@ -1,0 +1,72 @@
+//! DASH manifest (MPD) support with SENSEI's per-chunk weight extension.
+//!
+//! §6: "We augment the DASH manifest file with per-chunk sensitivity
+//! weights (by adding a new XML field under Representation) and change the
+//! manifest file parser to parse the weights of the chunks." This crate
+//! provides that integration surface: an MPD model, an XML writer, and a
+//! tolerant parser for the dialect it writes — enough for a SENSEI-enabled
+//! player to round-trip manifests, and for legacy players to ignore the
+//! extension field entirely.
+//!
+//! Weights are serialized under a dedicated namespace as
+//! `<sensei:weights>w1 w2 ...</sensei:weights>`, quantized to milli-units
+//! ([`quantize_weight`]) the way a real deployment would cap manifest
+//! bloat.
+
+pub mod manifest;
+pub mod xml;
+
+pub use manifest::{Manifest, Representation};
+
+/// Errors produced by manifest construction and parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DashError {
+    /// The manifest would be structurally invalid.
+    InvalidManifest(String),
+    /// XML syntax error at a byte offset.
+    Syntax {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A required element or attribute is missing.
+    Missing(&'static str),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+}
+
+impl std::fmt::Display for DashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DashError::InvalidManifest(msg) => write!(f, "invalid manifest: {msg}"),
+            DashError::Syntax { offset, message } => {
+                write!(f, "xml syntax error at byte {offset}: {message}")
+            }
+            DashError::Missing(what) => write!(f, "missing {what}"),
+            DashError::BadNumber(s) => write!(f, "cannot parse number: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DashError {}
+
+/// Quantizes a sensitivity weight to milli-units (3 decimal places),
+/// clamped to `[0.001, 65.535]` — the range a `u16` milli-unit field can
+/// carry.
+pub fn quantize_weight(w: f64) -> f64 {
+    (w.clamp(0.001, 65.535) * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_rounds_to_milli_units() {
+        assert_eq!(quantize_weight(1.23456), 1.235);
+        assert_eq!(quantize_weight(0.0), 0.001);
+        assert_eq!(quantize_weight(100.0), 65.535);
+        assert_eq!(quantize_weight(1.0), 1.0);
+    }
+}

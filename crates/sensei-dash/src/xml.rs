@@ -1,0 +1,393 @@
+//! A minimal XML reader/writer for the MPD dialect this crate emits.
+//!
+//! Deliberately small (per the guides' "simplicity and robustness" ethos):
+//! elements, attributes, text content, self-closing tags, comments, and
+//! XML declarations — no namespaces resolution (prefixes are kept verbatim,
+//! which is how `sensei:weights` travels), no DTDs, no entities beyond the
+//! five predefined ones.
+
+use crate::DashError;
+
+/// A parsed XML element tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag name including any prefix (e.g. `sensei:weights`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<Element>,
+    /// Concatenated text content directly under this element.
+    pub text: String,
+}
+
+impl Element {
+    /// Creates an element with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a child (builder style).
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Sets text content (builder style).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given tag name.
+    pub fn first(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given tag name.
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Serializes the tree with 2-space indentation.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write(out, depth + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escapes the five predefined XML entities.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parses a document into its root element.
+///
+/// # Errors
+///
+/// Returns a [`DashError::Syntax`] with a byte offset on malformed input.
+pub fn parse(input: &str) -> Result<Element, DashError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog();
+    let root = parser.parse_element()?;
+    parser.skip_whitespace_and_comments();
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> DashError {
+        DashError::Syntax {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_whitespace_and_comments();
+        if self.starts_with("<?") {
+            if let Some(end) = find(self.bytes, self.pos, "?>") {
+                self.pos = end + 2;
+            }
+        }
+        self.skip_whitespace_and_comments();
+    }
+
+    fn parse_name(&mut self) -> Result<String, DashError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, DashError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_whitespace();
+                    let quote = self.peek().ok_or_else(|| self.error("unexpected end"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.error("expected a quoted attribute value"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let value =
+                        unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    self.pos += 1;
+                    element.attributes.push((key, value));
+                }
+                None => return Err(self.error("unexpected end inside a tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                match find(self.bytes, self.pos + 4, "-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.error("unterminated comment")),
+                }
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.error("mismatched closing tag"));
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => element.children.push(self.parse_element()?),
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let text = unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    element.text.push_str(text.trim());
+                }
+                None => return Err(self.error("unterminated element")),
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &str) -> Option<usize> {
+    let n = needle.as_bytes();
+    haystack[from..]
+        .windows(n.len())
+        .position(|w| w == n)
+        .map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_tree() {
+        let doc = Element::new("MPD")
+            .attr("minBufferTime", "PT4S")
+            .child(
+                Element::new("Representation")
+                    .attr("bandwidth", "300000")
+                    .child(Element::new("sensei:weights").with_text("1.000 0.500 2.000")),
+            )
+            .child(Element::new("Empty"));
+        let xml = doc.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parses_self_closing_and_comments() {
+        let parsed = parse(
+            "<?xml version=\"1.0\"?>\n<!-- header -->\n<A x=\"1\"><!-- inner --><B/><C y='2'/></A>",
+        )
+        .unwrap();
+        assert_eq!(parsed.name, "A");
+        assert_eq!(parsed.attribute("x"), Some("1"));
+        assert_eq!(parsed.children.len(), 2);
+        assert_eq!(parsed.children[1].attribute("y"), Some("2"));
+    }
+
+    #[test]
+    fn escapes_and_unescapes_entities() {
+        let doc = Element::new("T").attr("v", "a<b&\"c\"").with_text("x > y");
+        let xml = doc.to_xml();
+        assert!(xml.contains("&lt;"));
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed.attribute("v"), Some("a<b&\"c\""));
+        assert_eq!(parsed.text, "x > y");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "<A>",
+            "<A></B>",
+            "<A x=1/>",
+            "<A x=\"1/>",
+            "<A/><B/>",
+            "text only",
+            "<A><B></A></B>",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn reports_error_offsets() {
+        let err = parse("<A></B>").unwrap_err();
+        match err {
+            DashError::Syntax { offset, .. } => assert!(offset > 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let parsed =
+            parse("<R><S id=\"1\"/><S id=\"2\"/><T/></R>").unwrap();
+        assert_eq!(parsed.all("S").count(), 2);
+        assert!(parsed.first("T").is_some());
+        assert!(parsed.first("U").is_none());
+    }
+}

@@ -1,0 +1,417 @@
+//! CART regression trees and random forests, from scratch.
+//!
+//! The P.1203 QoE baseline "combines QP values and quality incident metrics
+//! in a random-forest model" (§2.1). This module implements the standard
+//! pieces: variance-reduction splits, depth/extent stopping rules, bootstrap
+//! resampling, and per-split feature subsampling.
+
+use crate::MlError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for trees and forests.
+#[derive(Debug, Clone)]
+pub struct ForestParams {
+    /// Number of trees in the ensemble.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features considered per split (`None` = sqrt(d)).
+    pub max_features: Option<usize>,
+    /// Bootstrap sample fraction of the training set per tree.
+    pub bootstrap_fraction: f64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 40,
+            max_depth: 8,
+            min_samples_split: 4,
+            max_features: None,
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+/// A node in a regression tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty or ragged training set.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: &ForestParams,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        validate(x, y)?;
+        let n_features = x[0].len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features,
+        };
+        tree.build(x, y, &idx, params, 0, &mut rng);
+        Ok(tree)
+    }
+
+    /// Recursively builds the subtree over `idx`, returning its node id.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        params: &ForestParams,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let value = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < params.min_samples_split {
+            self.nodes.push(Node::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+        let Some((feature, threshold)) = self.best_split(x, y, idx, params, rng) else {
+            self.nodes.push(Node::Leaf { value });
+            return self.nodes.len() - 1;
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { value });
+            return self.nodes.len() - 1;
+        }
+        // Reserve our slot before recursing so children get later ids.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value }); // placeholder
+        let left = self.build(x, y, &left_idx, params, depth + 1, rng);
+        let right = self.build(x, y, &right_idx, params, depth + 1, rng);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    /// Finds the (feature, threshold) split maximizing variance reduction
+    /// over a random feature subset. Returns `None` when nothing improves.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        params: &ForestParams,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let d = self.n_features;
+        let k = params
+            .max_features
+            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
+            .clamp(1, d);
+        // Sample k distinct features.
+        let mut features: Vec<usize> = (0..d).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..d);
+            features.swap(i, j);
+        }
+        let features = &features[..k];
+
+        let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+        let n = idx.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for &f in features {
+            // Sort sample indices by this feature.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| {
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                let next = order[pos + 1];
+                if x[i][f] == x[next][f] {
+                    continue; // can't split between equal values
+                }
+                let nl = (pos + 1) as f64;
+                let nr = n - nl;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+                if best.as_ref().map_or(sse < parent_sse - 1e-12, |b| sse < b.2) {
+                    best = Some((f, (x[i][f] + x[next][f]) / 2.0, sse));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+
+    /// Predicts one sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on feature-dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        if x.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                context: "tree predict",
+                expected: self.n_features,
+                actual: x.len(),
+            });
+        }
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for inspection and tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A bagged ensemble of regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits a forest on `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty/ragged training set or zero trees.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: &ForestParams,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        validate(x, y)?;
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "n_trees",
+                value: 0.0,
+            });
+        }
+        if !(params.bootstrap_fraction > 0.0 && params.bootstrap_fraction <= 1.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "bootstrap_fraction",
+                value: params.bootstrap_fraction,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = x.len();
+        let sample_n = ((n as f64 * params.bootstrap_fraction).round() as usize).max(1);
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for t in 0..params.n_trees {
+            // Bootstrap resample with replacement.
+            let (bx, by): (Vec<Vec<f64>>, Vec<f64>) = (0..sample_n)
+                .map(|_| {
+                    let i = rng.gen_range(0..n);
+                    (x[i].clone(), y[i])
+                })
+                .unzip();
+            trees.push(RegressionTree::fit(
+                &bx,
+                &by,
+                params,
+                seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9),
+            )?);
+        }
+        Ok(Self { trees })
+    }
+
+    /// Predicts one sample as the mean over trees.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on feature-dimension mismatch.
+    pub fn predict(&self, x: &[f64]) -> Result<f64, MlError> {
+        let mut total = 0.0;
+        for t in &self.trees {
+            total += t.predict(x)?;
+        }
+        Ok(total / self.trees.len() as f64)
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+fn validate(x: &[Vec<f64>], y: &[f64]) -> Result<(), MlError> {
+    if x.is_empty() || x.len() != y.len() {
+        return Err(MlError::DegenerateTrainingSet(
+            "empty training set or x/y length mismatch",
+        ));
+    }
+    let d = x[0].len();
+    if d == 0 {
+        return Err(MlError::DegenerateTrainingSet("zero-dimensional features"));
+    }
+    for row in x {
+        if row.len() != d {
+            return Err(MlError::DimensionMismatch {
+                context: "forest fit: ragged feature row",
+                expected: d,
+                actual: row.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = step function of the first feature; second feature is noise.
+    fn step_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            x.push(vec![a, b]);
+            y.push(if a > 0.5 { 2.0 } else { -1.0 });
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn tree_learns_a_step_function() {
+        let (x, y) = step_data(200, 1);
+        let params = ForestParams {
+            max_features: Some(2),
+            ..ForestParams::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &params, 7).unwrap();
+        assert!((tree.predict(&[0.9, 0.5]).unwrap() - 2.0).abs() < 0.2);
+        assert!((tree.predict(&[0.1, 0.5]).unwrap() + 1.0).abs() < 0.2);
+        assert!(tree.num_nodes() >= 3);
+    }
+
+    #[test]
+    fn forest_learns_a_smooth_function() {
+        // y = 3a + b².
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + r[1] * r[1]).collect();
+        let forest = RandomForest::fit(&x, &y, &ForestParams::default(), 11).unwrap();
+        assert_eq!(forest.num_trees(), 40);
+        let mut err = 0.0;
+        for r in x.iter().take(50) {
+            let truth = 3.0 * r[0] + r[1] * r[1];
+            err += (forest.predict(r).unwrap() - truth).abs();
+        }
+        assert!(err / 50.0 < 0.3, "mean abs err = {}", err / 50.0);
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let (x, y) = step_data(100, 2);
+        let p = ForestParams::default();
+        let a = RandomForest::fit(&x, &y, &p, 3).unwrap();
+        let b = RandomForest::fit(&x, &y, &p, 3).unwrap();
+        assert_eq!(
+            a.predict(&[0.3, 0.3]).unwrap(),
+            b.predict(&[0.3, 0.3]).unwrap()
+        );
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+        let y = vec![5.0; 4];
+        let tree = RegressionTree::fit(&x, &y, &ForestParams::default(), 0).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict(&[2.5]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (x, y) = step_data(200, 3);
+        let params = ForestParams {
+            max_depth: 0,
+            ..ForestParams::default()
+        };
+        let tree = RegressionTree::fit(&x, &y, &params, 0).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(RegressionTree::fit(&[], &[], &ForestParams::default(), 0).is_err());
+        assert!(RegressionTree::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[1.0, 2.0],
+            &ForestParams::default(),
+            0
+        )
+        .is_err());
+        let bad_trees = ForestParams {
+            n_trees: 0,
+            ..ForestParams::default()
+        };
+        assert!(RandomForest::fit(&[vec![1.0]], &[1.0], &bad_trees, 0).is_err());
+        let bad_frac = ForestParams {
+            bootstrap_fraction: 0.0,
+            ..ForestParams::default()
+        };
+        assert!(RandomForest::fit(&[vec![1.0]], &[1.0], &bad_frac, 0).is_err());
+        let tree = RegressionTree::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], &ForestParams::default(), 0)
+            .unwrap();
+        assert!(tree.predict(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Machine-learning substrate for the SENSEI reproduction, from scratch.
+//!
+//! The paper leans on four model families, none of which have a suitable
+//! pure-Rust implementation in the offline crate set, so this crate builds
+//! them:
+//!
+//! * [`linalg`] + [`regress`] — dense linear algebra and ridge regression.
+//!   SENSEI's weight inference (§4.2) is "a simple regression" over
+//!   `Q_j = Σ_i w_i · q_{i,j}`; KSQI's coefficients are fit the same way.
+//! * [`forest`] — CART regression trees and a random forest, the model class
+//!   behind the P.1203 QoE baseline.
+//! * [`nn`] — multi-layer perceptrons with Adam, used for the Pensieve
+//!   actor-critic networks.
+//! * [`lstm`] — an LSTM layer with backpropagation through time, used for
+//!   the LSTM-QoE baseline.
+//! * [`rl`] — an advantage actor-critic trainer (the "deep reinforcement
+//!   learning" of Pensieve, §5.2).
+//! * [`stats`] — Pearson (PLCC) and Spearman (SRCC) correlation and rank
+//!   utilities used throughout the evaluation (§7.1).
+//!
+//! Everything is seeded and deterministic; no threads, no SIMD, no unsafe.
+
+pub mod forest;
+pub mod linalg;
+pub mod lstm;
+pub mod nn;
+pub mod regress;
+pub mod rl;
+pub mod stats;
+
+/// Errors produced by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Dimension mismatch between operands.
+    DimensionMismatch {
+        /// What was being attempted.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// A linear system is singular (or numerically so).
+    SingularSystem,
+    /// The training set is empty or degenerate.
+    DegenerateTrainingSet(&'static str),
+    /// A hyperparameter is invalid.
+    InvalidHyperparameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value (as f64 for uniform reporting).
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(f, "{context}: expected dimension {expected}, got {actual}"),
+            MlError::SingularSystem => write!(f, "linear system is singular"),
+            MlError::DegenerateTrainingSet(msg) => write!(f, "degenerate training set: {msg}"),
+            MlError::InvalidHyperparameter { name, value } => {
+                write!(f, "invalid hyperparameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Standard-normal draw via Box–Muller, shared by this crate's initializers.
+pub(crate) fn gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}

@@ -1,0 +1,460 @@
+//! Multi-layer perceptrons with Adam, from scratch.
+//!
+//! These networks back two parts of the reproduction: the Pensieve
+//! actor-critic (policy and value heads, [`crate::rl`]) and the dense output
+//! head of the LSTM-QoE baseline ([`crate::lstm`]). The design favors
+//! clarity over speed — networks here have tens of thousands of parameters
+//! at most, and a forward pass must stay cheap enough that the §7.4 "ABR
+//! overhead < 1%" claim holds in the criterion benches.
+
+use crate::{gaussian, MlError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x)
+    Relu,
+    /// tanh(x)
+    Tanh,
+    /// 1 / (1 + e^-x)
+    Sigmoid,
+    /// identity
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation vector.
+    pub fn apply(self, z: &[f64]) -> Vec<f64> {
+        z.iter().map(|&v| self.scalar(v)).collect()
+    }
+
+    /// Scalar activation.
+    pub fn scalar(self, v: f64) -> f64 {
+        match self {
+            Activation::Relu => v.max(0.0),
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            Activation::Linear => v,
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* value `a`.
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// One dense layer with its gradient and Adam-moment buffers.
+#[derive(Debug, Clone)]
+struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Weights, row-major `out_dim × in_dim`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot initialization.
+        let scale = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| gaussian(rng) * scale)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Pre-activation forward: `z = W·x + b`.
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.out_dim)
+            .map(|o| {
+                let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+                row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.b[o]
+            })
+            .collect()
+    }
+
+    /// Accumulates gradients for `dz` (gradient w.r.t. pre-activation) at
+    /// input `x`; returns the gradient w.r.t. `x`.
+    fn backward(&mut self, x: &[f64], dz: &[f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = dz[o];
+            self.gb[o] += g;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row_start + i] += g * x[i];
+                dx[i] += self.w[row_start + i] * g;
+            }
+        }
+        dx
+    }
+
+    fn adam_step(&mut self, lr: f64, t: usize) {
+        adam_update(&mut self.w, &mut self.gw, &mut self.mw, &mut self.vw, lr, t);
+        adam_update(&mut self.b, &mut self.gb, &mut self.mb, &mut self.vb, lr, t);
+    }
+}
+
+/// In-place Adam update; zeroes the gradient buffer afterwards.
+pub(crate) fn adam_update(
+    params: &mut [f64],
+    grads: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    lr: f64,
+    t: usize,
+) {
+    const B1: f64 = 0.9;
+    const B2: f64 = 0.999;
+    const EPS: f64 = 1e-8;
+    let t = t.max(1) as f64;
+    let bc1 = 1.0 - B1.powf(t);
+    let bc2 = 1.0 - B2.powf(t);
+    for i in 0..params.len() {
+        let g = grads[i].clamp(-5.0, 5.0); // gradient clipping for stability
+        m[i] = B1 * m[i] + (1.0 - B1) * g;
+        v[i] = B2 * v[i] + (1.0 - B2) * g * g;
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        params[i] -= lr * mh / (vh.sqrt() + EPS);
+        grads[i] = 0.0;
+    }
+}
+
+/// Forward-pass cache for one sample: activations per layer
+/// (`acts[0]` is the input, `acts[L]` the network output).
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    acts: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output (post output-activation).
+    pub fn output(&self) -> &[f64] {
+        self.acts.last().expect("cache has at least the input")
+    }
+}
+
+/// A fully-connected network.
+///
+/// Hidden layers share one activation; the output layer has its own
+/// (use [`Activation::Linear`] and apply [`softmax`] externally for policy
+/// heads — the policy-gradient math works on logits).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    hidden: Activation,
+    output: Activation,
+    t: usize,
+}
+
+impl Mlp {
+    /// Builds an MLP with layer sizes `dims` (e.g. `[8, 64, 5]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when fewer than two dims or any dim is zero.
+    pub fn new(
+        dims: &[usize],
+        hidden: Activation,
+        output: Activation,
+        seed: u64,
+    ) -> Result<Self, MlError> {
+        if dims.len() < 2 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "dims",
+                value: dims.len() as f64,
+            });
+        }
+        if dims.iter().any(|&d| d == 0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "dims (zero layer)",
+                value: 0.0,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Ok(Self {
+            layers,
+            hidden,
+            output,
+            t: 0,
+        })
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass returning only the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on input-dimension mismatch.
+    pub fn forward(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        Ok(self.forward_cached(x)?.acts.pop().expect("output exists"))
+    }
+
+    /// Forward pass keeping per-layer activations for backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on input-dimension mismatch.
+    pub fn forward_cached(&self, x: &[f64]) -> Result<ForwardCache, MlError> {
+        if x.len() != self.input_dim() {
+            return Err(MlError::DimensionMismatch {
+                context: "mlp forward",
+                expected: self.input_dim(),
+                actual: x.len(),
+            });
+        }
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(acts.last().expect("input pushed"));
+            let a = if li + 1 == self.layers.len() {
+                self.output.apply(&z)
+            } else {
+                self.hidden.apply(&z)
+            };
+            acts.push(a);
+        }
+        Ok(ForwardCache { acts })
+    }
+
+    /// Accumulates gradients for one sample.
+    ///
+    /// `d_output` is the loss gradient w.r.t. the network *output*
+    /// (post-activation). For a linear output layer this equals the gradient
+    /// w.r.t. logits, which is what softmax-cross-entropy and
+    /// policy-gradient losses produce directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on output-dimension mismatch.
+    pub fn backward(&mut self, cache: &ForwardCache, d_output: &[f64]) -> Result<(), MlError> {
+        if d_output.len() != self.output_dim() {
+            return Err(MlError::DimensionMismatch {
+                context: "mlp backward",
+                expected: self.output_dim(),
+                actual: d_output.len(),
+            });
+        }
+        let num_layers = self.layers.len();
+        let mut grad: Vec<f64> = d_output.to_vec();
+        for li in (0..num_layers).rev() {
+            let activation = if li + 1 == num_layers {
+                self.output
+            } else {
+                self.hidden
+            };
+            let a = &cache.acts[li + 1];
+            // dL/dz = dL/da ⊙ a'(z), with a' expressed via the output.
+            let dz: Vec<f64> = grad
+                .iter()
+                .zip(a)
+                .map(|(&g, &av)| g * activation.derivative_from_output(av))
+                .collect();
+            grad = self.layers[li].backward(&cache.acts[li], &dz);
+        }
+        Ok(())
+    }
+
+    /// Applies one Adam step over the accumulated gradients and clears them.
+    pub fn step(&mut self, lr: f64) {
+        self.t += 1;
+        for layer in &mut self.layers {
+            layer.adam_step(lr, self.t);
+        }
+    }
+
+    /// Convenience: one MSE training step on a single sample.
+    /// Returns the squared-error loss before the update.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension mismatch.
+    pub fn train_mse(&mut self, x: &[f64], target: &[f64], lr: f64) -> Result<f64, MlError> {
+        let cache = self.forward_cached(x)?;
+        let out = cache.output();
+        if target.len() != out.len() {
+            return Err(MlError::DimensionMismatch {
+                context: "train_mse target",
+                expected: out.len(),
+                actual: target.len(),
+            });
+        }
+        let loss: f64 = out
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum();
+        let d_out: Vec<f64> = out.iter().zip(target).map(|(o, t)| 2.0 * (o - t)).collect();
+        self.backward(&cache, &d_out)?;
+        self.step(lr);
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn activations_and_derivatives() {
+        assert_eq!(Activation::Relu.scalar(-1.0), 0.0);
+        assert_eq!(Activation::Relu.scalar(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative_from_output(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        let s = Activation::Sigmoid.scalar(0.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!((Activation::Sigmoid.derivative_from_output(0.5) - 0.25).abs() < 1e-12);
+        assert!((Activation::Tanh.derivative_from_output(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(Activation::Linear.derivative_from_output(7.0), 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Large logits must not overflow.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Mlp::new(&[4], Activation::Relu, Activation::Linear, 0).is_err());
+        assert!(Mlp::new(&[4, 0, 2], Activation::Relu, Activation::Linear, 0).is_err());
+        let net = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Linear, 0).unwrap();
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_checks_dimensions() {
+        let net = Mlp::new(&[3, 4, 2], Activation::Tanh, Activation::Linear, 1).unwrap();
+        assert!(net.forward(&[1.0, 2.0]).is_err());
+        assert_eq!(net.forward(&[1.0, 2.0, 3.0]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Numerically verify backprop on a tiny network.
+        let mut net = Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Linear, 7).unwrap();
+        let x = [0.3, -0.8];
+        let target = [0.7];
+        let loss_of = |net: &Mlp| {
+            let o = net.forward(&x).unwrap()[0];
+            (o - target[0]) * (o - target[0])
+        };
+        // Analytic gradient of first-layer weight (0,0).
+        let cache = net.forward_cached(&x).unwrap();
+        let out = cache.output()[0];
+        net.backward(&cache, &[2.0 * (out - target[0])]).unwrap();
+        let analytic = net.layers[0].gw[0];
+        // Finite difference.
+        let eps = 1e-6;
+        let mut net_p = net.clone();
+        net_p.layers[0].w[0] += eps;
+        let mut net_m = net.clone();
+        net_m.layers[0].w[0] -= eps;
+        let numeric = (loss_of(&net_p) - loss_of(&net_m)) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-5,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, 3).unwrap();
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..4000 {
+            let (x, y) = data[rng.gen_range(0..4)];
+            net.train_mse(&x, &[y], 0.01).unwrap();
+        }
+        for (x, y) in data {
+            let p = net.forward(&x).unwrap()[0];
+            assert!(
+                (p - y).abs() < 0.2,
+                "xor({x:?}) predicted {p}, expected {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let make = || {
+            let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Linear, 9).unwrap();
+            for i in 0..50 {
+                let v = (i % 5) as f64 / 5.0;
+                net.train_mse(&[v, 1.0 - v], &[v], 0.01).unwrap();
+            }
+            net.forward(&[0.5, 0.5]).unwrap()[0]
+        };
+        assert_eq!(make(), make());
+    }
+}

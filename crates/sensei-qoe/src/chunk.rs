@@ -1,0 +1,186 @@
+//! The canonical per-chunk quality score `q(b, t, switch)`.
+//!
+//! Both KSQI (Eq. 1) and Fugu's objective (Eq. 3, "q(b, t) estimates the
+//! quality of a chunk with the bitrate b and rebuffering time t using a
+//! simplified model of KSQI") decompose session QoE into per-chunk scores.
+//! The canonical decomposition combines three terms:
+//!
+//! ```text
+//! q_i = vq_i − β · min(stall_i / D, 1) − γ · |vq_i − vq_{i−1}|
+//! ```
+//!
+//! where `vq_i` is the visual quality of chunk `i`, `stall_i` the stall
+//! seconds charged to it (startup delay is charged to chunk 0), `D` the
+//! chunk duration, and the last term the quality-switch penalty.
+
+use sensei_video::RenderedVideo;
+
+/// Coefficients of the canonical per-chunk quality model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkQualityParams {
+    /// Rebuffering penalty β per unit normalized stall (stall / chunk
+    /// duration, capped at 1).
+    pub rebuffer_penalty: f64,
+    /// Quality-switch penalty γ per unit |Δvq|.
+    pub switch_penalty: f64,
+}
+
+impl Default for ChunkQualityParams {
+    /// The canonical coefficients used by the hidden oracle and as the
+    /// untrained starting point of KSQI: a 4-second stall wipes out slightly
+    /// more than the quality of a top-bitrate chunk (β = 0.9), and switches
+    /// cost a third of their magnitude (γ = 0.35).
+    fn default() -> Self {
+        Self {
+            rebuffer_penalty: 0.9,
+            switch_penalty: 0.35,
+        }
+    }
+}
+
+impl ChunkQualityParams {
+    /// The per-chunk quality of a single chunk given its visual quality,
+    /// the stall charged to it, the quality-switch delta `|Δvq|` at its
+    /// boundary (0 when the bitrate did not change), and the chunk duration.
+    ///
+    /// The stall term is *unbounded above* — a 14-second stall must cost
+    /// more than a 4-second one, or controllers rationally batch stalls
+    /// (KSQI likewise penalizes total rebuffering time). The overall score
+    /// is floored at −4 to keep pathological renders finite.
+    pub fn score(&self, vq: f64, stall_s: f64, switch_delta: f64, chunk_duration_s: f64) -> f64 {
+        let stall_norm = (stall_s / chunk_duration_s).max(0.0);
+        (vq - self.rebuffer_penalty * stall_norm - self.switch_penalty * switch_delta)
+            .clamp(-4.0, 1.0)
+    }
+
+    /// Per-chunk quality scores of a whole render. Startup delay is charged
+    /// to the first chunk as stall time; the switch term fires only at
+    /// boundaries where the bitrate actually changed.
+    pub fn chunk_scores(&self, render: &RenderedVideo) -> Vec<f64> {
+        let d = render.chunk_duration_s();
+        let mut prev: Option<(f64, f64)> = None; // (vq, bitrate)
+        render
+            .chunks()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let stall = c.rebuffer_s + if i == 0 { render.startup_delay_s() } else { 0.0 };
+                let switch = match prev {
+                    Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
+                    _ => 0.0,
+                };
+                prev = Some((c.vq, c.bitrate_kbps));
+                self.score(c.vq, stall, switch, d)
+            })
+            .collect()
+    }
+
+    /// The unweighted session quality: the mean of [`Self::chunk_scores`]
+    /// (Eq. 1 normalized by chunk count).
+    pub fn session_quality(&self, render: &RenderedVideo) -> f64 {
+        let scores = self.chunk_scores(render);
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{rebuffer_series, source};
+    use sensei_video::{BitrateLadder, Incident, RenderedVideo};
+
+    #[test]
+    fn pristine_chunk_scores_equal_vq() {
+        let params = ChunkQualityParams::default();
+        let render = RenderedVideo::pristine(&source(), &BitrateLadder::default_paper());
+        let scores = params.chunk_scores(&render);
+        for (s, c) in scores.iter().zip(render.chunks()) {
+            assert!((s - c.vq).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rebuffering_lowers_exactly_one_chunk() {
+        let params = ChunkQualityParams::default();
+        let series = rebuffer_series();
+        let pristine_scores = params.chunk_scores(&series[0]);
+        // series[1] has the stall at chunk 0, series[k] at chunk k-1.
+        for (k, render) in series.iter().enumerate().skip(1) {
+            let scores = params.chunk_scores(render);
+            for (i, (s, p)) in scores.iter().zip(&pristine_scores).enumerate() {
+                if i == k - 1 {
+                    assert!(s < p, "chunk {i} should be penalized");
+                    // 1 s over a 4 s chunk at β = 0.9.
+                    assert!((p - s - 0.9 * 0.25).abs() < 1e-9);
+                } else {
+                    assert!((s - p).abs() < 1e-12, "chunk {i} unexpectedly changed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn switch_penalty_hits_both_boundary_chunks() {
+        let params = ChunkQualityParams::default();
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let render = RenderedVideo::with_incidents(
+            &src,
+            &ladder,
+            &[Incident::BitrateDrop {
+                chunk: 4,
+                len_chunks: 2,
+                level: 0,
+            }],
+        )
+        .unwrap();
+        let pristine = params.chunk_scores(&RenderedVideo::pristine(&src, &ladder));
+        let scores = params.chunk_scores(&render);
+        // Chunk 4: lower vq + switch-down penalty.
+        assert!(scores[4] < pristine[4]);
+        // Chunk 6: same vq as pristine but pays the switch-up penalty.
+        assert!(scores[6] < pristine[6]);
+        // Chunk 3 untouched.
+        assert!((scores[3] - pristine[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_delay_charged_to_first_chunk() {
+        let params = ChunkQualityParams::default();
+        let src = source();
+        let ladder = BitrateLadder::default_paper();
+        let base = RenderedVideo::pristine(&src, &ladder);
+        let delayed = RenderedVideo::new(
+            base.source_name(),
+            base.chunk_duration_s(),
+            2.0,
+            base.chunks().to_vec(),
+        )
+        .unwrap();
+        let s0 = params.chunk_scores(&base);
+        let s1 = params.chunk_scores(&delayed);
+        assert!(s1[0] < s0[0]);
+        assert_eq!(s1[1], s0[1]);
+    }
+
+    #[test]
+    fn stall_penalty_keeps_growing_with_stall_length() {
+        let params = ChunkQualityParams::default();
+        let a = params.score(0.8, 4.0, 0.0, 4.0);
+        let b = params.score(0.8, 8.0, 0.0, 4.0);
+        assert!(b < a, "longer stalls must hurt more: {b} vs {a}");
+        assert!((a - (0.8 - 0.9)).abs() < 1e-12);
+        // ... down to the finite floor.
+        let c = params.score(0.8, 1000.0, 0.0, 4.0);
+        assert_eq!(c, -4.0);
+    }
+
+    #[test]
+    fn session_quality_is_mean_of_chunks() {
+        let params = ChunkQualityParams::default();
+        let render = RenderedVideo::pristine(&source(), &BitrateLadder::default_paper());
+        let scores = params.chunk_scores(&render);
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!((params.session_quality(&render) - mean).abs() < 1e-12);
+    }
+}

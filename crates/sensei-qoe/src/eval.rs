@@ -1,0 +1,161 @@
+//! Evaluation metrics for QoE models (§2.2, §7.3).
+//!
+//! Two headline measures from Fig. 2: the mean *relative prediction error*
+//! `|Q_predict − Q_true| / Q_true`, and the fraction of *discordant pairs* —
+//! cases where a model mis-ranks two ABR algorithms on the same
+//! (video, trace) pair. Fig. 15 adds PLCC/SRCC scatter metrics.
+
+use crate::{QoeError, QoeModel};
+use sensei_ml::stats;
+use sensei_video::RenderedVideo;
+
+/// Accuracy summary of one model on a labeled test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelAccuracy {
+    /// Mean relative prediction error (Fig. 2 x-axis).
+    pub relative_error: f64,
+    /// Pearson linear correlation (Fig. 15).
+    pub plcc: f64,
+    /// Spearman rank correlation (Fig. 15).
+    pub srcc: f64,
+}
+
+/// Evaluates a model against ground-truth MOS labels.
+///
+/// # Errors
+///
+/// Returns an error when prediction fails or the test set is degenerate
+/// (fewer than 2 samples, constant labels).
+pub fn evaluate_model<M: QoeModel + ?Sized>(
+    model: &M,
+    renders: &[RenderedVideo],
+    truth: &[f64],
+) -> Result<ModelAccuracy, QoeError> {
+    if renders.len() != truth.len() || renders.len() < 2 {
+        return Err(QoeError::DegenerateTrainingSet(format!(
+            "need >= 2 labeled samples, got {} renders / {} labels",
+            renders.len(),
+            truth.len()
+        )));
+    }
+    let preds = model.predict_batch(renders)?;
+    let relative_error = stats::mean_relative_error(&preds, truth).ok_or_else(|| {
+        QoeError::DegenerateTrainingSet("all ground-truth labels are zero".to_string())
+    })?;
+    let plcc = stats::pearson(&preds, truth).ok_or_else(|| {
+        QoeError::DegenerateTrainingSet("constant predictions or labels".to_string())
+    })?;
+    let srcc = stats::spearman(&preds, truth).ok_or_else(|| {
+        QoeError::DegenerateTrainingSet("constant predictions or labels".to_string())
+    })?;
+    Ok(ModelAccuracy {
+        relative_error,
+        plcc,
+        srcc,
+    })
+}
+
+/// One (video, trace) cell of the ABR-ranking experiment: the true and
+/// predicted QoE of each ABR algorithm's render.
+#[derive(Debug, Clone)]
+pub struct RankingCell {
+    /// True QoE per ABR algorithm.
+    pub truth: Vec<f64>,
+    /// Predicted QoE per ABR algorithm (same order).
+    pub predicted: Vec<f64>,
+}
+
+/// Fraction of discordant ABR pairs across cells (Fig. 2 y-axis): for every
+/// (video, trace) cell and every pair of ABR algorithms, counts the pairs
+/// whose predicted order contradicts the true order.
+///
+/// Returns `None` when no comparable pairs exist.
+pub fn discordant_pair_fraction(cells: &[RankingCell]) -> Option<f64> {
+    let mut discordant = 0usize;
+    let mut total = 0usize;
+    for cell in cells {
+        if cell.truth.len() != cell.predicted.len() {
+            continue;
+        }
+        let n = cell.truth.len();
+        for i in 0..n {
+            for j in i + 1..n {
+                let dt = cell.truth[i] - cell.truth[j];
+                let dp = cell.predicted[i] - cell.predicted[j];
+                if dt == 0.0 || dp == 0.0 {
+                    continue;
+                }
+                total += 1;
+                if dt.signum() != dp.signum() {
+                    discordant += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(discordant as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ksqi::Ksqi;
+    use crate::test_support::rebuffer_series;
+
+    #[test]
+    fn perfect_model_scores_perfectly() {
+        let model = Ksqi::canonical();
+        let renders = rebuffer_series();
+        // Use the model's own predictions as ground truth.
+        let truth = model.predict_batch(&renders).unwrap();
+        let acc = evaluate_model(&model, &renders, &truth).unwrap();
+        assert!(acc.relative_error < 1e-12);
+        assert!(acc.plcc > 0.999);
+        assert!(acc.srcc > 0.999);
+    }
+
+    #[test]
+    fn degenerate_sets_are_rejected() {
+        let model = Ksqi::canonical();
+        let renders = rebuffer_series();
+        assert!(evaluate_model(&model, &renders[..1], &[0.5]).is_err());
+        assert!(evaluate_model(&model, &renders, &[0.5]).is_err());
+        let zeros = vec![0.0; renders.len()];
+        assert!(evaluate_model(&model, &renders, &zeros).is_err());
+    }
+
+    #[test]
+    fn discordant_pairs_detect_rank_flips() {
+        let cells = vec![
+            RankingCell {
+                truth: vec![0.9, 0.5, 0.3],
+                predicted: vec![0.8, 0.6, 0.4], // same order: 0 discordant
+            },
+            RankingCell {
+                truth: vec![0.9, 0.5, 0.3],
+                predicted: vec![0.4, 0.6, 0.8], // fully reversed: 3 discordant
+            },
+        ];
+        let frac = discordant_pair_fraction(&cells).unwrap();
+        assert!((frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_and_empty_cells_are_skipped() {
+        let cells = vec![RankingCell {
+            truth: vec![0.5, 0.5],
+            predicted: vec![0.4, 0.6],
+        }];
+        assert!(discordant_pair_fraction(&cells).is_none());
+        assert!(discordant_pair_fraction(&[]).is_none());
+        // Mismatched lengths are skipped, not panicked on.
+        let cells = vec![RankingCell {
+            truth: vec![0.5],
+            predicted: vec![0.4, 0.6],
+        }];
+        assert!(discordant_pair_fraction(&cells).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! P.1203-like QoE baseline: a random forest over session summaries.
+//!
+//! ITU-T P.1203 mode 0/1 implementations (Robitza et al. 2017) predict MOS
+//! from stream-level features; the paper's version "combines QP values and
+//! quality incident metrics in a random-forest model" (§2.1). Like the real
+//! model, it sees *what* happened in a session (bitrates, stalls, switches,
+//! motion statistics) but not *where* incidents landed relative to the
+//! storyline — the structural blindness Fig. 2 exposes.
+
+use crate::{validate_training_set, QoeError, QoeModel};
+use sensei_ml::forest::{ForestParams, RandomForest};
+use sensei_video::RenderedVideo;
+
+/// The P.1203-like random-forest QoE model.
+#[derive(Debug, Clone)]
+pub struct P1203Like {
+    forest: RandomForest,
+    name: String,
+}
+
+impl P1203Like {
+    /// Session summary features.
+    ///
+    /// Ten entries: mean/min visual quality, mean bitrate (Mbps), stall
+    /// count/total/ratio, startup delay, switch count/magnitude, and mean
+    /// motion (a QP-like content proxy).
+    pub fn features(render: &RenderedVideo) -> Vec<f64> {
+        let n = render.num_chunks() as f64;
+        let stalls: Vec<f64> = render
+            .chunks()
+            .iter()
+            .map(|c| c.rebuffer_s)
+            .filter(|&s| s > 0.0)
+            .collect();
+        let min_vq = render
+            .chunks()
+            .iter()
+            .map(|c| c.vq)
+            .fold(f64::INFINITY, f64::min);
+        let mean_motion = render.chunks().iter().map(|c| c.motion).sum::<f64>() / n;
+        vec![
+            render.avg_vq(),
+            min_vq,
+            render.avg_bitrate_kbps() / 1000.0,
+            stalls.len() as f64,
+            stalls.iter().sum::<f64>(),
+            render.rebuffer_ratio(),
+            render.startup_delay_s(),
+            render.num_switches() as f64,
+            render.switch_magnitude(),
+            mean_motion,
+        ]
+    }
+
+    /// Fits the forest on `(renders, mos)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty/mismatched training set or labels
+    /// outside `[0, 1]`.
+    pub fn fit(renders: &[RenderedVideo], mos: &[f64], seed: u64) -> Result<Self, QoeError> {
+        validate_training_set(renders, mos)?;
+        let x: Vec<Vec<f64>> = renders.iter().map(Self::features).collect();
+        let params = ForestParams {
+            n_trees: 50,
+            max_depth: 9,
+            min_samples_split: 4,
+            max_features: Some(4),
+            bootstrap_fraction: 0.9,
+        };
+        let forest = RandomForest::fit(&x, mos, &params, seed)?;
+        Ok(Self {
+            forest,
+            name: "P.1203".to_string(),
+        })
+    }
+}
+
+impl QoeModel for P1203Like {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, render: &RenderedVideo) -> Result<f64, QoeError> {
+        Ok(self
+            .forest
+            .predict(&Self::features(render))?
+            .clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::rebuffer_series;
+
+    fn labels_from_stall_count(renders: &[RenderedVideo]) -> Vec<f64> {
+        renders
+            .iter()
+            .map(|r| (0.9 - 0.3 * r.total_rebuffer_s()).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn learns_stall_aversion() {
+        let renders = rebuffer_series();
+        let labels = labels_from_stall_count(&renders);
+        let model = P1203Like::fit(&renders, &labels, 3).unwrap();
+        // Pristine must beat stalled renders.
+        let pristine = model.predict(&renders[0]).unwrap();
+        let stalled = model.predict(&renders[1]).unwrap();
+        assert!(pristine > stalled, "pristine {pristine} vs stalled {stalled}");
+    }
+
+    #[test]
+    fn is_position_blind_like_the_paper_claims() {
+        // All stalled renders share identical summary features, so P.1203
+        // cannot distinguish stall positions.
+        let renders = rebuffer_series();
+        let f1 = P1203Like::features(&renders[1]);
+        let f2 = P1203Like::features(&renders[5]);
+        for (a, b) in f1.iter().zip(&f2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_vector_shape_and_content() {
+        let renders = rebuffer_series();
+        let f = P1203Like::features(&renders[1]);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f[3], 1.0); // one stall event
+        assert!((f[4] - 1.0).abs() < 1e-9); // totaling 1 second
+        assert!(f[0] > 0.0 && f[0] <= 1.0);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let renders = rebuffer_series();
+        let labels = labels_from_stall_count(&renders);
+        let a = P1203Like::fit(&renders, &labels, 7).unwrap();
+        let b = P1203Like::fit(&renders, &labels, 7).unwrap();
+        assert_eq!(
+            a.predict(&renders[2]).unwrap(),
+            b.predict(&renders[2]).unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_validates_input() {
+        assert!(P1203Like::fit(&[], &[], 0).is_err());
+        let renders = rebuffer_series();
+        assert!(P1203Like::fit(&renders, &vec![2.0; renders.len()], 0).is_err());
+    }
+
+    #[test]
+    fn predictions_stay_normalized() {
+        let renders = rebuffer_series();
+        let labels = labels_from_stall_count(&renders);
+        let model = P1203Like::fit(&renders, &labels, 1).unwrap();
+        for r in &renders {
+            let p = model.predict(r).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! SENSEI's QoE model: an additive base model reweighted per chunk (Eq. 2).
+//!
+//! "SENSEI reweights the QoE model as follows: Q = Σ w_i·q_i, where w_i is
+//! the weight of the i-th chunk, reflecting how much more sensitive users
+//! are to quality incidents in this chunk compared to other chunks" (§4.2).
+//! The paper fixes KSQI as the base model ("we assume that KSQI reweighted
+//! by Equation 2 is the QoE model of SENSEI"), and so do we.
+
+use crate::ksqi::Ksqi;
+use crate::{QoeError, QoeModel};
+use sensei_video::{RenderedVideo, SensitivityWeights};
+
+/// The SENSEI QoE model: KSQI chunk scores weighted by per-chunk
+/// sensitivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseiQoe {
+    base: Ksqi,
+    weights: SensitivityWeights,
+    name: String,
+}
+
+impl SenseiQoe {
+    /// Combines a fitted KSQI base with a per-chunk weight vector (from the
+    /// crowdsourcing pipeline or ground truth in oracle experiments).
+    pub fn new(base: Ksqi, weights: SensitivityWeights) -> Self {
+        Self {
+            base,
+            weights,
+            name: "SENSEI".to_string(),
+        }
+    }
+
+    /// The per-chunk weights.
+    pub fn weights(&self) -> &SensitivityWeights {
+        &self.weights
+    }
+
+    /// The KSQI base model.
+    pub fn base(&self) -> &Ksqi {
+        &self.base
+    }
+
+    /// The weighted session quality before clamping — exposed for ABR
+    /// objectives that need the raw value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the render's chunk count differs from the
+    /// weight vector length.
+    pub fn weighted_quality(&self, render: &RenderedVideo) -> Result<f64, QoeError> {
+        if render.num_chunks() != self.weights.len() {
+            return Err(QoeError::Video(sensei_video::VideoError::InvalidWeights(
+                format!(
+                    "render has {} chunks but weights cover {}",
+                    render.num_chunks(),
+                    self.weights.len()
+                ),
+            )));
+        }
+        let scores = self.base.chunk_scores(render);
+        let w = self.weights.as_slice();
+        let num: f64 = scores.iter().zip(w).map(|(q, wi)| q * wi).sum();
+        let den: f64 = w.iter().sum();
+        Ok(num / den)
+    }
+}
+
+impl QoeModel for SenseiQoe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn predict(&self, render: &RenderedVideo) -> Result<f64, QoeError> {
+        Ok(self.weighted_quality(render)?.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{rebuffer_series, source};
+    use sensei_video::SensitivityWeights;
+
+    fn ground_truth_weights() -> SensitivityWeights {
+        SensitivityWeights::ground_truth(&source())
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_ksqi() {
+        let src = source();
+        let base = Ksqi::canonical();
+        let uniform = SensitivityWeights::uniform(src.num_chunks()).unwrap();
+        let sensei = SenseiQoe::new(base.clone(), uniform);
+        for render in rebuffer_series() {
+            let a = sensei.predict(&render).unwrap();
+            let b = base.predict(&render).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distinguishes_stall_positions_where_ksqi_cannot() {
+        let sensei = SenseiQoe::new(Ksqi::canonical(), ground_truth_weights());
+        let series = rebuffer_series();
+        // Stall renders: series[k] stalls chunk k-1. Chunks 4-5 are key
+        // moments (weight high), chunks 8-9 scenic (weight low).
+        let q_key = sensei.predict(&series[5]).unwrap();
+        let q_scenic = sensei.predict(&series[9]).unwrap();
+        assert!(
+            q_scenic > q_key + 0.01,
+            "stall at key moment ({q_key}) must hurt more than at scenic ({q_scenic})"
+        );
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_an_error() {
+        let weights = SensitivityWeights::uniform(3).unwrap();
+        let sensei = SenseiQoe::new(Ksqi::canonical(), weights);
+        let series = rebuffer_series();
+        assert!(sensei.predict(&series[0]).is_err());
+    }
+
+    #[test]
+    fn prediction_is_clamped() {
+        let sensei = SenseiQoe::new(Ksqi::canonical(), ground_truth_weights());
+        for render in rebuffer_series() {
+            let p = sensei.predict(&render).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn weighted_quality_matches_hand_computation() {
+        let base = Ksqi::canonical();
+        let weights = ground_truth_weights();
+        let sensei = SenseiQoe::new(base.clone(), weights.clone());
+        let render = &rebuffer_series()[3];
+        let scores = base.chunk_scores(render);
+        let w = weights.as_slice();
+        let expected =
+            scores.iter().zip(w).map(|(q, wi)| q * wi).sum::<f64>() / w.iter().sum::<f64>();
+        assert!((sensei.weighted_quality(render).unwrap() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Cumulative-capacity index over a trace for fast repeated integration.
+//!
+//! MPC-style ABR controllers evaluate thousands of candidate bitrate plans
+//! per decision, each needing "how long does `bits` take starting at `t`?".
+//! [`CumulativeTrace`] answers that in `O(log n)` against the same
+//! piecewise-constant semantics as [`ThroughputTrace::download_time`].
+
+use crate::ThroughputTrace;
+
+/// Precomputed cumulative capacity of a trace.
+#[derive(Debug, Clone)]
+pub struct CumulativeTrace {
+    /// `cum[i]` = bits transferable over `[0, i·Δ)`; length `n + 1`.
+    cum_bits: Vec<f64>,
+    kbps: Vec<f64>,
+    interval_s: f64,
+}
+
+impl CumulativeTrace {
+    /// Builds the index from a trace.
+    pub fn new(trace: &ThroughputTrace) -> Self {
+        let interval = trace.interval_s();
+        let mut cum = Vec::with_capacity(trace.samples().len() + 1);
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for &kbps in trace.samples() {
+            acc += kbps * 1000.0 * interval;
+            cum.push(acc);
+        }
+        Self {
+            cum_bits: cum,
+            kbps: trace.samples().to_vec(),
+            interval_s: interval,
+        }
+    }
+
+    /// Duration of one pass over the trace.
+    pub fn duration_s(&self) -> f64 {
+        self.kbps.len() as f64 * self.interval_s
+    }
+
+    /// Bits transferable per full pass over the trace.
+    pub fn bits_per_loop(&self) -> f64 {
+        *self.cum_bits.last().expect("cum has n+1 entries")
+    }
+
+    /// Bits transferable over `[0, t)` within a single loop (`t` clamped to
+    /// the loop duration).
+    fn bits_before(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, self.duration_s());
+        let idx = ((t / self.interval_s) as usize).min(self.kbps.len() - 1);
+        let within = t - idx as f64 * self.interval_s;
+        self.cum_bits[idx] + self.kbps[idx] * 1000.0 * within
+    }
+
+    /// Time (seconds) to transfer `bits` starting at absolute time
+    /// `start_s`, wrapping at the trace end. Matches
+    /// [`ThroughputTrace::download_time`] to floating-point accuracy.
+    pub fn download_time(&self, start_s: f64, bits: f64) -> f64 {
+        assert!(
+            bits.is_finite() && bits >= 0.0,
+            "bits must be finite and non-negative, got {bits}"
+        );
+        if bits == 0.0 {
+            return 0.0;
+        }
+        let duration = self.duration_s();
+        let per_loop = self.bits_per_loop();
+        let start = start_s.max(0.0) % duration;
+        let head = per_loop - self.bits_before(start);
+        if bits <= head {
+            return self.invert_from(start, bits);
+        }
+        let after_head = bits - head;
+        let full_loops = (after_head / per_loop).floor();
+        let tail_bits = after_head - full_loops * per_loop;
+        (duration - start) + full_loops * duration + self.invert_from(0.0, tail_bits)
+    }
+
+    /// Time from `start` (within one loop, with `bits <= capacity to loop
+    /// end`) until `bits` have been transferred.
+    fn invert_from(&self, start: f64, bits: f64) -> f64 {
+        if bits <= 0.0 {
+            return 0.0;
+        }
+        let target = self.bits_before(start) + bits;
+        // Binary search the first bucket whose cumulative end reaches the
+        // target.
+        let mut lo = (start / self.interval_s) as usize;
+        let mut hi = self.kbps.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cum_bits[mid + 1] >= target - 1e-9 {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let idx = lo.min(self.kbps.len() - 1);
+        let rate = self.kbps[idx] * 1000.0;
+        let within = if rate > 0.0 {
+            (target - self.cum_bits[idx]) / rate
+        } else {
+            self.interval_s
+        };
+        idx as f64 * self.interval_s + within - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn matches_naive_download_time_on_synthetic_traces() {
+        for seed in 0..4 {
+            let trace = generate::hsdpa_like(1200.0, 120, seed);
+            let cum = CumulativeTrace::new(&trace);
+            for start in [0.0, 0.3, 7.9, 55.5, 119.0, 200.0] {
+                for bits in [1e3, 1e5, 4e6, 5e7, 4e8] {
+                    let naive = trace.download_time(start, bits);
+                    let fast = cum.download_time(start, bits);
+                    assert!(
+                        (naive - fast).abs() < 1e-6 * naive.max(1.0),
+                        "seed {seed} start {start} bits {bits}: naive {naive} vs fast {fast}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_outage_buckets() {
+        let trace = crate::ThroughputTrace::new("o", 1.0, vec![0.0, 1000.0, 0.0, 500.0]).unwrap();
+        let cum = CumulativeTrace::new(&trace);
+        for start in [0.0, 0.5, 1.5, 2.0, 3.9] {
+            for bits in [1e3, 1e6, 3e6] {
+                let naive = trace.download_time(start, bits);
+                let fast = cum.download_time(start, bits);
+                assert!(
+                    (naive - fast).abs() < 1e-6 * naive.max(1.0),
+                    "start {start} bits {bits}: naive {naive} vs fast {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bits_is_free() {
+        let trace = crate::ThroughputTrace::constant("c", 1000.0, 10.0).unwrap();
+        let cum = CumulativeTrace::new(&trace);
+        assert_eq!(cum.download_time(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn multi_loop_wrap() {
+        let trace = crate::ThroughputTrace::constant("c", 1000.0, 10.0).unwrap();
+        let cum = CumulativeTrace::new(&trace);
+        // 100 Mb at 1 Mbps = 100 s = 10 loops.
+        let dt = cum.download_time(4.0, 100_000_000.0);
+        assert!((dt - 100.0).abs() < 1e-6, "dt = {dt}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Seeded synthetic throughput-trace generators.
+//!
+//! The paper samples its traces from the FCC fixed-broadband dataset and the
+//! 3G/HSDPA commute dataset and keeps only traces with mean throughput in
+//! 0.2–6 Mbps "so that the ABR algorithms will make non-trivial bitrate
+//! selection decisions". We reproduce the two families with first-order
+//! autoregressive (AR(1)) processes plus dataset-specific event structure:
+//!
+//! * **FCC-like** (fixed broadband): high temporal correlation, modest
+//!   relative variance, occasional short congestion dips.
+//! * **HSDPA-like** (3G commute): lower mean, heavier variance, deep fades
+//!   and complete outages as the vehicle passes through coverage holes.
+
+use crate::{gaussian, ThroughputTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of an AR(1) throughput process with superimposed events.
+///
+/// The process is `x_{t+1} = μ + ρ·(x_t − μ) + σ·ε`, clamped to
+/// `[floor_kbps, cap_kbps]`, with events (dips/outages) overriding the
+/// process for their duration.
+#[derive(Debug, Clone)]
+pub struct Ar1Params {
+    /// Long-run mean in kbps.
+    pub mean_kbps: f64,
+    /// Autocorrelation coefficient in `[0, 1)`.
+    pub rho: f64,
+    /// Innovation standard deviation in kbps.
+    pub sigma_kbps: f64,
+    /// Lower clamp in kbps (0 allows outages).
+    pub floor_kbps: f64,
+    /// Upper clamp in kbps.
+    pub cap_kbps: f64,
+    /// Per-second probability that a dip/outage event starts.
+    pub event_prob: f64,
+    /// Event duration range in seconds (inclusive).
+    pub event_len_s: (usize, usize),
+    /// Throughput multiplier during an event (0 = full outage).
+    pub event_factor: f64,
+}
+
+impl Ar1Params {
+    /// Parameters resembling FCC fixed-broadband traces.
+    pub fn fcc_like(mean_kbps: f64) -> Self {
+        Self {
+            mean_kbps,
+            rho: 0.97,
+            sigma_kbps: 0.08 * mean_kbps,
+            floor_kbps: 0.15 * mean_kbps,
+            cap_kbps: 2.5 * mean_kbps,
+            event_prob: 0.01,
+            event_len_s: (2, 6),
+            event_factor: 0.35,
+        }
+    }
+
+    /// Parameters resembling 3G/HSDPA commute traces.
+    pub fn hsdpa_like(mean_kbps: f64) -> Self {
+        Self {
+            mean_kbps,
+            rho: 0.90,
+            sigma_kbps: 0.25 * mean_kbps,
+            floor_kbps: 0.0,
+            cap_kbps: 3.0 * mean_kbps,
+            event_prob: 0.02,
+            event_len_s: (1, 5),
+            event_factor: 0.05,
+        }
+    }
+}
+
+/// Generates one AR(1) trace of `duration_s` seconds at 1-second sampling.
+///
+/// # Panics
+///
+/// Panics if `params` are internally inconsistent (non-finite mean, `rho`
+/// outside `[0, 1)`, or an inverted event-length range); these are programmer
+/// errors in experiment setup, not runtime conditions.
+pub fn ar1_trace(
+    name: impl Into<String>,
+    params: &Ar1Params,
+    duration_s: usize,
+    seed: u64,
+) -> ThroughputTrace {
+    assert!(
+        params.mean_kbps.is_finite() && params.mean_kbps > 0.0,
+        "mean must be positive, got {}",
+        params.mean_kbps
+    );
+    assert!(
+        (0.0..1.0).contains(&params.rho),
+        "rho must be in [0, 1), got {}",
+        params.rho
+    );
+    assert!(
+        params.event_len_s.0 <= params.event_len_s.1,
+        "event length range is inverted"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = params.mean_kbps;
+    let mut samples = Vec::with_capacity(duration_s.max(1));
+    let mut event_left = 0usize;
+    for _ in 0..duration_s.max(1) {
+        x = params.mean_kbps
+            + params.rho * (x - params.mean_kbps)
+            + params.sigma_kbps * gaussian(&mut rng);
+        x = x.clamp(params.floor_kbps, params.cap_kbps);
+        if event_left == 0 && rng.gen_bool(params.event_prob) {
+            event_left = rng.gen_range(params.event_len_s.0..=params.event_len_s.1);
+        }
+        let v = if event_left > 0 {
+            event_left -= 1;
+            x * params.event_factor
+        } else {
+            x
+        };
+        samples.push(v);
+    }
+    ThroughputTrace::new(name, 1.0, samples)
+        .expect("AR(1) generator cannot produce an invalid trace")
+}
+
+/// Convenience constructor for an FCC-like trace.
+pub fn fcc_like(mean_kbps: f64, duration_s: usize, seed: u64) -> ThroughputTrace {
+    ar1_trace(
+        format!("fcc-{mean_kbps:.0}k-s{seed}"),
+        &Ar1Params::fcc_like(mean_kbps),
+        duration_s,
+        seed,
+    )
+}
+
+/// Convenience constructor for an HSDPA/3G-like trace.
+pub fn hsdpa_like(mean_kbps: f64, duration_s: usize, seed: u64) -> ThroughputTrace {
+    ar1_trace(
+        format!("hsdpa-{mean_kbps:.0}k-s{seed}"),
+        &Ar1Params::hsdpa_like(mean_kbps),
+        duration_s,
+        seed,
+    )
+}
+
+/// The 10-trace evaluation set used by the end-to-end experiments
+/// (§7.1: "We randomly select 10 throughput traces from two public datasets,
+/// FCC and 3G/HSDPA ... average throughput between 0.2 Mbps and 6 Mbps").
+///
+/// Returned sorted by increasing mean throughput, matching the x-axis
+/// ordering of Fig. 14. Five traces come from each family; target means are
+/// spread across the paper's 0.2–6 Mbps envelope.
+pub fn evaluation_set(seed: u64) -> Vec<ThroughputTrace> {
+    let duration = 1200; // 20 minutes: longer than any test video.
+    let hsdpa_means = [400.0, 700.0, 1100.0, 1600.0, 2300.0];
+    let fcc_means = [900.0, 1400.0, 2100.0, 3200.0, 4800.0];
+    let mut traces = Vec::with_capacity(10);
+    for (i, &m) in hsdpa_means.iter().enumerate() {
+        traces.push(hsdpa_like(m, duration, seed ^ (0x3_0000 + i as u64)));
+    }
+    for (i, &m) in fcc_means.iter().enumerate() {
+        traces.push(fcc_like(m, duration, seed ^ (0xF_0000 + i as u64)));
+    }
+    traces.sort_by(|a, b| {
+        a.mean_kbps()
+            .partial_cmp(&b.mean_kbps())
+            .expect("trace means are finite")
+    });
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_like_stays_near_mean() {
+        let t = fcc_like(3000.0, 600, 42);
+        assert!((t.mean_kbps() - 3000.0).abs() < 900.0, "mean {}", t.mean_kbps());
+        assert!(t.max_kbps() <= 2.5 * 3000.0);
+        // Fixed broadband: no full outages.
+        assert!(t.min_kbps() > 0.0);
+    }
+
+    #[test]
+    fn hsdpa_like_is_burstier_than_fcc() {
+        let f = fcc_like(2000.0, 900, 1);
+        let h = hsdpa_like(2000.0, 900, 1);
+        let f_cv = f.std_kbps() / f.mean_kbps();
+        let h_cv = h.std_kbps() / h.mean_kbps();
+        assert!(h_cv > f_cv, "hsdpa cv {h_cv} vs fcc cv {f_cv}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = fcc_like(1500.0, 120, 9);
+        let b = fcc_like(1500.0, 120, 9);
+        assert_eq!(a.samples(), b.samples());
+        let c = fcc_like(1500.0, 120, 10);
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn evaluation_set_matches_paper_envelope() {
+        let set = evaluation_set(2021);
+        assert_eq!(set.len(), 10);
+        for t in &set {
+            let m = t.mean_kbps();
+            assert!(
+                (200.0..=6000.0).contains(&m),
+                "trace {} mean {m} outside the paper's 0.2-6 Mbps envelope",
+                t.name()
+            );
+            assert!(t.duration_s() >= 600.0);
+        }
+        // Sorted by mean (Fig. 14 ordering).
+        for w in set.windows(2) {
+            assert!(w[0].mean_kbps() <= w[1].mean_kbps());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn ar1_rejects_bad_rho() {
+        let mut p = Ar1Params::fcc_like(1000.0);
+        p.rho = 1.5;
+        let _ = ar1_trace("bad", &p, 10, 0);
+    }
+
+    #[test]
+    fn zero_duration_yields_single_sample() {
+        let t = fcc_like(1000.0, 0, 3);
+        assert_eq!(t.samples().len(), 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! Network throughput-trace substrate for the SENSEI reproduction.
+//!
+//! The SENSEI paper evaluates adaptive-bitrate (ABR) streaming over
+//! throughput traces drawn from two public datasets: FCC fixed-broadband
+//! measurements and 3G/HSDPA commute traces (Riiser et al.). Neither dataset
+//! ships with this repository, so this crate provides seeded synthetic
+//! generators calibrated to the same envelope the paper uses (mean throughput
+//! between 0.2 and 6 Mbps), plus the trace algebra every experiment needs:
+//!
+//! * [`ThroughputTrace`] — a fixed-interval throughput series with
+//!   piecewise-constant integration ([`ThroughputTrace::download_time`]),
+//!   looping semantics, and summary statistics.
+//! * [`generate`] — FCC-like and HSDPA/3G-like trace generators and the
+//!   10-trace evaluation set used across the end-to-end experiments.
+//! * Trace operators — bandwidth scaling ([`ThroughputTrace::scaled`]),
+//!   zero-mean Gaussian perturbation for the Fig. 17 variance sweep
+//!   ([`ThroughputTrace::with_gaussian_noise`]), and windowing.
+//!
+//! All randomness is seeded; identical seeds give identical traces.
+
+pub mod cumulative;
+pub mod generate;
+
+pub use cumulative::CumulativeTrace;
+
+use std::fmt;
+
+/// Errors produced when constructing or manipulating traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace has no samples.
+    Empty,
+    /// The sampling interval is not a positive finite number of seconds.
+    NonPositiveInterval(f64),
+    /// A throughput sample is negative, NaN, or infinite.
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value in kbps.
+        value: f64,
+    },
+    /// Every sample is zero, so no data could ever be transferred.
+    ZeroMean,
+    /// A requested window lies outside the trace.
+    WindowOutOfRange {
+        /// Requested start sample.
+        start: usize,
+        /// Requested length in samples.
+        len: usize,
+        /// Number of samples actually available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no samples"),
+            TraceError::NonPositiveInterval(v) => {
+                write!(f, "sample interval must be positive and finite, got {v}")
+            }
+            TraceError::InvalidSample { index, value } => {
+                write!(f, "sample {index} is invalid: {value} kbps")
+            }
+            TraceError::ZeroMean => write!(f, "trace mean throughput is zero"),
+            TraceError::WindowOutOfRange {
+                start,
+                len,
+                available,
+            } => write!(
+                f,
+                "window [{start}, {start}+{len}) out of range for {available} samples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A throughput trace sampled at a fixed interval.
+///
+/// Semantically the trace is an infinitely repeating step function: sample
+/// `i` holds on `[i·Δ, (i+1)·Δ)` and the series wraps around after the last
+/// sample, matching how the ABR literature replays finite traces under
+/// arbitrarily long videos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTrace {
+    name: String,
+    interval_s: f64,
+    kbps: Vec<f64>,
+}
+
+impl ThroughputTrace {
+    /// Builds a trace from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sample list is empty, the interval is not a
+    /// positive finite number, any sample is negative or non-finite, or all
+    /// samples are zero (such a trace could never transfer data).
+    pub fn new(
+        name: impl Into<String>,
+        interval_s: f64,
+        kbps: Vec<f64>,
+    ) -> Result<Self, TraceError> {
+        if kbps.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        if !(interval_s.is_finite() && interval_s > 0.0) {
+            return Err(TraceError::NonPositiveInterval(interval_s));
+        }
+        for (index, &value) in kbps.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(TraceError::InvalidSample { index, value });
+            }
+        }
+        if kbps.iter().all(|&v| v == 0.0) {
+            return Err(TraceError::ZeroMean);
+        }
+        Ok(Self {
+            name: name.into(),
+            interval_s,
+            kbps,
+        })
+    }
+
+    /// Builds a constant-rate trace, handy for tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `kbps` is not a positive finite value.
+    pub fn constant(
+        name: impl Into<String>,
+        kbps: f64,
+        duration_s: f64,
+    ) -> Result<Self, TraceError> {
+        let samples = (duration_s.max(1.0)).ceil() as usize;
+        Self::new(name, 1.0, vec![kbps; samples])
+    }
+
+    /// The trace's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// The raw samples in kbps.
+    pub fn samples(&self) -> &[f64] {
+        &self.kbps
+    }
+
+    /// Duration of one pass over the trace, in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.kbps.len() as f64 * self.interval_s
+    }
+
+    /// Mean throughput in kbps.
+    pub fn mean_kbps(&self) -> f64 {
+        self.kbps.iter().sum::<f64>() / self.kbps.len() as f64
+    }
+
+    /// Population standard deviation of throughput in kbps.
+    pub fn std_kbps(&self) -> f64 {
+        let mean = self.mean_kbps();
+        let var = self
+            .kbps
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.kbps.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample in kbps.
+    pub fn min_kbps(&self) -> f64 {
+        self.kbps.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample in kbps.
+    pub fn max_kbps(&self) -> f64 {
+        self.kbps.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Instantaneous throughput at absolute time `t` (seconds), with the
+    /// trace repeating after [`Self::duration_s`]. Negative times are clamped
+    /// to zero.
+    pub fn throughput_at(&self, t_s: f64) -> f64 {
+        let t = t_s.max(0.0) % self.duration_s();
+        let idx = (t / self.interval_s) as usize;
+        // Floating-point division can land exactly on len at the wrap point.
+        self.kbps[idx.min(self.kbps.len() - 1)]
+    }
+
+    /// Time (in seconds) needed to download `bits` starting at absolute time
+    /// `start_s`, integrating the piecewise-constant throughput and wrapping
+    /// around the trace end.
+    ///
+    /// Zero-throughput intervals (outages) simply consume wall-clock time.
+    /// Because construction rejects all-zero traces, each full pass transfers
+    /// a positive number of bits, so this always terminates.
+    pub fn download_time(&self, start_s: f64, bits: f64) -> f64 {
+        assert!(
+            bits.is_finite() && bits >= 0.0,
+            "download size must be a finite non-negative bit count, got {bits}"
+        );
+        if bits == 0.0 {
+            return 0.0;
+        }
+        let duration = self.duration_s();
+        let mut remaining = bits;
+        let mut t = start_s.max(0.0) % duration;
+        let mut elapsed = 0.0;
+        loop {
+            let idx = ((t / self.interval_s) as usize).min(self.kbps.len() - 1);
+            let bucket_end = (idx as f64 + 1.0) * self.interval_s;
+            let window = bucket_end - t;
+            let rate_bps = self.kbps[idx] * 1000.0;
+            let capacity = rate_bps * window;
+            if capacity >= remaining && rate_bps > 0.0 {
+                return elapsed + remaining / rate_bps;
+            }
+            remaining -= capacity;
+            elapsed += window;
+            t = bucket_end;
+            if t >= duration {
+                t = 0.0;
+            }
+        }
+    }
+
+    /// Mean throughput (kbps) observed over `[start_s, start_s + len_s)`,
+    /// wrapping around the trace end.
+    pub fn mean_over(&self, start_s: f64, len_s: f64) -> f64 {
+        assert!(len_s > 0.0, "window length must be positive, got {len_s}");
+        let mut total = 0.0;
+        let mut covered = 0.0;
+        let mut t = start_s.max(0.0);
+        while covered + 1e-12 < len_s {
+            let within = t % self.interval_s;
+            let window = (self.interval_s - within).min(len_s - covered);
+            total += self.throughput_at(t) * window;
+            covered += window;
+            t += window;
+        }
+        total / covered
+    }
+
+    /// Returns a copy with every sample multiplied by `factor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `factor` is not a positive finite value.
+    pub fn scaled(&self, factor: f64) -> Result<Self, TraceError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(TraceError::InvalidSample {
+                index: 0,
+                value: factor,
+            });
+        }
+        Self::new(
+            format!("{}@x{factor:.2}", self.name),
+            self.interval_s,
+            self.kbps.iter().map(|&v| v * factor).collect(),
+        )
+    }
+
+    /// Returns a copy rescaled so its mean equals `target_mean_kbps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target mean is not a positive finite value.
+    pub fn rescaled_to_mean(&self, target_mean_kbps: f64) -> Result<Self, TraceError> {
+        self.scaled(target_mean_kbps / self.mean_kbps())
+    }
+
+    /// Returns a copy perturbed by zero-mean Gaussian noise with standard
+    /// deviation `std_kbps`, clamped at zero (throughput cannot be negative).
+    ///
+    /// This is the Fig. 17 operator: the paper increases a trace's throughput
+    /// variance "by adding a Gaussian noise with zero mean".
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the resulting trace would be all-zero (only
+    /// possible for extreme negative noise on tiny traces).
+    pub fn with_gaussian_noise(&self, std_kbps: f64, seed: u64) -> Result<Self, TraceError> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let noisy = self
+            .kbps
+            .iter()
+            .map(|&v| (v + gaussian(&mut rng) * std_kbps).max(0.0))
+            .collect();
+        Self::new(
+            format!("{}+n{std_kbps:.0}", self.name),
+            self.interval_s,
+            noisy,
+        )
+    }
+
+    /// Extracts a contiguous window of samples as a new trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the window exceeds the trace bounds or the
+    /// extracted window is all-zero.
+    pub fn window(&self, start: usize, len: usize) -> Result<Self, TraceError> {
+        if len == 0 || start + len > self.kbps.len() {
+            return Err(TraceError::WindowOutOfRange {
+                start,
+                len,
+                available: self.kbps.len(),
+            });
+        }
+        Self::new(
+            format!("{}[{start}..{}]", self.name, start + len),
+            self.interval_s,
+            self.kbps[start..start + len].to_vec(),
+        )
+    }
+}
+
+/// Draws one standard-normal variate via Box–Muller. `rand` 0.8 ships no
+/// normal distribution without `rand_distr`, and two uniforms per draw are
+/// plenty here.
+pub fn gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: &[f64]) -> ThroughputTrace {
+        ThroughputTrace::new("t", 1.0, samples.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            ThroughputTrace::new("t", 1.0, vec![]).unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ThroughputTrace::new("t", bad, vec![1.0]).unwrap_err(),
+                TraceError::NonPositiveInterval(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ThroughputTrace::new("t", 1.0, vec![1.0, bad]).unwrap_err(),
+                TraceError::InvalidSample { index: 1, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_all_zero() {
+        assert_eq!(
+            ThroughputTrace::new("t", 1.0, vec![0.0, 0.0]).unwrap_err(),
+            TraceError::ZeroMean
+        );
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let t = trace(&[1000.0, 3000.0]);
+        assert_eq!(t.mean_kbps(), 2000.0);
+        assert_eq!(t.std_kbps(), 1000.0);
+        assert_eq!(t.min_kbps(), 1000.0);
+        assert_eq!(t.max_kbps(), 3000.0);
+        assert_eq!(t.duration_s(), 2.0);
+    }
+
+    #[test]
+    fn throughput_at_wraps() {
+        let t = trace(&[1000.0, 3000.0]);
+        assert_eq!(t.throughput_at(0.5), 1000.0);
+        assert_eq!(t.throughput_at(1.5), 3000.0);
+        assert_eq!(t.throughput_at(2.5), 1000.0);
+        assert_eq!(t.throughput_at(-1.0), 1000.0);
+    }
+
+    #[test]
+    fn download_time_constant_rate() {
+        let t = trace(&[1000.0; 10]); // 1 Mbps
+        // 4 Mb at 1 Mbps takes 4 s.
+        assert!((t.download_time(0.0, 4_000_000.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn download_time_spans_buckets_and_wraps() {
+        let t = trace(&[1000.0, 2000.0]);
+        // Start at 0.5 s: 0.5 s at 1 Mbps (0.5 Mb), 1 s at 2 Mbps (2 Mb),
+        // then wrap: 1 s at 1 Mbps (1 Mb) -> total 3.5 Mb in 2.5 s, remaining
+        // 0.5 Mb at 2 Mbps takes 0.25 s.
+        let dt = t.download_time(0.5, 4_000_000.0);
+        assert!((dt - 2.75).abs() < 1e-9, "dt = {dt}");
+    }
+
+    #[test]
+    fn download_time_skips_outages() {
+        let t = trace(&[0.0, 1000.0]);
+        // 1 Mb starting in the outage second: 1 s waiting + 1 s transfer.
+        let dt = t.download_time(0.0, 1_000_000.0);
+        assert!((dt - 2.0).abs() < 1e-9, "dt = {dt}");
+    }
+
+    #[test]
+    fn download_time_zero_bits_is_free() {
+        let t = trace(&[500.0]);
+        assert_eq!(t.download_time(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let t = trace(&[1000.0, 3000.0]);
+        assert!((t.mean_over(0.0, 2.0) - 2000.0).abs() < 1e-9);
+        assert!((t.mean_over(1.0, 1.0) - 3000.0).abs() < 1e-9);
+        // Wrapping window.
+        assert!((t.mean_over(1.0, 2.0) - 2000.0).abs() < 1e-9);
+        // Fractional start.
+        assert!((t.mean_over(0.5, 1.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let t = trace(&[1000.0, 3000.0]);
+        let s = t.scaled(0.5).unwrap();
+        assert_eq!(s.samples(), &[500.0, 1500.0]);
+        assert!(t.scaled(0.0).is_err());
+        assert!(t.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rescale_to_mean() {
+        let t = trace(&[1000.0, 3000.0]);
+        let s = t.rescaled_to_mean(1000.0).unwrap();
+        assert!((s.mean_kbps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_noise_changes_variance_not_mean_much() {
+        let t = ThroughputTrace::constant("c", 2000.0, 600.0).unwrap();
+        let n = t.with_gaussian_noise(500.0, 7).unwrap();
+        assert!(n.std_kbps() > 400.0, "std = {}", n.std_kbps());
+        assert!(
+            (n.mean_kbps() - 2000.0).abs() < 100.0,
+            "mean = {}",
+            n.mean_kbps()
+        );
+        // Determinism.
+        let n2 = t.with_gaussian_noise(500.0, 7).unwrap();
+        assert_eq!(n.samples(), n2.samples());
+    }
+
+    #[test]
+    fn window_extracts_and_validates() {
+        let t = trace(&[1.0, 2.0, 3.0, 4.0]);
+        let w = t.window(1, 2).unwrap();
+        assert_eq!(w.samples(), &[2.0, 3.0]);
+        assert!(t.window(3, 2).is_err());
+        assert!(t.window(0, 0).is_err());
+    }
+
+    #[test]
+    fn constant_trace_helper() {
+        let t = ThroughputTrace::constant("c", 1500.0, 10.0).unwrap();
+        assert_eq!(t.samples().len(), 10);
+        assert_eq!(t.mean_kbps(), 1500.0);
+        assert!(ThroughputTrace::constant("c", 0.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! The 16-video test corpus of Table 1.
+//!
+//! Each video reproduces the paper's name, genre, and length, and carries a
+//! scripted scene graph matching the content description in Fig. 19 of the
+//! appendix (e.g. Soccer1 is "a goal after a failed shoot", Soccer2
+//! "presenting the scoreboard after a goal", Space "a satellite taking
+//! pictures of Earth", BigBuckBunny "a rabbit dealing with three tiny
+//! bullies"). Chunk-level profiles are sampled from the scripts with seeded
+//! jitter, so the corpus is deterministic given a seed.
+
+use crate::content::{Genre, SceneKind, SceneSpec, SourceVideo};
+use crate::VideoError;
+
+use SceneKind::{AdBreak, Informational, KeyMoment, NormalPlay, Replay, Scenic};
+
+/// One corpus entry: a source video plus its (simulated) dataset of origin.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The scripted source video.
+    pub video: SourceVideo,
+    /// Name of the public dataset the paper drew this video from.
+    pub source_dataset: &'static str,
+}
+
+impl CorpusEntry {
+    /// Length formatted `m:ss` as in Table 1.
+    pub fn length_label(&self) -> String {
+        let secs = self.video.duration_s().round() as u64;
+        format!("{}:{:02}", secs / 60, secs % 60)
+    }
+}
+
+/// Scene script and metadata for one Table-1 video.
+struct Spec {
+    name: &'static str,
+    genre: Genre,
+    dataset: &'static str,
+    script: &'static [SceneSpec],
+}
+
+const fn s(kind: SceneKind, len: usize) -> SceneSpec {
+    SceneSpec {
+        kind,
+        len_chunks: len,
+    }
+}
+
+/// Table 1 in script form. Chunk counts × 4 s reproduce the paper lengths:
+/// 55 chunks = 3:40, 50 = 3:20, 21 = 1:24, 149 = 9:56.
+const SPECS: [Spec; 16] = [
+    Spec {
+        name: "Basket1",
+        genre: Genre::Sports,
+        dataset: "LIVE-MOBILE",
+        // A buzzer beater at the end of a basketball game.
+        script: &[
+            s(NormalPlay, 10),
+            s(AdBreak, 3),
+            s(NormalPlay, 8),
+            s(Replay, 3),
+            s(NormalPlay, 9),
+            s(Informational, 2),
+            s(NormalPlay, 10),
+            s(KeyMoment, 4),
+            s(Replay, 4),
+            s(Informational, 2),
+        ],
+    },
+    Spec {
+        name: "Soccer1",
+        genre: Genre::Sports,
+        dataset: "LIVE-NFLX-II",
+        // A goal after a failed shoot (the Fig. 1 video).
+        script: &[
+            s(NormalPlay, 12),
+            s(AdBreak, 4),
+            s(NormalPlay, 10),
+            s(KeyMoment, 4),
+            s(Replay, 4),
+            s(Informational, 2),
+            s(NormalPlay, 10),
+            s(Scenic, 4),
+        ],
+    },
+    Spec {
+        name: "Basket2",
+        genre: Genre::Sports,
+        dataset: "YouTube-UGC",
+        // A free throw followed by a one-on-one defense.
+        script: &[
+            s(NormalPlay, 8),
+            s(Informational, 3),
+            s(NormalPlay, 12),
+            s(KeyMoment, 3),
+            s(Replay, 3),
+            s(NormalPlay, 10),
+            s(AdBreak, 4),
+            s(NormalPlay, 9),
+            s(Informational, 3),
+        ],
+    },
+    Spec {
+        name: "Soccer2",
+        genre: Genre::Sports,
+        dataset: "YouTube-UGC",
+        // Presenting the scoreboard after a goal.
+        script: &[
+            s(NormalPlay, 14),
+            s(KeyMoment, 3),
+            s(Informational, 4),
+            s(Replay, 3),
+            s(NormalPlay, 12),
+            s(AdBreak, 4),
+            s(NormalPlay, 11),
+            s(Informational, 4),
+        ],
+    },
+    Spec {
+        name: "Discus",
+        genre: Genre::Sports,
+        dataset: "YouTube-UGC",
+        // A man throwing a discus.
+        script: &[
+            s(NormalPlay, 10),
+            s(Scenic, 4),
+            s(NormalPlay, 8),
+            s(KeyMoment, 3),
+            s(Replay, 4),
+            s(NormalPlay, 10),
+            s(Informational, 3),
+            s(NormalPlay, 9),
+            s(Scenic, 4),
+        ],
+    },
+    Spec {
+        name: "Wrestling",
+        genre: Genre::Sports,
+        dataset: "YouTube-UGC",
+        // Two wrestling players.
+        script: &[
+            s(NormalPlay, 12),
+            s(KeyMoment, 4),
+            s(Replay, 3),
+            s(NormalPlay, 10),
+            s(AdBreak, 4),
+            s(NormalPlay, 10),
+            s(KeyMoment, 3),
+            s(Replay, 3),
+            s(Informational, 3),
+            s(Scenic, 3),
+        ],
+    },
+    Spec {
+        name: "Motor",
+        genre: Genre::Sports,
+        dataset: "YouTube-UGC",
+        // Motor racing.
+        script: &[
+            s(NormalPlay, 14),
+            s(AdBreak, 4),
+            s(NormalPlay, 10),
+            s(KeyMoment, 3),
+            s(Replay, 4),
+            s(NormalPlay, 12),
+            s(Scenic, 5),
+            s(Informational, 3),
+        ],
+    },
+    Spec {
+        name: "Tank",
+        genre: Genre::Gaming,
+        dataset: "YouTube-UGC",
+        // A tank attacking a house.
+        script: &[
+            s(NormalPlay, 12),
+            s(KeyMoment, 4),
+            s(Replay, 2),
+            s(NormalPlay, 10),
+            s(Informational, 3),
+            s(NormalPlay, 12),
+            s(KeyMoment, 3),
+            s(Scenic, 5),
+            s(NormalPlay, 4),
+        ],
+    },
+    Spec {
+        name: "FPS1",
+        genre: Genre::Gaming,
+        dataset: "YouTube-UGC",
+        // A first-person shooting game.
+        script: &[
+            s(NormalPlay, 10),
+            s(KeyMoment, 4),
+            s(Informational, 2),
+            s(NormalPlay, 12),
+            s(KeyMoment, 3),
+            s(NormalPlay, 10),
+            s(Scenic, 4),
+            s(NormalPlay, 10),
+        ],
+    },
+    Spec {
+        name: "FPS2",
+        genre: Genre::Gaming,
+        dataset: "YouTube-UGC",
+        // A player robbing supplies after killing an enemy (§2.3).
+        script: &[
+            s(NormalPlay, 10),
+            s(KeyMoment, 3),
+            s(Informational, 4),
+            s(NormalPlay, 12),
+            s(KeyMoment, 3),
+            s(Informational, 3),
+            s(NormalPlay, 12),
+            s(Scenic, 4),
+            s(NormalPlay, 4),
+        ],
+    },
+    Spec {
+        name: "Mountain",
+        genre: Genre::Nature,
+        dataset: "LIVE-MOBILE",
+        // Mountain scenery (1:24).
+        script: &[
+            s(Scenic, 8),
+            s(NormalPlay, 4),
+            s(Informational, 2),
+            s(Scenic, 7),
+        ],
+    },
+    Spec {
+        name: "Animal",
+        genre: Genre::Nature,
+        dataset: "YouTube-UGC",
+        // Warthogs bathing and grooming.
+        script: &[
+            s(Scenic, 10),
+            s(NormalPlay, 8),
+            s(KeyMoment, 2),
+            s(Scenic, 12),
+            s(NormalPlay, 8),
+            s(Informational, 2),
+            s(Scenic, 13),
+        ],
+    },
+    Spec {
+        name: "Space",
+        genre: Genre::Nature,
+        dataset: "YouTube-UGC",
+        // A satellite photographing Earth; the universe background is the
+        // paper's example of a low-attention transition (§2.3).
+        script: &[
+            s(Scenic, 16),
+            s(Informational, 3),
+            s(Scenic, 12),
+            s(NormalPlay, 5),
+            s(Scenic, 14),
+            s(Informational, 2),
+            s(Scenic, 3),
+        ],
+    },
+    Spec {
+        name: "Girl",
+        genre: Genre::Animation,
+        dataset: "YouTube-UGC",
+        // A girl falling off a cliff.
+        script: &[
+            s(NormalPlay, 12),
+            s(Scenic, 5),
+            s(KeyMoment, 4),
+            s(NormalPlay, 10),
+            s(Informational, 3),
+            s(NormalPlay, 10),
+            s(Replay, 3),
+            s(Scenic, 8),
+        ],
+    },
+    Spec {
+        name: "Lava",
+        genre: Genre::Animation,
+        dataset: "LIVE-NFLX-II",
+        // A lava creature waking up.
+        script: &[
+            s(Scenic, 12),
+            s(NormalPlay, 10),
+            s(KeyMoment, 4),
+            s(NormalPlay, 8),
+            s(Scenic, 8),
+            s(KeyMoment, 3),
+            s(Replay, 3),
+            s(Scenic, 7),
+        ],
+    },
+    Spec {
+        name: "BigBuckBunny",
+        genre: Genre::Animation,
+        dataset: "WaterlooSQOE-III",
+        // The rabbit dealing with three tiny bullies; the trap scene is the
+        // paper's storyline key-moment example (9:56).
+        script: &[
+            s(Scenic, 15),
+            s(NormalPlay, 20),
+            s(Informational, 4),
+            s(NormalPlay, 18),
+            s(KeyMoment, 5),
+            s(Replay, 4),
+            s(NormalPlay, 20),
+            s(Scenic, 10),
+            s(NormalPlay, 18),
+            s(KeyMoment, 4),
+            s(Replay, 4),
+            s(NormalPlay, 15),
+            s(Scenic, 12),
+        ],
+    },
+];
+
+/// Builds the full 16-video Table-1 corpus with the given seed.
+pub fn table1(seed: u64) -> Vec<CorpusEntry> {
+    SPECS
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| CorpusEntry {
+            video: SourceVideo::from_script(
+                spec.name,
+                spec.genre,
+                spec.script,
+                seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+            .expect("corpus scripts are non-empty"),
+            source_dataset: spec.dataset,
+        })
+        .collect()
+}
+
+/// Fetches a single corpus video by its Table-1 name.
+///
+/// # Errors
+///
+/// Returns [`VideoError::NoChunks`] when the name is unknown (no such video
+/// exists in the corpus).
+pub fn by_name(name: &str, seed: u64) -> Result<CorpusEntry, VideoError> {
+    table1(seed)
+        .into_iter()
+        .find(|e| e.video.name() == name)
+        .ok_or(VideoError::NoChunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_sixteen_videos_with_table1_names() {
+        let corpus = table1(2021);
+        assert_eq!(corpus.len(), 16);
+        let names: Vec<&str> = corpus.iter().map(|e| e.video.name()).collect();
+        for expected in [
+            "Basket1",
+            "Soccer1",
+            "Basket2",
+            "Soccer2",
+            "Discus",
+            "Wrestling",
+            "Motor",
+            "Tank",
+            "FPS1",
+            "FPS2",
+            "Mountain",
+            "Animal",
+            "Space",
+            "Girl",
+            "Lava",
+            "BigBuckBunny",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn lengths_match_table1() {
+        for e in table1(7) {
+            let expected = match e.video.name() {
+                "Soccer1" => "3:20",
+                "Mountain" => "1:24",
+                "BigBuckBunny" => "9:56",
+                _ => "3:40",
+            };
+            assert_eq!(
+                e.length_label(),
+                expected,
+                "video {} has wrong length",
+                e.video.name()
+            );
+        }
+    }
+
+    #[test]
+    fn genres_match_table1() {
+        let corpus = table1(7);
+        let genre_of = |n: &str| {
+            corpus
+                .iter()
+                .find(|e| e.video.name() == n)
+                .unwrap()
+                .video
+                .genre()
+        };
+        assert_eq!(genre_of("Wrestling"), Genre::Sports);
+        assert_eq!(genre_of("FPS2"), Genre::Gaming);
+        assert_eq!(genre_of("Space"), Genre::Nature);
+        assert_eq!(genre_of("BigBuckBunny"), Genre::Animation);
+    }
+
+    #[test]
+    fn datasets_match_table1() {
+        let corpus = table1(7);
+        let ds_of = |n: &str| {
+            corpus
+                .iter()
+                .find(|e| e.video.name() == n)
+                .unwrap()
+                .source_dataset
+        };
+        assert_eq!(ds_of("Basket1"), "LIVE-MOBILE");
+        assert_eq!(ds_of("Soccer1"), "LIVE-NFLX-II");
+        assert_eq!(ds_of("Basket2"), "YouTube-UGC");
+        assert_eq!(ds_of("BigBuckBunny"), "WaterlooSQOE-III");
+    }
+
+    #[test]
+    fn sports_videos_have_high_sensitivity_variance() {
+        // §2.3: quality sensitivity varies substantially within videos; key
+        // moments must clearly dominate scenic/ad chunks.
+        let soccer = by_name("Soccer1", 7).unwrap().video;
+        let s = soccer.true_sensitivity();
+        let max = s.iter().cloned().fold(0.0, f64::max);
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 2.0, "max/min = {}", max / min);
+    }
+
+    #[test]
+    fn nature_videos_are_flatter_than_sports() {
+        let space = by_name("Space", 7).unwrap().video;
+        let soccer = by_name("Soccer1", 7).unwrap().video;
+        let spread = |v: &SourceVideo| {
+            let s = v.true_sensitivity();
+            let max = s.iter().cloned().fold(0.0, f64::max);
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            max / min
+        };
+        assert!(spread(&space) < spread(&soccer));
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("NotAVideo", 7).is_err());
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = table1(11);
+        let b = table1(11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.video, y.video);
+        }
+        let c = table1(12);
+        assert_ne!(a[0].video, c[0].video);
+    }
+
+    #[test]
+    fn soccer1_goal_is_late_in_video() {
+        // Fig. 1: the key moment sits past the midpoint of Soccer1.
+        let soccer = by_name("Soccer1", 7).unwrap().video;
+        let s = soccer.true_sensitivity();
+        let peak = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(
+            peak >= soccer.num_chunks() / 2,
+            "goal at chunk {peak} of {}",
+            soccer.num_chunks()
+        );
+    }
+}

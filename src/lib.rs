@@ -1,0 +1,2 @@
+//! SENSEI umbrella crate — re-exports all subsystem crates.
+pub use sensei_core as core;
