@@ -65,6 +65,17 @@ impl Fugu {
         self.risk_aversion
     }
 
+    /// Overrides the throughput predictor (window and scenario set).
+    pub fn with_predictor(mut self, predictor: ThroughputPredictor) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The throughput predictor in effect.
+    pub fn predictor(&self) -> &ThroughputPredictor {
+        &self.predictor
+    }
+
     /// Overrides the QoE model used as the objective (the paper fits KSQI
     /// for fairness across all algorithms).
     pub fn with_qoe(mut self, qoe: Ksqi) -> Self {
@@ -247,8 +258,7 @@ mod tests {
             let trace = sensei_trace::generate::fcc_like(1800.0, 600, seed);
             let config = PlayerConfig::default();
             let f = simulate(&src, &enc, &trace, &mut Fugu::new(), &config, None).unwrap();
-            let b = simulate(&src, &enc, &trace, &mut Bba::paper_default(), &config, None)
-                .unwrap();
+            let b = simulate(&src, &enc, &trace, &mut Bba::paper_default(), &config, None).unwrap();
             fugu_total += sensei_qoe::QoeModel::predict(&qoe, &f.render).unwrap();
             bba_total += sensei_qoe::QoeModel::predict(&qoe, &b.render).unwrap();
         }

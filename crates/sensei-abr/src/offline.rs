@@ -26,6 +26,11 @@ pub struct OracleMpc {
     allow_pause: bool,
     /// Whether the controller uses the manifest's sensitivity weights.
     sensitivity_aware: bool,
+    /// Multiplier on stall time during planning. Even with exact future
+    /// throughput, planning risk-neutrally against a mean-additive model
+    /// trades "cheap" stalls for bitrate that peak-end raters punish —
+    /// the same miscalibration [`crate::Fugu`] corrects.
+    risk_aversion: f64,
     name: String,
 }
 
@@ -40,6 +45,7 @@ impl OracleMpc {
             max_buffer_s: 24.0,
             allow_pause: true,
             sensitivity_aware: true,
+            risk_aversion: 3.0,
             name: "Oracle(aware)".to_string(),
         }
     }
@@ -90,7 +96,10 @@ impl OracleMpc {
                 _ => 0.0,
             };
             prev = Some((vq, level));
-            total += weights[j] * self.qoe.chunk_quality(vq, stall, switch, d);
+            total += weights[j]
+                * self
+                    .qoe
+                    .chunk_quality(vq, stall * self.risk_aversion, switch, d);
         }
         total
     }
@@ -141,8 +150,13 @@ impl AbrPolicy for OracleMpc {
         let mut best = Decision::level(0);
         let mut best_q = f64::NEG_INFINITY;
         for &pause in pauses {
-            let pause_cost =
-                playhead_w * stall_penalty * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
+            // Charged at the same risk multiplier the planner applies to
+            // predicted stalls, so relocating a stall is never spuriously
+            // profitable (mirrors SENSEI-Fugu's accounting).
+            let pause_cost = playhead_w
+                * stall_penalty
+                * self.risk_aversion
+                * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
             let mut plan = vec![0usize; h];
             loop {
                 let q = self.plan_quality(
@@ -210,7 +224,10 @@ mod tests {
         )
         .unwrap();
         let stalls = result.render.total_rebuffer_s() - result.render.startup_delay_s();
-        assert!(stalls < 1.0, "oracle stalled {stalls}s despite full knowledge");
+        assert!(
+            stalls < 1.0,
+            "oracle stalled {stalls}s despite full knowledge"
+        );
     }
 
     #[test]

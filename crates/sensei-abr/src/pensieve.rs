@@ -63,10 +63,13 @@ impl PensieveConfig {
     /// can learn multi-chunk trades ("lower quality now so the key moment
     /// ahead stays smooth"), which is SENSEI's central mechanism. Plain
     /// Pensieve's credit is more local and trains best with the smaller
-    /// default gamma.
+    /// default gamma. Pushing the discount much past this (e.g. 0.9) makes
+    /// the value targets noisy enough at the few-thousand-episode scale
+    /// that the policy collapses to a single constant action, so 0.75
+    /// buys the lookahead without losing training stability.
     pub fn sensei_default() -> Self {
         let mut cfg = Self::default();
-        cfg.a2c.gamma = 0.9;
+        cfg.a2c.gamma = 0.75;
         cfg
     }
 }
@@ -251,7 +254,11 @@ mod tests {
         let mut traces = Vec::new();
         for (i, m) in [600.0, 1000.0, 1500.0, 2200.0, 3200.0].iter().enumerate() {
             traces.push(sensei_trace::generate::hsdpa_like(*m, 600, seed + i as u64));
-            traces.push(sensei_trace::generate::fcc_like(*m, 600, seed + 40 + i as u64));
+            traces.push(sensei_trace::generate::fcc_like(
+                *m,
+                600,
+                seed + 40 + i as u64,
+            ));
         }
         traces
     }
@@ -325,9 +332,13 @@ mod tests {
     fn trained_policy_is_competitive_with_bba() {
         let src = source();
         let enc = encoded(&src);
-        let pensieve =
-            Pensieve::train(&[(src.clone(), enc.clone())], &train_traces(300), &quick_config(), 11)
-                .unwrap();
+        let pensieve = Pensieve::train(
+            &[(src.clone(), enc.clone())],
+            &train_traces(300),
+            &quick_config(),
+            11,
+        )
+        .unwrap();
         let qoe = Ksqi::canonical();
         let mut p_total = 0.0;
         let mut b_total = 0.0;

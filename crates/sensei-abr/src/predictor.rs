@@ -32,21 +32,24 @@ impl Default for ThroughputPredictor {
     fn default() -> Self {
         Self {
             window: 5,
-            // Hedged low: commute-grade cellular traces fade far below
-            // their recent harmonic mean, and under-prediction is much
-            // cheaper than a stall.
+            // Hedged low, but not so low that the expected scenario rate
+            // sits a full ladder level under the harmonic mean: the stall
+            // risk-aversion multiplier already charges under-buffering, so
+            // an expectation factor near 0.9 keeps the MPC competitive with
+            // buffer-based control on fade-prone cellular traces while the
+            // pessimistic scenario still hedges deep fades.
             scenarios: vec![
                 ThroughputScenario {
                     probability: 0.3,
-                    factor: 0.55,
+                    factor: 0.65,
                 },
                 ThroughputScenario {
                     probability: 0.5,
-                    factor: 0.85,
+                    factor: 0.95,
                 },
                 ThroughputScenario {
                     probability: 0.2,
-                    factor: 1.1,
+                    factor: 1.15,
                 },
             ],
             cold_start_kbps: 1000.0,

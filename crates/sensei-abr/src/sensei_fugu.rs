@@ -62,6 +62,22 @@ impl SenseiFugu {
         self
     }
 
+    /// Overrides the inner MPC's stall risk-aversion multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is below 1 (see [`Fugu::with_risk_aversion`]).
+    pub fn with_risk_aversion(mut self, factor: f64) -> Self {
+        self.inner = self.inner.with_risk_aversion(factor);
+        self
+    }
+
+    /// Overrides the inner MPC's throughput predictor.
+    pub fn with_predictor(mut self, predictor: crate::ThroughputPredictor) -> Self {
+        self.inner = self.inner.with_predictor(predictor);
+        self
+    }
+
     /// Weight vector covering the horizon starting at `next_chunk`; falls
     /// back to uniform when the manifest carried no weights.
     fn horizon_weights(state: &PlayerState, ctx: &SessionContext<'_>, h: usize) -> Vec<f64> {
@@ -114,9 +130,7 @@ impl AbrPolicy for SenseiFugu {
         let weights = Self::horizon_weights(state, ctx, h);
         let playhead_w = Self::playhead_weight(state, ctx);
         let (_, stall_penalty, _, _) = self.qoe.coefficients();
-        let budget = Self::PAUSE_BUDGET_FRACTION
-            * ctx.num_chunks() as f64
-            * ctx.chunk_duration_s;
+        let budget = Self::PAUSE_BUDGET_FRACTION * ctx.num_chunks() as f64 * ctx.chunk_duration_s;
 
         let mut best = (0usize, 0.0f64);
         let mut best_q = f64::NEG_INFINITY;
@@ -220,8 +234,7 @@ mod tests {
                 Some(&weights),
             )
             .unwrap();
-            let f = simulate(&src, &enc, &trace, &mut crate::Fugu::new(), &config, None)
-                .unwrap();
+            let f = simulate(&src, &enc, &trace, &mut crate::Fugu::new(), &config, None).unwrap();
             sensei_total += oracle.qoe01(&src, &s.render).unwrap();
             fugu_total += oracle.qoe01(&src, &f.render).unwrap();
         }

@@ -15,9 +15,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sensei_ml::rl::{ActorCritic, Transition};
 use sensei_qoe::Ksqi;
-use sensei_sim::{simulate, AbrPolicy, Decision, PlayerState, SessionContext};
 #[cfg(test)]
 use sensei_sim::PlayerConfig;
+use sensei_sim::{simulate, AbrPolicy, Decision, PlayerState, SessionContext};
 use sensei_trace::ThroughputTrace;
 use sensei_video::{EncodedVideo, SensitivityWeights, SourceVideo};
 
@@ -48,7 +48,7 @@ fn sensei_state(state: &PlayerState, ctx: &SessionContext<'_>) -> Vec<f64> {
                 v.push(window.get(i).copied().unwrap_or(1.0));
             }
         }
-        None => v.extend(std::iter::repeat(1.0).take(WEIGHT_HORIZON)),
+        None => v.extend(std::iter::repeat_n(1.0, WEIGHT_HORIZON)),
     }
     v
 }
@@ -185,7 +185,11 @@ impl SenseiPensieve {
             for (chunk, taken) in explorer.per_chunk.into_iter().enumerate() {
                 let last = taken.len() - 1;
                 for (i, (state, action)) in taken.into_iter().enumerate() {
-                    let reward = if i == last { w[chunk] * scores[chunk] } else { 0.0 };
+                    let reward = if i == last {
+                        w[chunk] * scores[chunk]
+                    } else {
+                        0.0
+                    };
                     episode.push(Transition {
                         state,
                         action,
@@ -248,7 +252,11 @@ mod tests {
         let mut traces = Vec::new();
         for (i, m) in [600.0, 1000.0, 1500.0, 2200.0, 3200.0].iter().enumerate() {
             traces.push(sensei_trace::generate::hsdpa_like(*m, 600, seed + i as u64));
-            traces.push(sensei_trace::generate::fcc_like(*m, 600, seed + 40 + i as u64));
+            traces.push(sensei_trace::generate::fcc_like(
+                *m,
+                600,
+                seed + 40 + i as u64,
+            ));
         }
         traces
     }
@@ -373,13 +381,8 @@ mod tests {
             episodes: 3000,
             ..PensieveConfig::default()
         };
-        let plain = crate::Pensieve::train(
-            &[(src.clone(), enc.clone())],
-            &traces,
-            &plain_cfg,
-            13,
-        )
-        .unwrap();
+        let plain =
+            crate::Pensieve::train(&[(src.clone(), enc.clone())], &traces, &plain_cfg, 13).unwrap();
         let oracle = TrueQoe::default();
         let config = PlayerConfig::default();
         let mut s_total = 0.0;
@@ -412,8 +415,7 @@ mod tests {
         use sensei_ml::rl::A2cConfig;
         let wrong = ActorCritic::new(4, 3, A2cConfig::default(), 0).unwrap();
         assert!(SenseiPensieve::from_agent(wrong).is_err());
-        let right =
-            ActorCritic::new(SENSEI_STATE_DIM, N_ACTIONS, A2cConfig::default(), 0).unwrap();
+        let right = ActorCritic::new(SENSEI_STATE_DIM, N_ACTIONS, A2cConfig::default(), 0).unwrap();
         assert!(SenseiPensieve::from_agent(right).is_ok());
     }
 }

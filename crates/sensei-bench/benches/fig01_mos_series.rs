@@ -40,7 +40,10 @@ fn main() {
         .iter()
         .position(|&m| m == min)
         .expect("series non-empty");
-    println!("\n  measured: max-min gap = {:.1}% (paper: >40%)", (max - min) / min * 100.0);
+    println!(
+        "\n  measured: max-min gap = {:.1}% (paper: >40%)",
+        (max - min) / min * 100.0
+    );
     println!(
         "  measured: worst position = chunk {worst} ({:?}) — paper: the goal",
         entry.video.chunks()[worst].scene

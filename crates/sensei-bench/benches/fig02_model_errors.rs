@@ -46,7 +46,7 @@ fn main() {
 
     let mut table = Table::new(&["Model", "rel. error %", "discordant pairs %"]);
     for (name, predict) in &models {
-        let preds: Vec<f64> = test_r.iter().map(|r| predict(r)).collect();
+        let preds: Vec<f64> = test_r.iter().map(predict).collect();
         let rel = sensei_ml::stats::mean_relative_error(&preds, &test_y).unwrap();
         // Rank BBA/Fugu/SENSEI-Fugu per (video, trace): does the model agree
         // with the true-QoE ordering?

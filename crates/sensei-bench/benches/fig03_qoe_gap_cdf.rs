@@ -39,7 +39,5 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "\n  measured: {over40}/{total} series exceed a 40.1% gap (paper: 21/48)"
-    );
+    println!("\n  measured: {over40}/{total} series exceed a 40.1% gap (paper: 21/48)");
 }

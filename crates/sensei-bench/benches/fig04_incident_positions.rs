@@ -14,7 +14,12 @@ fn main() {
     let ladder = BitrateLadder::default_paper();
     let series: Vec<(IncidentKind, Vec<f64>)> = IncidentKind::ALL
         .iter()
-        .map(|&k| (k, oracle_series_qoe(&entry.video, &ladder, k).expect("series")))
+        .map(|&k| {
+            (
+                k,
+                oracle_series_qoe(&entry.video, &ladder, k).expect("series"),
+            )
+        })
         .collect();
     let mut table = Table::new(&["Chunk", "1-s rebuf", "4-s rebuf", "bitrate drop"]);
     for k in 0..entry.video.num_chunks() {

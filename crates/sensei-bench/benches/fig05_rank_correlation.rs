@@ -12,7 +12,11 @@ fn main() {
         "strong rank correlation for both comparisons (most videos > 0.6)",
     );
     let ladder = BitrateLadder::default_paper();
-    let mut table = Table::new(&["Video", "1s-vs-4s rebuf SRCC", "1s rebuf vs bitrate-drop SRCC"]);
+    let mut table = Table::new(&[
+        "Video",
+        "1s-vs-4s rebuf SRCC",
+        "1s rebuf vs bitrate-drop SRCC",
+    ]);
     let mut all_a = Vec::new();
     let mut all_b = Vec::new();
     for entry in corpus::table1(2021) {

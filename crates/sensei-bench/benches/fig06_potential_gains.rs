@@ -29,9 +29,9 @@ fn assign(
         for c in 0..n {
             let mut best = 0;
             let mut best_v = f64::NEG_INFINITY;
-            for l in 0..encoded.ladder().len() {
+            for (l, &q) in vq[c].iter().enumerate().take(encoded.ladder().len()) {
                 let size = encoded.size_bits(c, l).expect("in range");
-                let v = weights[c] * vq[c][l] - lambda * size;
+                let v = weights[c] * q - lambda * size;
                 if v > best_v {
                     best_v = v;
                     best = l;

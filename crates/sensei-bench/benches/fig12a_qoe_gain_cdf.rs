@@ -26,7 +26,10 @@ fn main() {
         table.add(vec![
             format!("p{p:.0}"),
             format!("{:+.1}", sensei_ml::stats::percentile(&sensei, p).unwrap()),
-            format!("{:+.1}", sensei_ml::stats::percentile(&pensieve, p).unwrap()),
+            format!(
+                "{:+.1}",
+                sensei_ml::stats::percentile(&pensieve, p).unwrap()
+            ),
             format!("{:+.1}", sensei_ml::stats::percentile(&fugu, p).unwrap()),
         ]);
     }

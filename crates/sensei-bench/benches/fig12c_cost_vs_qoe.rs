@@ -2,8 +2,8 @@
 //! without the two-step cost pruning.
 use sensei_bench::{header, Table};
 use sensei_core::experiment::PolicyKind;
-use sensei_core::{Experiment, ExperimentConfig};
 use sensei_core::experiment::WeightSource;
+use sensei_core::{Experiment, ExperimentConfig};
 use sensei_crowd::WeightProfiler;
 use sensei_video::BitrateLadder;
 
@@ -30,7 +30,12 @@ fn main() {
     let env = Experiment::build(&cfg).expect("environment builds");
     let ladder = BitrateLadder::default_paper();
     let profiler = WeightProfiler::paper_default(7);
-    let mut table = Table::new(&["Scheduler", "$ / min video", "mean QoE (SENSEI ABR)", "renders"]);
+    let mut table = Table::new(&[
+        "Scheduler",
+        "$ / min video",
+        "mean QoE (SENSEI ABR)",
+        "renders",
+    ]);
     for (label, exhaustive) in [("two-step (pruned)", false), ("exhaustive", true)] {
         let mut cost_per_min = 0.0;
         let mut qoe_total = 0.0;

@@ -49,7 +49,12 @@ fn main() {
         models: env
             .assets
             .iter()
-            .map(|a| (a.name.clone(), SenseiQoe::new(ksqi.clone(), a.weights.clone())))
+            .map(|a| {
+                (
+                    a.name.clone(),
+                    SenseiQoe::new(ksqi.clone(), a.weights.clone()),
+                )
+            })
             .collect(),
         fallback: ksqi.clone(),
     };
@@ -61,8 +66,12 @@ fn main() {
         ("LSTM-QoE", 0.60, 0.63),
         ("P.1203", 0.62, 0.67),
     ];
-    let models: Vec<(&str, &dyn QoeModel)> =
-        vec![("SENSEI", &sensei), ("KSQI", &ksqi), ("LSTM-QoE", &lstm), ("P.1203", &p1203)];
+    let models: Vec<(&str, &dyn QoeModel)> = vec![
+        ("SENSEI", &sensei),
+        ("KSQI", &ksqi),
+        ("LSTM-QoE", &lstm),
+        ("P.1203", &p1203),
+    ];
     for ((name, model), (_, p_plcc, p_srcc)) in models.iter().zip(paper.iter()) {
         let acc = evaluate_model(*model, &test_r, &test_y).expect("evaluation succeeds");
         table.add(vec![

@@ -15,8 +15,15 @@ fn accuracy(video: &sensei_video::SourceVideo, weights: &SensitivityWeights) -> 
     for chunk in 0..video.num_chunks() {
         for (secs, level) in [(2.0, None), (0.0, Some(0usize))] {
             let incident = match level {
-                Some(l) => Incident::BitrateDrop { chunk, len_chunks: 1, level: l },
-                None => Incident::Rebuffer { chunk, duration_s: secs },
+                Some(l) => Incident::BitrateDrop {
+                    chunk,
+                    len_chunks: 1,
+                    level: l,
+                },
+                None => Incident::Rebuffer {
+                    chunk,
+                    duration_s: secs,
+                },
             };
             let render = RenderedVideo::with_incidents(video, &ladder, &[incident]).unwrap();
             preds.push(model.predict(&render).unwrap());
@@ -46,25 +53,58 @@ fn main() {
     let video = corpus::by_name("Soccer1", 2021).unwrap().video;
     let mut table = Table::new(&["Sweep", "Value", "$ / min", "PLCC"]);
     for b in [1usize, 2, 4] {
-        let cfg = ProfilerConfig { bitrate_levels: b, ..ProfilerConfig::default() };
+        let cfg = ProfilerConfig {
+            bitrate_levels: b,
+            ..ProfilerConfig::default()
+        };
         let (cost, plcc) = run(&video, cfg);
-        table.add(vec!["B (bitrate levels)".into(), b.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+        table.add(vec![
+            "B (bitrate levels)".into(),
+            b.to_string(),
+            format!("{cost:.1}"),
+            format!("{plcc:.3}"),
+        ]);
     }
     for f in [1usize, 2, 4] {
-        let cfg = ProfilerConfig { rebuffer_levels: f, ..ProfilerConfig::default() };
+        let cfg = ProfilerConfig {
+            rebuffer_levels: f,
+            ..ProfilerConfig::default()
+        };
         let (cost, plcc) = run(&video, cfg);
-        table.add(vec!["F (rebuffer levels)".into(), f.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+        table.add(vec![
+            "F (rebuffer levels)".into(),
+            f.to_string(),
+            format!("{cost:.1}"),
+            format!("{plcc:.3}"),
+        ]);
     }
     for m in [5usize, 10, 20, 30] {
         // Campaigns need at least min_ratings survivors per render.
-        let cfg = ProfilerConfig { m1: m, m2: (m / 2).max(3), ..ProfilerConfig::default() };
+        let cfg = ProfilerConfig {
+            m1: m,
+            m2: (m / 2).max(3),
+            ..ProfilerConfig::default()
+        };
         let (cost, plcc) = run(&video, cfg);
-        table.add(vec!["M (raters/video)".into(), m.to_string(), format!("{cost:.1}"), format!("{plcc:.3}")]);
+        table.add(vec![
+            "M (raters/video)".into(),
+            m.to_string(),
+            format!("{cost:.1}"),
+            format!("{plcc:.3}"),
+        ]);
     }
     for alpha in [0.0, 0.06, 0.2, 0.5] {
-        let cfg = ProfilerConfig { alpha, ..ProfilerConfig::default() };
+        let cfg = ProfilerConfig {
+            alpha,
+            ..ProfilerConfig::default()
+        };
         let (cost, plcc) = run(&video, cfg);
-        table.add(vec!["alpha (threshold)".into(), format!("{alpha:.2}"), format!("{cost:.1}"), format!("{plcc:.3}")]);
+        table.add(vec![
+            "alpha (threshold)".into(),
+            format!("{alpha:.2}"),
+            format!("{cost:.1}"),
+            format!("{plcc:.3}"),
+        ]);
     }
     table.print();
 }

@@ -7,7 +7,14 @@ fn main() {
         "Summary of the test video set",
         "16 videos across Sports/Gaming/Nature/Animation, 1:24-9:56",
     );
-    let mut table = Table::new(&["Name", "Genre", "Length", "Source dataset", "Chunks", "w-spread"]);
+    let mut table = Table::new(&[
+        "Name",
+        "Genre",
+        "Length",
+        "Source dataset",
+        "Chunks",
+        "w-spread",
+    ]);
     for entry in sensei_video::corpus::table1(2021) {
         let weights = sensei_video::SensitivityWeights::ground_truth(&entry.video);
         table.add(vec![

@@ -6,9 +6,7 @@
 //! true-QoE oracle — the simulated stand-in for "real user ratings".
 
 use crate::CoreError;
-use sensei_abr::{
-    Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve,
-};
+use sensei_abr::{Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve};
 use sensei_crowd::{TrueQoe, WeightProfiler};
 use sensei_sim::{simulate, AbrPolicy, PlayerConfig, SessionResult};
 use sensei_trace::{generate, ThroughputTrace};
@@ -323,9 +321,11 @@ impl Experiment {
                     .clone()
                     .ok_or_else(|| CoreError::BadConfig("Pensieve was not trained".into()))?,
             ),
-            PolicyKind::SenseiPensieve => Box::new(self.sensei_pensieve.clone().ok_or_else(
-                || CoreError::BadConfig("SENSEI-Pensieve was not trained".into()),
-            )?),
+            PolicyKind::SenseiPensieve => {
+                Box::new(self.sensei_pensieve.clone().ok_or_else(|| {
+                    CoreError::BadConfig("SENSEI-Pensieve was not trained".into())
+                })?)
+            }
             PolicyKind::OracleAware => Box::new(OracleMpc::aware(trace)),
             PolicyKind::OracleUnaware => Box::new(OracleMpc::unaware(trace)),
         })
@@ -454,7 +454,10 @@ mod tests {
         // stable constrained traces where planning pays off.
         let sensei = mean_qoe(&results, "SENSEI");
         let fugu = mean_qoe(&results, "Fugu");
-        assert!(sensei >= fugu * 0.95, "SENSEI {sensei:.3} vs Fugu {fugu:.3}");
+        assert!(
+            sensei >= fugu * 0.95,
+            "SENSEI {sensei:.3} vs Fugu {fugu:.3}"
+        );
         let stable: Vec<CellResult> = results
             .iter()
             .filter(|r| r.trace.starts_with("fcc") && (600.0..3200.0).contains(&r.trace_mean_kbps))

@@ -31,6 +31,10 @@ pub enum CoreError {
     Video(sensei_video::VideoError),
     /// QoE model failure.
     Qoe(sensei_qoe::QoeError),
+    /// ML-substrate failure.
+    Ml(sensei_ml::MlError),
+    /// Trace-substrate failure.
+    Trace(sensei_trace::TraceError),
     /// The experiment configuration is unusable.
     BadConfig(String),
 }
@@ -44,6 +48,8 @@ impl std::fmt::Display for CoreError {
             CoreError::Abr(e) => write!(f, "abr error: {e}"),
             CoreError::Video(e) => write!(f, "video error: {e}"),
             CoreError::Qoe(e) => write!(f, "qoe error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
     }
@@ -58,6 +64,8 @@ impl std::error::Error for CoreError {
             CoreError::Abr(e) => Some(e),
             CoreError::Video(e) => Some(e),
             CoreError::Qoe(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::Trace(e) => Some(e),
             CoreError::BadConfig(_) => None,
         }
     }
@@ -79,3 +87,5 @@ from_error!(Sim, sensei_sim::SimError);
 from_error!(Abr, sensei_abr::AbrError);
 from_error!(Video, sensei_video::VideoError);
 from_error!(Qoe, sensei_qoe::QoeError);
+from_error!(Ml, sensei_ml::MlError);
+from_error!(Trace, sensei_trace::TraceError);

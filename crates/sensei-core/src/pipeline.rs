@@ -163,11 +163,8 @@ mod tests {
         let sensei = Sensei::paper_default(11);
         let onboarded = sensei.onboard(&entry.video, 13).unwrap();
         let truth = SensitivityWeights::ground_truth(&entry.video);
-        let srcc = sensei_ml::stats::spearman(
-            onboarded.weights.as_slice(),
-            truth.as_slice(),
-        )
-        .unwrap();
+        let srcc =
+            sensei_ml::stats::spearman(onboarded.weights.as_slice(), truth.as_slice()).unwrap();
         assert!(srcc > 0.5, "crowd weights vs truth SRCC = {srcc:.2}");
     }
 

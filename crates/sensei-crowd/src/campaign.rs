@@ -214,8 +214,9 @@ impl<'a> Campaign<'a> {
             mos01.push(s.iter().sum::<f64>() / s.len() as f64);
             ratings_kept.push(s.len());
         }
-        let cost_usd =
-            paid_watch_seconds / 3600.0 * self.config.hourly_wage_usd * (1.0 + self.config.platform_fee);
+        let cost_usd = paid_watch_seconds / 3600.0
+            * self.config.hourly_wage_usd
+            * (1.0 + self.config.platform_fee);
         // Recruitment dominates end-to-end delay; surveys run in parallel
         // (§4.3). A fixed publication overhead plus signup staggering.
         let longest_survey_min = self
@@ -392,7 +393,14 @@ mod tests {
         let oracle = TrueQoe::default();
         let pool = RaterPool::general(3);
         assert!(matches!(
-            Campaign::new(&src, reference.clone(), &[], &oracle, &pool, CampaignConfig::default()),
+            Campaign::new(
+                &src,
+                reference.clone(),
+                &[],
+                &oracle,
+                &pool,
+                CampaignConfig::default()
+            ),
             Err(CrowdError::NoRenders)
         ));
         let zero_raters = CampaignConfig {
@@ -400,7 +408,14 @@ mod tests {
             ..CampaignConfig::default()
         };
         assert!(matches!(
-            Campaign::new(&src, reference.clone(), &renders, &oracle, &pool, zero_raters),
+            Campaign::new(
+                &src,
+                reference.clone(),
+                &renders,
+                &oracle,
+                &pool,
+                zero_raters
+            ),
             Err(CrowdError::NoRaters)
         ));
         // Mismatched source.
@@ -412,7 +427,14 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            Campaign::new(&other, reference, &renders, &oracle, &pool, CampaignConfig::default()),
+            Campaign::new(
+                &other,
+                reference,
+                &renders,
+                &oracle,
+                &pool,
+                CampaignConfig::default()
+            ),
             Err(CrowdError::SourceMismatch { .. })
         ));
     }

@@ -72,7 +72,10 @@ impl std::fmt::Display for CrowdError {
                 write!(f, "render '{render}' does not belong to source '{source}'")
             }
             CrowdError::InsufficientRatings { render, kept } => {
-                write!(f, "render {render} kept only {kept} ratings after rejection")
+                write!(
+                    f,
+                    "render {render} kept only {kept} ratings after rejection"
+                )
             }
             CrowdError::Video(e) => write!(f, "video error: {e}"),
             CrowdError::Ml(e) => write!(f, "ml error: {e}"),

@@ -90,8 +90,12 @@ impl TrueQoe {
             .enumerate()
             .map(|(i, c)| {
                 let reference = visual_quality(top_kbps, c.complexity);
-                let stall =
-                    c.rebuffer_s + if i == 0 { render.startup_delay_s() } else { 0.0 };
+                let stall = c.rebuffer_s
+                    + if i == 0 {
+                        render.startup_delay_s()
+                    } else {
+                        0.0
+                    };
                 let switch = match prev {
                     Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
                     _ => 0.0,
@@ -198,7 +202,10 @@ mod tests {
         let src = source();
         let q_ad = oracle.qoe01(&src, &stall_at(10, 1.0)).unwrap();
         let q_key = oracle.qoe01(&src, &stall_at(7, 1.0)).unwrap();
-        assert!(q_ad > q_key, "ad stall {q_ad} should beat key-moment stall {q_key}");
+        assert!(
+            q_ad > q_key,
+            "ad stall {q_ad} should beat key-moment stall {q_key}"
+        );
     }
 
     #[test]
@@ -269,8 +276,6 @@ mod tests {
             base.chunks().to_vec(),
         )
         .unwrap();
-        assert!(
-            oracle.qoe01(&src, &delayed).unwrap() < oracle.qoe01(&src, &base).unwrap()
-        );
+        assert!(oracle.qoe01(&src, &delayed).unwrap() < oracle.qoe01(&src, &base).unwrap());
     }
 }

@@ -188,7 +188,7 @@ impl WeightProfiler {
                 &reference,
                 &probes2,
                 self.config.m2,
-                seed ^ 0x57E9_2,
+                seed ^ 0x0005_7E92,
             )?;
             for ((k, incident), mos) in probes2.iter().zip(&mos2) {
                 let dq = probe_score_delta(source, ladder, &base, &ref_scores, incident)?;
@@ -284,7 +284,8 @@ impl WeightProfiler {
         let mut renders: Vec<RenderedVideo> = probes
             .iter()
             .map(|(_, incident)| {
-                RenderedVideo::with_incidents(source, ladder, &[*incident]).map_err(CrowdError::from)
+                RenderedVideo::with_incidents(source, ladder, &[*incident])
+                    .map_err(CrowdError::from)
             })
             .collect::<Result<_, _>>()?;
         // The pristine reference is also rated (it anchors the MOS deltas),
@@ -294,7 +295,14 @@ impl WeightProfiler {
             raters_per_render: raters,
             ..self.config.campaign.clone()
         };
-        let campaign = Campaign::new(source, reference.clone(), &renders, &self.oracle, &self.pool, config)?;
+        let campaign = Campaign::new(
+            source,
+            reference.clone(),
+            &renders,
+            &self.oracle,
+            &self.pool,
+            config,
+        )?;
         let result = campaign.run(seed)?;
         let ref_mos = *result.mos01.last().expect("reference was appended");
         let probe_mos = result.mos01[..probes.len()].to_vec();
@@ -385,7 +393,10 @@ mod tests {
         // Key moments (chunks 4-6) must outweigh scenic chunks (7-9).
         let key_mean = (w[4] + w[5] + w[6]) / 3.0;
         let scenic_mean = (w[7] + w[8] + w[9]) / 3.0;
-        assert!(key_mean > scenic_mean, "key {key_mean} vs scenic {scenic_mean}");
+        assert!(
+            key_mean > scenic_mean,
+            "key {key_mean} vs scenic {scenic_mean}"
+        );
     }
 
     #[test]
@@ -412,11 +423,8 @@ mod tests {
         assert!(ratio > 8.0, "exhaustive/pruned cost ratio = {ratio:.1}");
         // Exhaustive estimates should be at least as good (more data).
         let truth = SensitivityWeights::ground_truth(&src);
-        let srcc_ex = sensei_ml::stats::spearman(
-            exhaustive.weights.as_slice(),
-            truth.as_slice(),
-        )
-        .unwrap();
+        let srcc_ex =
+            sensei_ml::stats::spearman(exhaustive.weights.as_slice(), truth.as_slice()).unwrap();
         assert!(srcc_ex > 0.6, "exhaustive SRCC = {srcc_ex}");
     }
 
@@ -454,8 +462,10 @@ mod tests {
         let src = source();
         let ladder = BitrateLadder::default_paper();
         // With a huge alpha nothing is an outlier -> fewer renders rated.
-        let mut config = ProfilerConfig::default();
-        config.alpha = 10.0;
+        let config = ProfilerConfig {
+            alpha: 10.0,
+            ..ProfilerConfig::default()
+        };
         let no_step2 = WeightProfiler::new(RaterPool::masters(1), config)
             .profile(&src, &ladder, 3)
             .unwrap();
@@ -469,11 +479,7 @@ mod tests {
 
     #[test]
     fn finalize_defaults_unknown_chunks_to_uniform() {
-        let estimates = vec![
-            vec![(2.0, 0.2), (2.2, 0.2)],
-            vec![],
-            vec![(1.0, 0.2)],
-        ];
+        let estimates = vec![vec![(2.0, 0.2), (2.2, 0.2)], vec![], vec![(1.0, 0.2)]];
         let w = finalize(&estimates, 0.05);
         assert_eq!(w[1], 1.0);
         assert!(w[0] > w[2]);

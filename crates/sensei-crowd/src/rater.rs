@@ -135,8 +135,10 @@ mod tests {
             watch_probability: 0.6,
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let mean: f64 =
-            (0..2000).map(|_| rater.rate(0.95, &mut rng) as f64).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|_| rater.rate(0.95, &mut rng) as f64)
+            .sum::<f64>()
+            / 2000.0;
         // Uniform over 1..=5 has mean 3 regardless of true QoE.
         assert!((mean - 3.0).abs() < 0.15, "mean = {mean}");
     }
@@ -153,9 +155,8 @@ mod tests {
 
     #[test]
     fn masters_are_more_reliable_than_general() {
-        let count_unreliable = |pool: &RaterPool| {
-            pool.sample(1000).iter().filter(|r| !r.reliable).count()
-        };
+        let count_unreliable =
+            |pool: &RaterPool| pool.sample(1000).iter().filter(|r| !r.reliable).count();
         let general = count_unreliable(&RaterPool::general(5));
         let masters = count_unreliable(&RaterPool::masters(5));
         assert!(

@@ -138,9 +138,7 @@ pub fn windowed_gap_pct(qoe: &[f64], window: usize) -> f64 {
     if window == 0 || qoe.len() < window {
         return max_min_gap_pct(qoe);
     }
-    qoe.windows(window)
-        .map(max_min_gap_pct)
-        .fold(0.0, f64::max)
+    qoe.windows(window).map(max_min_gap_pct).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

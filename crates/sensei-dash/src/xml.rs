@@ -263,8 +263,7 @@ impl Parser<'_> {
                     if self.peek().is_none() {
                         return Err(self.error("unterminated attribute value"));
                     }
-                    let value =
-                        unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    let value = unescape(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
                     self.pos += 1;
                     element.attributes.push((key, value));
                 }
@@ -384,8 +383,7 @@ mod tests {
 
     #[test]
     fn accessors_navigate_the_tree() {
-        let parsed =
-            parse("<R><S id=\"1\"/><S id=\"2\"/><T/></R>").unwrap();
+        let parsed = parse("<R><S id=\"1\"/><S id=\"2\"/><T/></R>").unwrap();
         assert_eq!(parsed.all("S").count(), 2);
         assert!(parsed.first("T").is_some());
         assert!(parsed.first("U").is_none());

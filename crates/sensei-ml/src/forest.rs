@@ -172,7 +172,10 @@ impl RegressionTree {
                 let right_sq = total_sq - left_sq;
                 let sse =
                     (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
-                if best.as_ref().map_or(sse < parent_sse - 1e-12, |b| sse < b.2) {
+                if best
+                    .as_ref()
+                    .map_or(sse < parent_sse - 1e-12, |b| sse < b.2)
+                {
                     best = Some((f, (x[i][f] + x[next][f]) / 2.0, sse));
                 }
             }
@@ -203,7 +206,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    id = if x[*feature] <= *threshold { *left } else { *right };
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -410,8 +417,13 @@ mod tests {
             ..ForestParams::default()
         };
         assert!(RandomForest::fit(&[vec![1.0]], &[1.0], &bad_frac, 0).is_err());
-        let tree = RegressionTree::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], &ForestParams::default(), 0)
-            .unwrap();
+        let tree = RegressionTree::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0, 2.0],
+            &ForestParams::default(),
+            0,
+        )
+        .unwrap();
         assert!(tree.predict(&[1.0, 2.0]).is_err());
     }
 }

@@ -125,11 +125,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * v[j])
-                    .sum()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
             .collect())
     }
 

@@ -214,14 +214,20 @@ impl LstmRegressor {
         }
         let h_dim = self.hidden;
         let (caches, h_final) = self.run(seq)?;
-        let logit = self.why.iter().zip(&h_final).map(|(w, v)| w * v).sum::<f64>() + self.by;
+        let logit = self
+            .why
+            .iter()
+            .zip(&h_final)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.by;
         let pred = sigmoid(logit);
         let loss = (pred - target) * (pred - target);
         // dL/dlogit = 2(pred − target)·σ'(logit).
         let dlogit = 2.0 * (pred - target) * pred * (1.0 - pred);
         // Head gradients.
-        for k in 0..h_dim {
-            self.gwhy[k] += dlogit * h_final[k];
+        for (k, &h) in h_final.iter().enumerate().take(h_dim) {
+            self.gwhy[k] += dlogit * h;
         }
         self.gby += dlogit;
         // Backprop through time.
@@ -253,9 +259,9 @@ impl LstmRegressor {
                     self.gwx[wx_start + ii] += dzr * xv;
                 }
                 let wh_start = r * h_dim;
-                for k in 0..h_dim {
+                for (k, dhp) in dh_prev.iter_mut().enumerate().take(h_dim) {
                     self.gwh[wh_start + k] += dzr * cache.h_prev[k];
-                    dh_prev[k] += self.wh[wh_start + k] * dzr;
+                    *dhp += self.wh[wh_start + k] * dzr;
                 }
             }
             dh = dh_prev;
@@ -266,10 +272,38 @@ impl LstmRegressor {
 
     fn apply_adam(&mut self, lr: f64) {
         self.t += 1;
-        adam_update(&mut self.wx, &mut self.gwx, &mut self.mwx, &mut self.vwx, lr, self.t);
-        adam_update(&mut self.wh, &mut self.gwh, &mut self.mwh, &mut self.vwh, lr, self.t);
-        adam_update(&mut self.b, &mut self.gb, &mut self.mb, &mut self.vb, lr, self.t);
-        adam_update(&mut self.why, &mut self.gwhy, &mut self.mwhy, &mut self.vwhy, lr, self.t);
+        adam_update(
+            &mut self.wx,
+            &mut self.gwx,
+            &mut self.mwx,
+            &mut self.vwx,
+            lr,
+            self.t,
+        );
+        adam_update(
+            &mut self.wh,
+            &mut self.gwh,
+            &mut self.mwh,
+            &mut self.vwh,
+            lr,
+            self.t,
+        );
+        adam_update(
+            &mut self.b,
+            &mut self.gb,
+            &mut self.mb,
+            &mut self.vb,
+            lr,
+            self.t,
+        );
+        adam_update(
+            &mut self.why,
+            &mut self.gwhy,
+            &mut self.mwhy,
+            &mut self.vwhy,
+            lr,
+            self.t,
+        );
         let mut p = [self.by];
         let mut g = [self.gby];
         let mut m = [self.mby];
@@ -346,8 +380,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let data: Vec<(Vec<Vec<f64>>, f64)> = (0..60)
             .map(|_| {
-                let seq: Vec<Vec<f64>> =
-                    (0..6).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+                let seq: Vec<Vec<f64>> = (0..6).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
                 let mean = seq.iter().map(|v| v[0]).sum::<f64>() / 6.0;
                 (seq, mean)
             })

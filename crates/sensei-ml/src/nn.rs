@@ -116,8 +116,7 @@ impl Dense {
     /// input `x`; returns the gradient w.r.t. `x`.
     fn backward(&mut self, x: &[f64], dz: &[f64]) -> Vec<f64> {
         let mut dx = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let g = dz[o];
+        for (o, &g) in dz.iter().enumerate().take(self.out_dim) {
             self.gb[o] += g;
             let row_start = o * self.in_dim;
             for i in 0..self.in_dim {
@@ -205,7 +204,7 @@ impl Mlp {
                 value: dims.len() as f64,
             });
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err(MlError::InvalidHyperparameter {
                 name: "dims (zero layer)",
                 value: 0.0,
@@ -337,11 +336,7 @@ impl Mlp {
                 actual: target.len(),
             });
         }
-        let loss: f64 = out
-            .iter()
-            .zip(target)
-            .map(|(o, t)| (o - t) * (o - t))
-            .sum();
+        let loss: f64 = out.iter().zip(target).map(|(o, t)| (o - t) * (o - t)).sum();
         let d_out: Vec<f64> = out.iter().zip(target).map(|(o, t)| 2.0 * (o - t)).collect();
         self.backward(&cache, &d_out)?;
         self.step(lr);

@@ -99,12 +99,7 @@ impl LinearModel {
         xtx.add_diagonal(lambda);
         let weights = xtx.solve(&xty)?;
         let intercept = if fit_intercept {
-            y_mean
-                - weights
-                    .iter()
-                    .zip(&x_mean)
-                    .map(|(w, m)| w * m)
-                    .sum::<f64>()
+            y_mean - weights.iter().zip(&x_mean).map(|(w, m)| w * m).sum::<f64>()
         } else {
             0.0
         };
@@ -134,13 +129,7 @@ impl LinearModel {
                 actual: x.len(),
             });
         }
-        Ok(self
-            .weights
-            .iter()
-            .zip(x)
-            .map(|(w, v)| w * v)
-            .sum::<f64>()
-            + self.intercept)
+        Ok(self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept)
     }
 
     /// Predicts a batch.
@@ -167,11 +156,7 @@ pub fn fit_nonnegative_weights(
     min_weight: f64,
 ) -> Result<Vec<f64>, MlError> {
     let model = LinearModel::fit(x, y, lambda, false)?;
-    Ok(model
-        .weights()
-        .iter()
-        .map(|&w| w.max(min_weight))
-        .collect())
+    Ok(model.weights().iter().map(|&w| w.max(min_weight)).collect())
 }
 
 #[cfg(test)]
@@ -238,8 +223,7 @@ mod tests {
         let y: Vec<f64> = x
             .iter()
             .map(|r| {
-                r.iter().zip(&true_w).map(|(a, b)| a * b).sum::<f64>()
-                    + rng.gen_range(-0.05..0.05)
+                r.iter().zip(&true_w).map(|(a, b)| a * b).sum::<f64>() + rng.gen_range(-0.05..0.05)
             })
             .collect();
         let m = LinearModel::fit(&x, &y, 1e-6, false).unwrap();

@@ -79,7 +79,12 @@ impl ActorCritic {
     /// # Errors
     ///
     /// Returns an error when dimensions are zero or config values invalid.
-    pub fn new(state_dim: usize, n_actions: usize, config: A2cConfig, seed: u64) -> Result<Self, MlError> {
+    pub fn new(
+        state_dim: usize,
+        n_actions: usize,
+        config: A2cConfig,
+        seed: u64,
+    ) -> Result<Self, MlError> {
         if n_actions < 2 {
             return Err(MlError::InvalidHyperparameter {
                 name: "n_actions",

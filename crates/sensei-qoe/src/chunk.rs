@@ -64,7 +64,12 @@ impl ChunkQualityParams {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let stall = c.rebuffer_s + if i == 0 { render.startup_delay_s() } else { 0.0 };
+                let stall = c.rebuffer_s
+                    + if i == 0 {
+                        render.startup_delay_s()
+                    } else {
+                        0.0
+                    };
                 let switch = match prev {
                     Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
                     _ => 0.0,

@@ -107,6 +107,26 @@ pub trait QoeModel {
     }
 }
 
+/// Boxed models are models, so crate boundaries can trade in
+/// `Box<dyn QoeModel>` without unwrapping.
+impl<M: QoeModel + ?Sized> QoeModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn predict(&self, render: &RenderedVideo) -> Result<f64, QoeError> {
+        (**self).predict(render)
+    }
+
+    fn predict_batch(&self, renders: &[RenderedVideo]) -> Result<Vec<f64>, QoeError> {
+        (**self).predict_batch(renders)
+    }
+}
+
+/// The trait must stay object-safe: swappable QoE backends are held as
+/// `Box<dyn QoeModel>` across crate boundaries.
+const _: fn(&dyn QoeModel) = |_| {};
+
 /// Validates a labeled training set: non-empty, labels in `[0, 1]`.
 pub(crate) fn validate_training_set(
     renders: &[RenderedVideo],

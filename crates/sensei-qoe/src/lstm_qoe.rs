@@ -53,8 +53,12 @@ impl LstmQoe {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let stall =
-                    c.rebuffer_s + if i == 0 { render.startup_delay_s() } else { 0.0 };
+                let stall = c.rebuffer_s
+                    + if i == 0 {
+                        render.startup_delay_s()
+                    } else {
+                        0.0
+                    };
                 let switch = match prev {
                     Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
                     _ => 0.0,
@@ -144,11 +148,19 @@ mod tests {
         // Find a high-motion-stall render and a low-motion-stall render.
         let hi = renders
             .iter()
-            .position(|r| r.chunks().iter().any(|c| c.rebuffer_s > 0.0 && c.motion > 0.7))
+            .position(|r| {
+                r.chunks()
+                    .iter()
+                    .any(|c| c.rebuffer_s > 0.0 && c.motion > 0.7)
+            })
             .expect("series stalls every chunk; some are high-motion");
         let lo = renders
             .iter()
-            .position(|r| r.chunks().iter().any(|c| c.rebuffer_s > 0.0 && c.motion < 0.3))
+            .position(|r| {
+                r.chunks()
+                    .iter()
+                    .any(|c| c.rebuffer_s > 0.0 && c.motion < 0.3)
+            })
             .expect("some are low-motion");
         let q_hi = model.predict(&renders[hi]).unwrap();
         let q_lo = model.predict(&renders[lo]).unwrap();

@@ -109,7 +109,10 @@ mod tests {
         // Pristine must beat stalled renders.
         let pristine = model.predict(&renders[0]).unwrap();
         let stalled = model.predict(&renders[1]).unwrap();
-        assert!(pristine > stalled, "pristine {pristine} vs stalled {stalled}");
+        assert!(
+            pristine > stalled,
+            "pristine {pristine} vs stalled {stalled}"
+        );
     }
 
     #[test]

@@ -103,6 +103,27 @@ pub trait AbrPolicy {
     fn reset(&mut self) {}
 }
 
+/// Boxed policies are policies, so experiment harnesses can hold
+/// heterogeneous `Box<dyn AbrPolicy>` line-ups and still hand them to
+/// [`crate::simulate`].
+impl<P: AbrPolicy + ?Sized> AbrPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+        (**self).decide(state, ctx)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+/// The trait must stay object-safe: policies are swapped at runtime as
+/// `Box<dyn AbrPolicy>` by the experiment harness.
+const _: fn(&dyn AbrPolicy) = |_| {};
+
 /// A fixed-level policy, useful for tests and as a lower bound.
 #[derive(Debug, Clone)]
 pub struct FixedLevel {

@@ -335,9 +335,19 @@ mod tests {
         let (src, enc) = setup(10);
         let trace = ThroughputTrace::constant("fast", 20_000.0, 600.0).unwrap();
         let mut policy = FixedLevel::new(4);
-        let result = simulate(&src, &enc, &trace, &mut policy, &PlayerConfig::default(), None)
-            .unwrap();
-        assert_eq!(result.render.total_rebuffer_s(), result.render.startup_delay_s());
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut policy,
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            result.render.total_rebuffer_s(),
+            result.render.startup_delay_s()
+        );
         assert!(result.render.startup_delay_s() < 1.5);
         assert_eq!(result.render.avg_bitrate_kbps(), 2850.0);
         assert_eq!(result.levels, vec![4; 10]);
@@ -349,8 +359,15 @@ mod tests {
         // 1 Mbps cannot sustain 2.85 Mbps video.
         let trace = ThroughputTrace::constant("slow", 1000.0, 600.0).unwrap();
         let mut policy = FixedLevel::new(4);
-        let result = simulate(&src, &enc, &trace, &mut policy, &PlayerConfig::default(), None)
-            .unwrap();
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut policy,
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
         let stalls = result.render.total_rebuffer_s() - result.render.startup_delay_s();
         assert!(stalls > 5.0, "expected heavy stalling, got {stalls}");
     }
@@ -360,8 +377,15 @@ mod tests {
         let (src, enc) = setup(10);
         let trace = ThroughputTrace::constant("slow", 1000.0, 600.0).unwrap();
         let mut policy = FixedLevel::new(0);
-        let result = simulate(&src, &enc, &trace, &mut policy, &PlayerConfig::default(), None)
-            .unwrap();
+        let result = simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut policy,
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
         let stalls = result.render.total_rebuffer_s() - result.render.startup_delay_s();
         assert!(stalls < 0.1, "expected no stalling, got {stalls}");
     }
@@ -533,7 +557,10 @@ mod tests {
                 Some(&weights)
             )
             .unwrap_err(),
-            SimError::WeightLengthMismatch { chunks: 4, weights: 3 }
+            SimError::WeightLengthMismatch {
+                chunks: 4,
+                weights: 3
+            }
         ));
     }
 
@@ -575,7 +602,15 @@ mod tests {
         let (src, enc) = setup(8);
         let trace = ThroughputTrace::constant("t", 3000.0, 600.0).unwrap();
         let mut policy = HistCheck { seen: vec![] };
-        simulate(&src, &enc, &trace, &mut policy, &PlayerConfig::default(), None).unwrap();
+        simulate(
+            &src,
+            &enc,
+            &trace,
+            &mut policy,
+            &PlayerConfig::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(policy.seen.len(), 7);
         for &v in &policy.seen {
             assert!(

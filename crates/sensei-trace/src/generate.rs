@@ -174,7 +174,11 @@ mod tests {
     #[test]
     fn fcc_like_stays_near_mean() {
         let t = fcc_like(3000.0, 600, 42);
-        assert!((t.mean_kbps() - 3000.0).abs() < 900.0, "mean {}", t.mean_kbps());
+        assert!(
+            (t.mean_kbps() - 3000.0).abs() < 900.0,
+            "mean {}",
+            t.mean_kbps()
+        );
         assert!(t.max_kbps() <= 2.5 * 3000.0);
         // Fixed broadband: no full outages.
         assert!(t.min_kbps() > 0.0);

@@ -399,7 +399,7 @@ mod tests {
     #[test]
     fn download_time_constant_rate() {
         let t = trace(&[1000.0; 10]); // 1 Mbps
-        // 4 Mb at 1 Mbps takes 4 s.
+                                      // 4 Mb at 1 Mbps takes 4 s.
         assert!((t.download_time(0.0, 4_000_000.0) - 4.0).abs() < 1e-9);
     }
 

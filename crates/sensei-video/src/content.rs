@@ -365,7 +365,10 @@ mod tests {
         c.motion = 1.5;
         assert!(matches!(
             c.validate().unwrap_err(),
-            VideoError::InvalidContent { field: "motion", .. }
+            VideoError::InvalidContent {
+                field: "motion",
+                ..
+            }
         ));
     }
 

@@ -100,10 +100,7 @@ impl BitrateLadder {
     /// Highest level whose bitrate does not exceed `kbps` (level 0 if all
     /// exceed it).
     pub fn highest_at_most(&self, kbps: f64) -> usize {
-        self.kbps
-            .iter()
-            .rposition(|&b| b <= kbps)
-            .unwrap_or(0)
+        self.kbps.iter().rposition(|&b| b <= kbps).unwrap_or(0)
     }
 }
 

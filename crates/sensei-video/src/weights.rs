@@ -42,7 +42,7 @@ impl SensitivityWeights {
     /// The uniform (sensitivity-unaware) weight vector: every chunk 1.0.
     /// This is what every pre-SENSEI QoE model implicitly assumes.
     pub fn uniform(num_chunks: usize) -> Result<Self, VideoError> {
-        Self::new(vec![1.0; num_chunks.max(0)])
+        Self::new(vec![1.0; num_chunks])
     }
 
     /// The ground-truth weights of a source video (the vector the crowd
@@ -74,10 +74,13 @@ impl SensitivityWeights {
     ///
     /// Returns an error when `index` is out of range.
     pub fn get(&self, index: usize) -> Result<f64, VideoError> {
-        self.w.get(index).copied().ok_or(VideoError::ChunkOutOfRange {
-            index,
-            len: self.w.len(),
-        })
+        self.w
+            .get(index)
+            .copied()
+            .ok_or(VideoError::ChunkOutOfRange {
+                index,
+                len: self.w.len(),
+            })
     }
 
     /// Weights of the next `horizon` chunks starting at `from`, truncated at

@@ -12,9 +12,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.videos = Some(vec!["Basket1".to_string()]);
     let env = Experiment::build(&config)?;
     let asset = env.asset("Basket1")?;
-    println!("{:<26} {:>10} {:>10} {:>10}", "trace (mean kbps)", "BBA", "Fugu", "SENSEI");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "trace (mean kbps)", "BBA", "Fugu", "SENSEI"
+    );
     for trace in &env.traces {
-        let mut row = format!("{:<26}", format!("{} ({:.0})", trace.name(), trace.mean_kbps()));
+        let mut row = format!(
+            "{:<26}",
+            format!("{} ({:.0})", trace.name(), trace.mean_kbps())
+        );
         for kind in [PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu] {
             let cell = env.run_session(asset, trace, kind)?;
             row.push_str(&format!(" {:>10.3}", cell.qoe01));

@@ -19,7 +19,12 @@ use sensei_video::corpus;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A source video from the Table-1 corpus.
     let entry = corpus::by_name("Soccer1", 2021)?;
-    println!("video: {} ({} chunks, {})", entry.video.name(), entry.video.num_chunks(), entry.length_label());
+    println!(
+        "video: {} ({} chunks, {})",
+        entry.video.name(),
+        entry.video.num_chunks(),
+        entry.length_label()
+    );
 
     // 2. Onboard: encode + crowdsource weights + build the manifest.
     let sensei = Sensei::paper_default(7);

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io registry cache, so this workspace
+//! vendors the minimal surface `benches/perf_overhead.rs` uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. The harness is a straightforward wall-clock timer — warm up,
+//! then run batches until a time budget is spent and report mean
+//! time-per-iteration — which is all the §7.4 overhead bench needs
+//! (order-of-magnitude comparisons against a 4-second chunk budget, not
+//! statistically rigorous confidence intervals).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Timer handed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_s: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few calls to fault in caches and lazy statics.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(300) {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        // Measurement: run until ~1 s of wall clock or 10k iterations.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < Duration::from_secs(1) && iters < 10_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iterations = iters.max(1);
+        self.mean_s = start.elapsed().as_secs_f64() / self.iterations as f64;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let per_iter = bencher.mean_s;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!(
+        "{name:<40} {value:>10.3} {unit}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// Top-level benchmark context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            mean_s: 0.0,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.group, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no state to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a named group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

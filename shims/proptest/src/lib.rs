@@ -1,0 +1,289 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io registry cache, so this workspace
+//! vendors the subset of proptest that `tests/proptests.rs` uses: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range and tuple
+//! strategies, [`collection::vec`], and the `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the inputs' `Debug`
+//!   rendering instead of a minimized counterexample.
+//! * **Fixed deterministic seeding.** Each property derives its RNG seed
+//!   from its own name, so failures reproduce across runs without a
+//!   persistence file.
+
+/// Number of accepted cases each property runs.
+pub const CASES: u32 = 128;
+
+/// Cap on rejected cases (via `prop_assume!`) before a property gives up.
+pub const MAX_REJECTS: u32 = 8192;
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; try another.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+/// Deterministic RNG driving value generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a per-property generator from the property's name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut state: u64 = 0x5EED_0BAD_CAFE_F00D;
+        for b in name.bytes() {
+            state = state.rotate_left(8) ^ u64::from(b);
+            state = state.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 strategy range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Strategies over collections (`prop::collection` in real proptest).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing `Vec`s of an element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `sizes` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty vec-size strategy range");
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves as upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{prop, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supports the `fn name(arg in strategy, ...) { body }` form. Each
+/// property runs [`CASES`] accepted cases; failures panic with the
+/// generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < $crate::CASES {
+                    if rejected >= $crate::MAX_REJECTS {
+                        panic!(
+                            "property {}: too many rejected cases ({} accepted, {} rejected)",
+                            stringify!($name), accepted, rejected
+                        );
+                    }
+                    $(let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);)*
+                    let rendered_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                            panic!(
+                                "property {} failed: {}\n  inputs: {}",
+                                stringify!($name), message, rendered_inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when `condition` is false (`prop_assume!`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($condition:expr) => {
+        if !$condition {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($condition)),
+            ));
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($condition:expr) => {
+        let holds: bool = $condition;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(stringify!($condition)),
+            ));
+        }
+    };
+    ($condition:expr, $($fmt:tt)+) => {
+        let holds: bool = $condition;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left_value = &$left;
+        let right_value = &$right;
+        if !(left_value == right_value) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{} != {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                left_value,
+                right_value
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The harness itself: addition is commutative.
+        #[test]
+        fn addition_commutes(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            prop_assert!((a + b - (b + a)).abs() < 1e-12);
+        }
+
+        /// Rejected cases do not count as accepted.
+        #[test]
+        fn assume_filters(v in crate::collection::vec(0usize..10, 1..5)) {
+            prop_assume!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -62,11 +62,8 @@ fn crowdsourced_weights_approximate_ground_truth_at_corpus_scale() {
         let entry = corpus::by_name(name, 2021).unwrap();
         let onboarded = sensei.onboard(&entry.video, 17).unwrap();
         let truth = SensitivityWeights::ground_truth(&entry.video);
-        let srcc = sensei_ml::stats::spearman(
-            onboarded.weights.as_slice(),
-            truth.as_slice(),
-        )
-        .unwrap();
+        let srcc =
+            sensei_ml::stats::spearman(onboarded.weights.as_slice(), truth.as_slice()).unwrap();
         srccs.push(srcc);
     }
     let mean = sensei_ml::stats::mean(&srccs);
@@ -123,8 +120,14 @@ fn oracle_gains_bound_the_practical_gains() {
         .run_session(asset, &trace, PolicyKind::SenseiFugu)
         .unwrap()
         .qoe01;
-    assert!(aware >= unaware * 0.98, "aware {aware:.3} vs unaware {unaware:.3}");
-    assert!(aware >= practical * 0.9, "oracle should not lose badly to practical");
+    assert!(
+        aware >= unaware * 0.98,
+        "aware {aware:.3} vs unaware {unaware:.3}"
+    );
+    assert!(
+        aware >= practical * 0.9,
+        "oracle should not lose badly to practical"
+    );
 }
 
 #[test]
@@ -141,7 +144,8 @@ fn intentional_rebuffering_only_comes_from_sensei_players() {
             let cell = env.run_session(asset, trace, kind).unwrap();
             if !may_pause {
                 assert_eq!(
-                    cell.intentional_stall_s, 0.0,
+                    cell.intentional_stall_s,
+                    0.0,
                     "{} paused intentionally",
                     kind.label()
                 );
@@ -163,10 +167,24 @@ fn fugu_objective_and_true_qoe_agree_directionally() {
     let good_trace = sensei_trace::ThroughputTrace::constant("fast", 6000.0, 600.0).unwrap();
     let bad_trace = sensei_trace::ThroughputTrace::constant("slow", 500.0, 600.0).unwrap();
     let config = PlayerConfig::default();
-    let good = simulate(&entry.video, &encoded, &good_trace, &mut Fugu::new(), &config, None)
-        .unwrap();
-    let bad = simulate(&entry.video, &encoded, &bad_trace, &mut Fugu::new(), &config, None)
-        .unwrap();
+    let good = simulate(
+        &entry.video,
+        &encoded,
+        &good_trace,
+        &mut Fugu::new(),
+        &config,
+        None,
+    )
+    .unwrap();
+    let bad = simulate(
+        &entry.video,
+        &encoded,
+        &bad_trace,
+        &mut Fugu::new(),
+        &config,
+        None,
+    )
+    .unwrap();
     assert!(
         oracle.qoe01(&entry.video, &good.render).unwrap()
             > oracle.qoe01(&entry.video, &bad.render).unwrap()
