@@ -1,0 +1,97 @@
+//! Fleet throughput: the perf baseline for the sharded simulation engine.
+//!
+//! Two runs:
+//!
+//! 1. **Scale** — ≥10,000 BBA sessions across a perturbed scenario space
+//!    (bandwidth scaling × Gaussian jitter × player variants), reporting
+//!    sessions/sec. This is the number future PRs must beat.
+//! 2. **Mixed line-up** — a smaller run with the MPC policies so the
+//!    streaming gain-CDF path is exercised and reported too.
+//!
+//! Both runs use streaming `O(bins)` aggregation — no per-session results
+//! are retained, so the same harness scales to millions of sessions.
+use sensei_bench::header;
+use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+use sensei_sim::PlayerConfig;
+
+fn main() {
+    header(
+        "Fleet",
+        "sharded fleet-simulation throughput (sessions/sec)",
+        "n/a — beyond the paper: the ROADMAP's million-session scale axis",
+    );
+    let t0 = std::time::Instant::now();
+    let env = Experiment::build(&ExperimentConfig::quick(2021)).expect("environment builds");
+    println!(
+        "[setup] {} videos, {} traces ({:.1}s)",
+        env.assets.len(),
+        env.traces.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let workers = FleetConfig::default().workers;
+
+    // --- Run 1: ≥10k sessions, cheap policy, wide scenario space. ------
+    let mut perturbations = Vec::new();
+    for i in 0..13 {
+        let scale = 0.5 + 0.1 * f64::from(i); // 0.5x .. 1.7x bandwidth
+        for jitter in [0.0, 100.0, 200.0, 400.0, 800.0] {
+            perturbations.push(TracePerturbation {
+                scale,
+                jitter_std_kbps: jitter,
+            });
+        }
+    }
+    let players: Vec<PlayerConfig> = [8.0, 16.0, 24.0]
+        .into_iter()
+        .flat_map(|max_buffer_s| {
+            [0.03, 0.15].into_iter().map(move |rtt_s| PlayerConfig {
+                max_buffer_s,
+                rtt_s,
+                ..PlayerConfig::default()
+            })
+        })
+        .collect();
+    let matrix = ScenarioMatrix::builder()
+        .policies([PolicyKind::Bba])
+        .perturbations(perturbations)
+        .players(players)
+        .master_seed(2021)
+        .build()
+        .expect("valid matrix");
+    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    let total = fleet.num_scenarios();
+    assert!(
+        total >= 10_000,
+        "scale run must cover >= 10k sessions, got {total}"
+    );
+    println!("[scale] {total} sessions on {workers} workers...");
+    let report = fleet.run().expect("fleet run completes");
+    print!("{}", report.summary());
+    println!(
+        "measured: {:.0} sessions/sec ({} sessions in {:.1}s)",
+        report.sessions_per_sec, report.stats.sessions, report.wall_time_s
+    );
+
+    // --- Run 2: mixed policy line-up, gain CDF vs BBA. -----------------
+    let matrix = ScenarioMatrix::builder()
+        .policies([PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation::jittered(300.0),
+        ])
+        .master_seed(2021)
+        .build()
+        .expect("valid matrix");
+    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    println!(
+        "[mixed] {} sessions on {workers} workers...",
+        fleet.num_scenarios()
+    );
+    let report = fleet.run().expect("fleet run completes");
+    print!("{}", report.summary());
+    println!(
+        "measured: {:.0} sessions/sec with the MPC line-up",
+        report.sessions_per_sec
+    );
+}

@@ -143,7 +143,7 @@ impl PolicyKind {
 }
 
 /// One grid cell outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
     /// Video name.
     pub video: String,
@@ -165,6 +165,9 @@ pub struct CellResult {
     pub delivered_bits: f64,
     /// Intentional stall seconds (SENSEI's new action).
     pub intentional_stall_s: f64,
+    /// Number of ladder-level changes across the session (quality
+    /// switches), for switch-rate distributions at fleet scale.
+    pub bitrate_switches: usize,
 }
 
 /// The built experiment environment.
@@ -331,7 +334,8 @@ impl Experiment {
         })
     }
 
-    /// Runs one session and scores it with the true-QoE oracle.
+    /// Runs one session and scores it with the true-QoE oracle, using the
+    /// experiment's own [`PlayerConfig`].
     ///
     /// # Errors
     ///
@@ -342,6 +346,23 @@ impl Experiment {
         trace: &ThroughputTrace,
         kind: PolicyKind,
     ) -> Result<CellResult, CoreError> {
+        self.run_session_with(asset, trace, kind, &self.player)
+    }
+
+    /// Runs one session under an explicit [`PlayerConfig`] — the entry
+    /// point fleet runs use to sweep player variants without rebuilding the
+    /// (expensive) experiment environment per variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/oracle failures.
+    pub fn run_session_with(
+        &self,
+        asset: &VideoAsset,
+        trace: &ThroughputTrace,
+        kind: PolicyKind,
+        player: &PlayerConfig,
+    ) -> Result<CellResult, CoreError> {
         let mut policy = self.policy(kind, trace)?;
         let weights = kind.uses_weights().then_some(&asset.weights);
         let result: SessionResult = simulate(
@@ -349,7 +370,7 @@ impl Experiment {
             &asset.encoded,
             trace,
             policy.as_mut(),
-            &self.player,
+            player,
             weights,
         )?;
         let qoe01 = self.oracle.qoe01(&asset.source, &result.render)?;
@@ -369,10 +390,18 @@ impl Experiment {
                 .iter()
                 .map(|c| c.intentional_rebuffer_s)
                 .sum(),
+            bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
         })
     }
 
-    /// Runs the full `(policy × video × trace)` grid.
+    /// Runs the full `(video × trace × policy)` grid sequentially, in the
+    /// canonical enumeration order (video outermost, policy innermost).
+    ///
+    /// This is the degenerate single-worker fleet run: `sensei-fleet`'s
+    /// `ScenarioMatrix::grid` spans exactly this scenario space and its
+    /// executor walks it in the same canonical order, so a fleet run with
+    /// one worker (and no perturbations or player variants) reproduces this
+    /// output cell for cell.
     ///
     /// # Errors
     ///

@@ -35,6 +35,11 @@ pub enum CoreError {
     Ml(sensei_ml::MlError),
     /// Trace-substrate failure.
     Trace(sensei_trace::TraceError),
+    /// Fleet-engine failure. Type-erased because `sensei-fleet` sits
+    /// *above* this crate in the workspace DAG (it orchestrates
+    /// experiments), so the concrete `FleetError` cannot be named here;
+    /// `From<FleetError> for CoreError` lives in `sensei-fleet`.
+    Fleet(Box<dyn std::error::Error + Send + Sync>),
     /// The experiment configuration is unusable.
     BadConfig(String),
 }
@@ -50,6 +55,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Qoe(e) => write!(f, "qoe error: {e}"),
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
             CoreError::Trace(e) => write!(f, "trace error: {e}"),
+            CoreError::Fleet(e) => write!(f, "fleet error: {e}"),
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
     }
@@ -66,6 +72,7 @@ impl std::error::Error for CoreError {
             CoreError::Qoe(e) => Some(e),
             CoreError::Ml(e) => Some(e),
             CoreError::Trace(e) => Some(e),
+            CoreError::Fleet(e) => Some(&**e),
             CoreError::BadConfig(_) => None,
         }
     }

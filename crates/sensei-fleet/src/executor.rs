@@ -1,0 +1,334 @@
+//! The std-only sharded executor.
+//!
+//! Workers pull scenario IDs from a shared atomic cursor (dynamic load
+//! balancing — an expensive MPC session on one worker doesn't idle the
+//! rest), simulate, and stream `(id, result)` pairs back over a bounded
+//! channel. The collector folds results into the aggregates **in canonical
+//! ID order** via a small reorder buffer, so the folded floating-point
+//! stream — and therefore every aggregate bit — is identical whether the
+//! fleet ran on 1 worker or 64.
+//!
+//! The reorder buffer holds only results that arrived ahead of the next
+//! ID to fold, and an admission window keeps it **hard-bounded**: a worker
+//! may not start a scenario more than `window` IDs ahead of the fold
+//! frontier, so even when one expensive scenario stalls the frontier while
+//! the rest of the fleet races ahead, at most `window` results are ever
+//! buffered. Collector memory is `O(window)` on top of the `O(bins)`
+//! aggregates, independent of fleet size.
+
+use crate::report::{FleetReport, FleetStats};
+use crate::scenario::{Scenario, ScenarioMatrix};
+use crate::FleetError;
+use sensei_core::{CellResult, CoreError, Experiment, PolicyKind};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker threads to shard scenarios across (must be ≥ 1).
+    pub workers: usize,
+    /// Baseline policy for the QoE-gain CDFs; defaults to the matrix's
+    /// first policy.
+    pub baseline: Option<PolicyKind>,
+}
+
+impl FleetConfig {
+    /// A config with `workers` threads and the default baseline.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            baseline: None,
+        }
+    }
+
+    /// Sets the gain baseline policy.
+    #[must_use]
+    pub fn with_baseline(mut self, baseline: PolicyKind) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+}
+
+impl Default for FleetConfig {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// A fleet run bound to an experiment environment and a scenario matrix.
+#[derive(Clone, Copy)]
+pub struct Fleet<'a> {
+    experiment: &'a Experiment,
+    matrix: &'a ScenarioMatrix,
+    workers: usize,
+    baseline: PolicyKind,
+}
+
+impl<'a> Fleet<'a> {
+    /// Binds `matrix` to `experiment` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the config asks for zero workers or names a
+    /// baseline policy outside the matrix.
+    pub fn new(
+        experiment: &'a Experiment,
+        matrix: &'a ScenarioMatrix,
+        config: FleetConfig,
+    ) -> Result<Self, FleetError> {
+        if config.workers == 0 {
+            return Err(FleetError::NoWorkers);
+        }
+        let baseline = config.baseline.unwrap_or(matrix.policies()[0]);
+        if !matrix.policies().contains(&baseline) {
+            return Err(FleetError::BaselineNotInMatrix(baseline));
+        }
+        Ok(Self {
+            experiment,
+            matrix,
+            workers: config.workers,
+            baseline,
+        })
+    }
+
+    /// Total scenarios this fleet will run.
+    #[must_use]
+    pub fn num_scenarios(&self) -> u64 {
+        self.matrix.num_scenarios(self.experiment)
+    }
+
+    /// Runs the whole matrix and streams every session into the
+    /// `O(bins)`-memory aggregates. This is the fleet-scale entry point:
+    /// per-session results are folded and dropped, never collected.
+    ///
+    /// # Errors
+    ///
+    /// Aborts on the first scenario failure, identifying the scenario by
+    /// its stable ID (re-runnable in isolation via
+    /// [`ScenarioMatrix::scenario`]).
+    pub fn run(&self) -> Result<FleetReport, FleetError> {
+        let policies = self.matrix.policies().len();
+        let mut stats = FleetStats::new(self.matrix.policies(), self.baseline);
+        let mut cell: Vec<CellResult> = Vec::with_capacity(policies);
+        let started = Instant::now();
+        self.execute(|_, result| {
+            cell.push(result);
+            // Policy is the innermost axis, so `policies` consecutive
+            // results in canonical order form exactly one cell.
+            if cell.len() == policies {
+                stats.fold_cell(&cell);
+                cell.clear();
+            }
+        })?;
+        let wall_time_s = started.elapsed().as_secs_f64();
+        let sessions = stats.sessions;
+        Ok(FleetReport {
+            stats,
+            workers: self.workers,
+            wall_time_s,
+            sessions_per_sec: sessions as f64 / wall_time_s.max(1e-9),
+        })
+    }
+
+    /// Runs the whole matrix and collects every per-session result in
+    /// canonical order — `O(sessions)` memory, meant for modest matrices
+    /// (grid-sized runs, tests, figure regeneration). With the matrix from
+    /// [`ScenarioMatrix::grid`] and a default-player experiment this
+    /// reproduces `Experiment::run_grid` cell for cell.
+    ///
+    /// # Errors
+    ///
+    /// Aborts on the first scenario failure.
+    pub fn run_cells(&self) -> Result<Vec<CellResult>, FleetError> {
+        let mut cells = Vec::with_capacity(usize::try_from(self.num_scenarios()).unwrap_or(0));
+        self.execute(|_, result| cells.push(result))?;
+        Ok(cells)
+    }
+
+    /// Simulates one scenario. Pure function of (experiment, matrix,
+    /// scenario) — no shared mutable state, which is what makes sharding
+    /// trivially sound.
+    fn run_scenario(&self, sc: &Scenario) -> Result<CellResult, CoreError> {
+        let asset = &self.experiment.assets[sc.video_idx];
+        let base = &self.experiment.traces[sc.trace_idx];
+        let perturbation = &self.matrix.perturbations()[sc.perturbation_idx];
+        let trace = perturbation.apply(base, sc.seed)?;
+        let player = self.matrix.player(self.experiment, sc.player_idx);
+        self.experiment
+            .run_session_with(asset, &trace, sc.policy, player)
+    }
+
+    /// Fans scenarios out across the workers and invokes `sink` for every
+    /// result **in canonical scenario order** (`sink(0, …)`, `sink(1, …)`,
+    /// …), regardless of completion order.
+    fn execute(&self, mut sink: impl FnMut(u64, CellResult)) -> Result<(), FleetError> {
+        let total = self.num_scenarios();
+        if total == 0 {
+            return Err(FleetError::EmptyAxis("scenarios"));
+        }
+        // Admission window: workers may run at most this many scenarios
+        // ahead of the collector's fold frontier, which caps the reorder
+        // buffer (and the channel) at `window` entries even when one slow
+        // scenario stalls the frontier while the rest of the fleet races
+        // ahead.
+        let window = self.workers.saturating_mul(32).max(64) as u64;
+        let cursor = AtomicU64::new(0);
+        let poison = AtomicBool::new(false);
+        let frontier = Frontier::default();
+        let (tx, rx) = mpsc::sync_channel::<(u64, Result<CellResult, CoreError>)>(window as usize);
+        thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let poison = &poison;
+                let frontier = &frontier;
+                let fleet = *self;
+                scope.spawn(move || {
+                    // If this worker panics (a bug deep in a policy or the
+                    // simulator), poison the run on unwind so the other
+                    // workers and the collector shut down instead of
+                    // waiting on a frontier that can no longer advance;
+                    // `thread::scope` then propagates the panic.
+                    let _guard = PoisonOnPanic { poison, frontier };
+                    loop {
+                        if poison.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let id = cursor.fetch_add(1, Ordering::Relaxed);
+                        if id >= total {
+                            break;
+                        }
+                        if !frontier.wait_until_admitted(id, window, poison) {
+                            break;
+                        }
+                        let scenario = fleet.matrix.scenario(fleet.experiment, id);
+                        let result = fleet.run_scenario(&scenario);
+                        let failed = result.is_err();
+                        if failed {
+                            poison.store(true, Ordering::Relaxed);
+                            frontier.release_all();
+                        }
+                        // A send error means the collector hung up (error
+                        // path); either way this worker is done.
+                        if tx.send((id, result)).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut next: u64 = 0;
+            let mut reorder: BTreeMap<u64, CellResult> = BTreeMap::new();
+            // Lowest failing scenario ID seen. Keeping the minimum (rather
+            // than whichever error arrives first) stabilizes the reported
+            // scenario across interleavings of the failures that did run;
+            // with several failing scenarios, poisoning can still stop a
+            // lower one from running at all.
+            let mut error: Option<(u64, CoreError)> = None;
+            for (id, result) in &rx {
+                match result {
+                    Err(e) => {
+                        poison.store(true, Ordering::Relaxed);
+                        frontier.release_all();
+                        if error.as_ref().is_none_or(|(worst, _)| id < *worst) {
+                            error = Some((id, e));
+                        }
+                    }
+                    Ok(cell) if error.is_none() => {
+                        reorder.insert(id, cell);
+                        let before = next;
+                        while let Some(cell) = reorder.remove(&next) {
+                            sink(next, cell);
+                            next += 1;
+                        }
+                        if next != before {
+                            frontier.advance_to(next);
+                        }
+                    }
+                    // Error path: keep draining so no worker blocks on the
+                    // bounded channel; successful results are discarded.
+                    Ok(_) => {}
+                }
+            }
+            if let Some((id, e)) = error {
+                return Err(FleetError::Scenario {
+                    id,
+                    source: Box::new(e),
+                });
+            }
+            // A worker panic poisons the run without delivering an error;
+            // the partial Ok below is discarded because `thread::scope`
+            // re-raises the panic after joining.
+            debug_assert!(poison.load(Ordering::Relaxed) || (reorder.is_empty() && next == total));
+            Ok(())
+        })
+    }
+}
+
+/// Poisons the run if the owning worker unwinds, so the rest of the fleet
+/// shuts down cleanly and `thread::scope` can propagate the panic instead
+/// of deadlocking on a frontier that will never advance.
+struct PoisonOnPanic<'a> {
+    poison: &'a AtomicBool,
+    frontier: &'a Frontier,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.poison.store(true, Ordering::Relaxed);
+            self.frontier.release_all();
+        }
+    }
+}
+
+/// The collector's fold frontier, shared with the workers to bound how
+/// far ahead of the in-order fold they may run.
+#[derive(Default)]
+struct Frontier {
+    folded: Mutex<u64>,
+    advanced: Condvar,
+}
+
+impl Frontier {
+    /// Blocks until `id` is within `window` of the fold frontier (all
+    /// results below the frontier have been folded, so at most `window`
+    /// results can be queued or buffered). Returns `false` when the run
+    /// was poisoned in the meantime — including via [`Self::release_all`],
+    /// which satisfies the admission condition, so the final poison check
+    /// is what keeps released workers from running a doomed scenario.
+    fn wait_until_admitted(&self, id: u64, window: u64, poison: &AtomicBool) -> bool {
+        let mut folded = self.folded.lock().expect("frontier lock");
+        while id >= folded.saturating_add(window) {
+            if poison.load(Ordering::Relaxed) {
+                return false;
+            }
+            folded = self.advanced.wait(folded).expect("frontier lock");
+        }
+        !poison.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the collector's new fold frontier.
+    fn advance_to(&self, next: u64) {
+        *self.folded.lock().expect("frontier lock") = next;
+        self.advanced.notify_all();
+    }
+
+    /// Wakes every waiting worker (error shutdown — they re-check the
+    /// poison flag and exit).
+    fn release_all(&self) {
+        *self.folded.lock().expect("frontier lock") = u64::MAX;
+        self.advanced.notify_all();
+    }
+}

@@ -1,0 +1,167 @@
+//! Sharded, deterministic fleet-simulation engine.
+//!
+//! The evaluation harness in `sensei-core` runs its `(policy × video ×
+//! trace)` grid one session at a time — fine for regenerating a paper
+//! figure, a dead end for the ROADMAP's million-user ambitions. This crate
+//! scales that same harness to very large session populations while keeping
+//! the one property a simulation study cannot give up: **bit-for-bit
+//! reproducible results, independent of worker count and scheduling**.
+//!
+//! Three layers:
+//!
+//! * [`ScenarioMatrix`] — expands `videos × traces × network perturbations ×
+//!   player variants × policies` into an enumerable scenario space. Every
+//!   scenario has a stable ID (its position in the canonical enumeration)
+//!   and a per-scenario RNG seed derived from the master seed by SplitMix64,
+//!   so any scenario can be regenerated in isolation and nothing depends on
+//!   execution order.
+//! * [`Fleet`] — a std-only sharded executor (`std::thread::scope` + a
+//!   bounded channel; no new external dependencies, consistent with the
+//!   offline `shims/` policy). Workers pull scenario IDs from a shared
+//!   atomic cursor, results stream back tagged with their ID, and a small
+//!   reorder buffer folds them into the aggregates in canonical ID order —
+//!   which is what makes the aggregates identical for 1, 2, or 64 workers.
+//! * [`FleetReport`] — streaming per-policy accumulators: QoE mean/variance
+//!   via Welford, fixed-bin stall-rate and bitrate-switch histograms, a
+//!   fixed-bin QoE-gain CDF against a baseline policy, and sessions/sec
+//!   throughput. Memory stays `O(policies × bins)`, not `O(sessions)`.
+//!
+//! `sensei_core::Experiment::run_grid` is the degenerate fleet run: one
+//! worker, no perturbations, one player config. [`ScenarioMatrix::grid`]
+//! spans exactly that space and [`Fleet::run_cells`] reproduces `run_grid`'s
+//! output cell for cell (asserted in this crate's tests).
+
+pub mod executor;
+pub mod report;
+pub mod scenario;
+
+pub use executor::{Fleet, FleetConfig};
+pub use report::{FleetReport, FleetStats, GainCdf, Histogram, PolicyStats, Welford};
+pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};
+
+use sensei_core::CoreError;
+
+/// Errors produced by the fleet engine.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A scenario axis (policies, players, perturbations — or the
+    /// experiment's videos/traces at run time) has no entries.
+    EmptyAxis(&'static str),
+    /// The executor was configured with zero workers.
+    NoWorkers,
+    /// The gain baseline policy is not one of the matrix's policies.
+    BaselineNotInMatrix(sensei_core::PolicyKind),
+    /// A policy appears more than once on the policy axis; the per-policy
+    /// aggregates and gain baseline are keyed by policy, so duplicates
+    /// would silently merge or shadow each other.
+    DuplicatePolicy(sensei_core::PolicyKind),
+    /// A player-config variant in the matrix is invalid.
+    Player(sensei_sim::SimError),
+    /// A trace perturbation in the matrix is invalid (non-positive or
+    /// non-finite scale, or negative/non-finite jitter).
+    Perturbation {
+        /// Index into the perturbation axis.
+        index: usize,
+        /// The offending scale factor.
+        scale: f64,
+        /// The offending jitter standard deviation in kbps.
+        jitter_std_kbps: f64,
+    },
+    /// One scenario failed; the run was aborted.
+    Scenario {
+        /// Stable ID of the failing scenario.
+        id: u64,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::EmptyAxis(axis) => write!(f, "scenario axis `{axis}` is empty"),
+            FleetError::NoWorkers => write!(f, "fleet configured with zero workers"),
+            FleetError::BaselineNotInMatrix(kind) => {
+                write!(f, "baseline policy {} is not in the matrix", kind.label())
+            }
+            FleetError::DuplicatePolicy(kind) => {
+                write!(
+                    f,
+                    "policy {} appears twice on the policy axis",
+                    kind.label()
+                )
+            }
+            FleetError::Player(e) => write!(f, "invalid player variant: {e}"),
+            FleetError::Perturbation {
+                index,
+                scale,
+                jitter_std_kbps,
+            } => write!(
+                f,
+                "perturbation {index} is invalid: scale {scale}, jitter {jitter_std_kbps} kbps"
+            ),
+            FleetError::Scenario { id, source } => {
+                write!(f, "scenario {id} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Player(e) => Some(e),
+            FleetError::Scenario { source, .. } => Some(&**source),
+            _ => None,
+        }
+    }
+}
+
+/// Fleet errors unify into the workspace-wide error type like every other
+/// subsystem error. The conversion lives here (not in `sensei-core`, as the
+/// PR-1 `from_error!` impls do) because this crate sits *above* the core in
+/// the DAG; `CoreError::Fleet` is type-erased for the same reason.
+impl From<FleetError> for CoreError {
+    fn from(e: FleetError) -> Self {
+        CoreError::Fleet(Box::new(e))
+    }
+}
+
+/// SplitMix64 — the per-scenario seed derivation. Statistically independent
+/// outputs for consecutive inputs, so scenario `id` and scenario `id + 1`
+/// get unrelated RNG streams from the same master seed.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        // Consecutive inputs give wildly different outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8);
+    }
+
+    #[test]
+    fn fleet_error_displays_and_sources() {
+        let e = FleetError::Scenario {
+            id: 42,
+            source: Box::new(CoreError::BadConfig("boom".into())),
+        };
+        assert!(e.to_string().contains("scenario 42"));
+        assert!(std::error::Error::source(&e).is_some());
+        let core: CoreError = FleetError::NoWorkers.into();
+        assert!(core.to_string().contains("fleet error"));
+    }
+}

@@ -1,0 +1,441 @@
+//! Streaming aggregation for fleet runs.
+//!
+//! Everything here is an *online* accumulator folded in canonical scenario
+//! order: QoE mean/variance via Welford's algorithm, fixed-bin histograms
+//! for stall rates and bitrate switches, and a fixed-bin CDF of per-cell
+//! QoE gains over a baseline policy. Memory is `O(policies × bins)`
+//! regardless of how many million sessions stream through — the
+//! per-session results are folded and dropped.
+
+use sensei_core::{CellResult, PolicyKind};
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi]`; out-of-range values clamp into
+/// the edge bins, so the total count always equals the number of
+/// observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins` is zero or the range is not a finite, positive
+    /// interval — bin layout is experiment setup, not a runtime condition.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi}]"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Folds one observation in (NaN clamps to the lowest bin).
+    pub fn add(&mut self, x: f64) {
+        let frac = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Inclusive upper edge of bin `i`.
+    #[must_use]
+    pub fn bin_upper_edge(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * (i as f64 + 1.0) / self.counts.len() as f64
+    }
+
+    /// Fraction of observations at or below `x` (by whole bins — the CDF
+    /// read off the fixed bins). Returns 0 when empty.
+    #[must_use]
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.bin_upper_edge(*i) <= x + 1e-12)
+            .map(|(_, &c)| c)
+            .sum();
+        below as f64 / self.total as f64
+    }
+}
+
+/// Fixed-bin CDF of per-cell QoE gains over the baseline policy, in
+/// percent — the fleet-scale generalization of the paper's Fig. 12a.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainCdf {
+    /// Gains binned over [-100, +100] %.
+    pub hist: Histogram,
+    /// Running mean/variance of the gains.
+    pub stats: Welford,
+    /// Exact count of strictly positive gains (the binned CDF would put a
+    /// gain of exactly 0 into the first positive bin).
+    positive: u64,
+}
+
+impl GainCdf {
+    pub(crate) fn new() -> Self {
+        Self {
+            hist: Histogram::new(-100.0, 100.0, GAIN_BINS),
+            stats: Welford::default(),
+            positive: 0,
+        }
+    }
+
+    pub(crate) fn add(&mut self, gain_pct: f64) {
+        self.hist.add(gain_pct);
+        self.stats.push(gain_pct);
+        if gain_pct > 0.0 {
+            self.positive += 1;
+        }
+    }
+
+    /// Fraction of cells where the policy strictly beat the baseline.
+    #[must_use]
+    pub fn fraction_positive(&self) -> f64 {
+        if self.stats.count() == 0 {
+            return 0.0;
+        }
+        self.positive as f64 / self.stats.count() as f64
+    }
+}
+
+const STALL_BINS: usize = 20;
+const SWITCH_BINS: usize = 16;
+const GAIN_BINS: usize = 40;
+/// Switch histograms cover 0..=MAX_SWITCHES switches per session.
+const MAX_SWITCHES: f64 = 64.0;
+
+/// Streaming aggregates for one policy across the whole fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyStats {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Sessions folded in.
+    pub sessions: u64,
+    /// True-QoE accumulator.
+    pub qoe: Welford,
+    /// Mean streamed bitrate accumulator (kbps).
+    pub bitrate_kbps: Welford,
+    /// Rebuffer-ratio accumulator.
+    pub rebuffer_ratio: Welford,
+    /// Stall-rate distribution: rebuffer ratio in 20 bins over [0, 1].
+    pub stall_hist: Histogram,
+    /// Bitrate-switch distribution: switches per session in 16 bins over
+    /// [0, 64].
+    pub switch_hist: Histogram,
+    /// Total intentional stall seconds injected (SENSEI's pause action).
+    pub intentional_stall_s: f64,
+    /// QoE-gain CDF vs the baseline policy (`None` for the baseline
+    /// itself).
+    pub gain_vs_baseline: Option<GainCdf>,
+}
+
+impl PolicyStats {
+    fn new(policy: PolicyKind, is_baseline: bool) -> Self {
+        Self {
+            policy,
+            sessions: 0,
+            qoe: Welford::default(),
+            bitrate_kbps: Welford::default(),
+            rebuffer_ratio: Welford::default(),
+            stall_hist: Histogram::new(0.0, 1.0, STALL_BINS),
+            switch_hist: Histogram::new(0.0, MAX_SWITCHES, SWITCH_BINS),
+            intentional_stall_s: 0.0,
+            gain_vs_baseline: (!is_baseline).then(GainCdf::new),
+        }
+    }
+
+    fn fold(&mut self, cell: &CellResult) {
+        self.sessions += 1;
+        self.qoe.push(cell.qoe01);
+        self.bitrate_kbps.push(cell.avg_bitrate_kbps);
+        self.rebuffer_ratio.push(cell.rebuffer_ratio);
+        self.stall_hist.add(cell.rebuffer_ratio);
+        self.switch_hist.add(cell.bitrate_switches as f64);
+        self.intentional_stall_s += cell.intentional_stall_s;
+    }
+}
+
+/// The order-independent part of a fleet report: everything here is
+/// bit-for-bit identical for the same experiment + matrix regardless of
+/// worker count (the executor folds in canonical scenario order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Total sessions simulated.
+    pub sessions: u64,
+    /// The gain baseline policy.
+    pub baseline: PolicyKind,
+    /// Per-policy aggregates, in matrix policy order.
+    pub per_policy: Vec<PolicyStats>,
+}
+
+impl FleetStats {
+    pub(crate) fn new(policies: &[PolicyKind], baseline: PolicyKind) -> Self {
+        Self {
+            sessions: 0,
+            baseline,
+            per_policy: policies
+                .iter()
+                .map(|&p| PolicyStats::new(p, p == baseline))
+                .collect(),
+        }
+    }
+
+    /// Folds one completed cell (all policies' results, in matrix policy
+    /// order) into the aggregates.
+    pub(crate) fn fold_cell(&mut self, cells: &[CellResult]) {
+        debug_assert_eq!(cells.len(), self.per_policy.len());
+        let base_idx = self
+            .per_policy
+            .iter()
+            .position(|s| s.policy == self.baseline)
+            .expect("baseline is in the policy axis");
+        let base_qoe = cells[base_idx].qoe01;
+        for (stats, cell) in self.per_policy.iter_mut().zip(cells) {
+            self.sessions += 1;
+            stats.fold(cell);
+            if let Some(gain) = &mut stats.gain_vs_baseline {
+                // Same skip rule as `sensei_core::qoe_gains_over`: cells
+                // whose baseline bottomed out at 0 have no relative gain.
+                if base_qoe > 0.0 {
+                    gain.add((cell.qoe01 - base_qoe) / base_qoe * 100.0);
+                }
+            }
+        }
+    }
+
+    /// Aggregates for one policy.
+    #[must_use]
+    pub fn policy(&self, kind: PolicyKind) -> Option<&PolicyStats> {
+        self.per_policy.iter().find(|s| s.policy == kind)
+    }
+}
+
+/// Outcome of a fleet run: the deterministic aggregates plus (wall-clock,
+/// execution-dependent) throughput figures.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The order-independent aggregates — compare these across runs.
+    pub stats: FleetStats,
+    /// Workers the run used.
+    pub workers: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_time_s: f64,
+    /// Sessions per second of wall-clock time.
+    pub sessions_per_sec: f64,
+}
+
+impl FleetReport {
+    /// A compact human-readable table of the per-policy aggregates.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} sessions | {} workers | {:.1} s | {:.0} sessions/s",
+            self.stats.sessions, self.workers, self.wall_time_s, self.sessions_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>8} {:>8} {:>10} {:>9}",
+            "policy", "mean QoE", "std", "stall%", "switches", "gain>0 (%)", "Δmean (%)"
+        );
+        for s in &self.stats.per_policy {
+            let (pos, dmean) = s
+                .gain_vs_baseline
+                .as_ref()
+                .map(|g| {
+                    (
+                        format!("{:.1}", g.fraction_positive() * 100.0),
+                        format!("{:+.1}", g.stats.mean()),
+                    )
+                })
+                .unwrap_or_else(|| ("base".to_string(), "base".to_string()));
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8.3} {:>8.3} {:>8.2} {:>8.1} {:>10} {:>9}",
+                s.policy.label(),
+                s.qoe.mean(),
+                s.qoe.std_dev(),
+                s.rebuffer_ratio.mean() * 100.0,
+                s.mean_switches(),
+                pos,
+                dmean
+            );
+        }
+        out
+    }
+}
+
+impl PolicyStats {
+    /// Mean bitrate switches per session, estimated from the fixed-bin
+    /// histogram (bin midpoints — exact enough for reporting).
+    #[must_use]
+    pub fn mean_switches(&self) -> f64 {
+        if self.switch_hist.total() == 0 {
+            return 0.0;
+        }
+        let width = MAX_SWITCHES / SWITCH_BINS as f64;
+        let weighted: f64 = self
+            .switch_hist
+            .counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (i as f64 + 0.5) * width)
+            .sum();
+        weighted / self.switch_hist.total() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::default();
+        for x in xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_and_cdfs() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [-0.5, 0.1, 0.3, 0.6, 0.9, 2.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert!((h.cdf_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((h.cdf_at(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_cdf_fraction_positive() {
+        let mut g = GainCdf::new();
+        for x in [-20.0, -5.0, 10.0, 30.0] {
+            g.add(x);
+        }
+        assert!((g.fraction_positive() - 0.5).abs() < 1e-12);
+        assert!((g.stats.mean() - 3.75).abs() < 1e-12);
+        // A tie with the baseline (gain exactly 0) is not a win.
+        let mut tie = GainCdf::new();
+        tie.add(0.0);
+        tie.add(5.0);
+        assert!((tie.fraction_positive() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_cell_computes_gains_and_skips_zero_baseline() {
+        let mk = |policy: &'static str, qoe01: f64| CellResult {
+            video: "v".into(),
+            genre: "Sports",
+            trace: "t".into(),
+            trace_mean_kbps: 1000.0,
+            policy,
+            qoe01,
+            avg_bitrate_kbps: 1500.0,
+            rebuffer_ratio: 0.05,
+            delivered_bits: 1e8,
+            intentional_stall_s: 0.5,
+            bitrate_switches: 3,
+        };
+        let mut stats = FleetStats::new(&[PolicyKind::Bba, PolicyKind::Fugu], PolicyKind::Bba);
+        stats.fold_cell(&[mk("BBA", 0.5), mk("Fugu", 0.6)]);
+        stats.fold_cell(&[mk("BBA", 0.0), mk("Fugu", 0.4)]);
+        assert_eq!(stats.sessions, 4);
+        let fugu = stats.policy(PolicyKind::Fugu).unwrap();
+        let gain = fugu.gain_vs_baseline.as_ref().unwrap();
+        // Only the first cell contributes a gain (+20%); the zero-QoE
+        // baseline cell is skipped, matching `qoe_gains_over`.
+        assert_eq!(gain.stats.count(), 1);
+        assert!((gain.stats.mean() - 20.0).abs() < 1e-9);
+        assert!(stats
+            .policy(PolicyKind::Bba)
+            .unwrap()
+            .gain_vs_baseline
+            .is_none());
+        assert!((fugu.intentional_stall_s - 1.0).abs() < 1e-12);
+        assert_eq!(fugu.switch_hist.total(), 2);
+    }
+}

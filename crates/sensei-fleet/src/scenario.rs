@@ -1,0 +1,499 @@
+//! The enumerable scenario space of a fleet run.
+//!
+//! A **scenario** is one streaming session to simulate: a video, a base
+//! trace, a network perturbation applied to that trace, a player
+//! configuration, and a policy. The matrix enumerates the full cross
+//! product in one canonical order and assigns every scenario a stable ID
+//! (its position) plus a per-cell RNG seed derived from the master seed —
+//! so any scenario can be regenerated in isolation, on any worker, in any
+//! order, and always yields the same session.
+
+use crate::{splitmix64, FleetError};
+use sensei_core::{Experiment, PolicyKind};
+use sensei_sim::PlayerConfig;
+use sensei_trace::{ThroughputTrace, TraceError};
+use std::borrow::Cow;
+
+/// A deterministic transformation of a base throughput trace into a
+/// network scenario: a bandwidth scale factor (trace scaling) composed
+/// with zero-mean Gaussian jitter (both from `sensei-trace`'s operator
+/// set). The identity perturbation reproduces the base trace untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePerturbation {
+    /// Multiplier applied to every throughput sample (1.0 = unchanged).
+    pub scale: f64,
+    /// Standard deviation of the added zero-mean Gaussian noise in kbps
+    /// (0.0 = no jitter). The noise stream is drawn from the scenario's
+    /// cell seed, so it is reproducible and shared by all policies
+    /// competing on the same cell.
+    pub jitter_std_kbps: f64,
+}
+
+impl TracePerturbation {
+    /// The identity perturbation: the base trace as-is.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            scale: 1.0,
+            jitter_std_kbps: 0.0,
+        }
+    }
+
+    /// Pure bandwidth scaling.
+    #[must_use]
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            scale,
+            jitter_std_kbps: 0.0,
+        }
+    }
+
+    /// Pure Gaussian jitter (the Fig. 17 variance operator).
+    #[must_use]
+    pub fn jittered(jitter_std_kbps: f64) -> Self {
+        Self {
+            scale: 1.0,
+            jitter_std_kbps,
+        }
+    }
+
+    /// Whether this perturbation leaves traces untouched.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.scale == 1.0 && self.jitter_std_kbps == 0.0
+    }
+
+    /// Whether the fields are in range: positive finite scale,
+    /// non-negative finite jitter.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.scale.is_finite()
+            && self.scale > 0.0
+            && self.jitter_std_kbps.is_finite()
+            && self.jitter_std_kbps >= 0.0
+    }
+
+    /// Applies the perturbation to a base trace, drawing jitter from
+    /// `seed`. The identity perturbation borrows the base trace (no
+    /// allocation on the hot path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-algebra failures (e.g. jitter so extreme the
+    /// perturbed trace would be all-zero).
+    pub fn apply<'a>(
+        &self,
+        base: &'a ThroughputTrace,
+        seed: u64,
+    ) -> Result<Cow<'a, ThroughputTrace>, TraceError> {
+        if self.is_identity() {
+            return Ok(Cow::Borrowed(base));
+        }
+        let mut trace = Cow::Borrowed(base);
+        if self.scale != 1.0 {
+            trace = Cow::Owned(trace.scaled(self.scale)?);
+        }
+        if self.jitter_std_kbps > 0.0 {
+            trace = Cow::Owned(trace.with_gaussian_noise(self.jitter_std_kbps, seed)?);
+        }
+        Ok(trace)
+    }
+}
+
+/// One fully-resolved scenario: indices into the experiment/matrix axes,
+/// the policy to run, and the cell's RNG seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Stable ID — the scenario's position in the canonical enumeration.
+    pub id: u64,
+    /// Index into `Experiment::assets`.
+    pub video_idx: usize,
+    /// Index into `Experiment::traces`.
+    pub trace_idx: usize,
+    /// Index into the matrix's perturbation axis.
+    pub perturbation_idx: usize,
+    /// Index into the matrix's player-variant axis.
+    pub player_idx: usize,
+    /// The policy to run.
+    pub policy: PolicyKind,
+    /// RNG seed for this scenario's *cell* — shared by every policy
+    /// competing on the same (video, trace, perturbation, player) cell so
+    /// they face the identical perturbed network.
+    pub seed: u64,
+}
+
+/// The player-variant axis: either the single player config the bound
+/// experiment itself deploys (the default — what `run_grid` uses), or an
+/// explicit list of variants to sweep.
+#[derive(Debug, Clone, PartialEq)]
+enum PlayerAxis {
+    /// One variant: the experiment's own `player` field, resolved at run
+    /// time against whichever experiment the matrix is bound to.
+    ExperimentDefault,
+    /// An explicit sweep (non-empty, each validated at build time).
+    Explicit(Vec<PlayerConfig>),
+}
+
+/// The scenario space of a fleet run: `videos × traces × perturbations ×
+/// player variants × policies`, enumerated with the video axis outermost
+/// and the policy axis innermost.
+///
+/// Policy-innermost ordering is load-bearing: all policies competing on
+/// one cell are adjacent in the enumeration, which lets the streaming
+/// aggregator compute QoE gains against a baseline while holding only one
+/// cell's worth of results in memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    policies: Vec<PolicyKind>,
+    players: PlayerAxis,
+    perturbations: Vec<TracePerturbation>,
+    master_seed: u64,
+}
+
+impl ScenarioMatrix {
+    /// Starts a builder. Defaults: the bound experiment's own player, the
+    /// identity perturbation, master seed 2021.
+    #[must_use]
+    pub fn builder() -> ScenarioMatrixBuilder {
+        ScenarioMatrixBuilder::default()
+    }
+
+    /// The matrix spanning exactly `Experiment::run_grid`'s scenario
+    /// space: the given policies over unperturbed traces with the
+    /// experiment's own player config — for *any* experiment, including
+    /// ones with a custom `player`, since the default player axis
+    /// resolves against the bound experiment at run time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `policies` is empty.
+    pub fn grid(policies: &[PolicyKind]) -> Result<Self, FleetError> {
+        Self::builder().policies(policies.iter().copied()).build()
+    }
+
+    /// The policy axis.
+    #[must_use]
+    pub fn policies(&self) -> &[PolicyKind] {
+        &self.policies
+    }
+
+    /// Length of the player-variant axis.
+    #[must_use]
+    pub fn num_players(&self) -> usize {
+        match &self.players {
+            PlayerAxis::ExperimentDefault => 1,
+            PlayerAxis::Explicit(v) => v.len(),
+        }
+    }
+
+    /// The player config at `player_idx`, resolved against `experiment`
+    /// (the default axis is the experiment's own player).
+    #[must_use]
+    pub fn player<'a>(&'a self, experiment: &'a Experiment, player_idx: usize) -> &'a PlayerConfig {
+        match &self.players {
+            PlayerAxis::ExperimentDefault => &experiment.player,
+            PlayerAxis::Explicit(v) => &v[player_idx],
+        }
+    }
+
+    /// The perturbation axis.
+    #[must_use]
+    pub fn perturbations(&self) -> &[TracePerturbation] {
+        &self.perturbations
+    }
+
+    /// The master seed all per-cell seeds derive from.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Total scenarios when run against `experiment`.
+    #[must_use]
+    pub fn num_scenarios(&self, experiment: &Experiment) -> u64 {
+        self.num_cells(experiment) * self.policies.len() as u64
+    }
+
+    /// Total cells (scenario groups sharing a network + player but
+    /// differing in policy).
+    #[must_use]
+    pub fn num_cells(&self, experiment: &Experiment) -> u64 {
+        experiment.assets.len() as u64
+            * experiment.traces.len() as u64
+            * self.perturbations.len() as u64
+            * self.num_players() as u64
+    }
+
+    /// Decodes scenario `id` into its axis coordinates and cell seed.
+    /// Pure arithmetic on the ID — independent of which worker asks, and
+    /// of every other scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range for this matrix × experiment.
+    #[must_use]
+    pub fn scenario(&self, experiment: &Experiment, id: u64) -> Scenario {
+        let total = self.num_scenarios(experiment);
+        assert!(id < total, "scenario id {id} out of range ({total})");
+        let mut idx = id;
+        let policy_idx = (idx % self.policies.len() as u64) as usize;
+        idx /= self.policies.len() as u64;
+        let cell_id = idx;
+        let player_idx = (idx % self.num_players() as u64) as usize;
+        idx /= self.num_players() as u64;
+        let perturbation_idx = (idx % self.perturbations.len() as u64) as usize;
+        idx /= self.perturbations.len() as u64;
+        let trace_idx = (idx % experiment.traces.len() as u64) as usize;
+        idx /= experiment.traces.len() as u64;
+        let video_idx = idx as usize;
+        Scenario {
+            id,
+            video_idx,
+            trace_idx,
+            perturbation_idx,
+            player_idx,
+            policy: self.policies[policy_idx],
+            seed: self.cell_seed(cell_id),
+        }
+    }
+
+    /// The RNG seed of cell `cell_id`, derived from the master seed by
+    /// two SplitMix64 rounds. Stable across worker counts and execution
+    /// order by construction.
+    #[must_use]
+    pub fn cell_seed(&self, cell_id: u64) -> u64 {
+        splitmix64(self.master_seed ^ splitmix64(cell_id))
+    }
+}
+
+/// Builder for [`ScenarioMatrix`].
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrixBuilder {
+    policies: Vec<PolicyKind>,
+    players: Option<Vec<PlayerConfig>>,
+    perturbations: Vec<TracePerturbation>,
+    master_seed: u64,
+}
+
+impl Default for ScenarioMatrixBuilder {
+    fn default() -> Self {
+        Self {
+            policies: Vec::new(),
+            players: None,
+            perturbations: vec![TracePerturbation::identity()],
+            master_seed: 2021,
+        }
+    }
+}
+
+impl ScenarioMatrixBuilder {
+    /// Sets the policy axis (required, at least one).
+    #[must_use]
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the player-variant axis with an explicit sweep (default:
+    /// the single player config of whichever experiment the matrix is
+    /// bound to at run time).
+    #[must_use]
+    pub fn players(mut self, players: impl IntoIterator<Item = PlayerConfig>) -> Self {
+        self.players = Some(players.into_iter().collect());
+        self
+    }
+
+    /// Replaces the perturbation axis (default: identity only).
+    #[must_use]
+    pub fn perturbations(
+        mut self,
+        perturbations: impl IntoIterator<Item = TracePerturbation>,
+    ) -> Self {
+        self.perturbations = perturbations.into_iter().collect();
+        self
+    }
+
+    /// Sets the master seed per-cell seeds derive from.
+    #[must_use]
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Validates the axes and builds the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an axis is empty, a player variant fails
+    /// [`PlayerConfig::validate`], or a perturbation is out of range.
+    pub fn build(self) -> Result<ScenarioMatrix, FleetError> {
+        if self.policies.is_empty() {
+            return Err(FleetError::EmptyAxis("policies"));
+        }
+        for (i, &policy) in self.policies.iter().enumerate() {
+            if self.policies[..i].contains(&policy) {
+                return Err(FleetError::DuplicatePolicy(policy));
+            }
+        }
+        let players = match self.players {
+            None => PlayerAxis::ExperimentDefault,
+            Some(v) if v.is_empty() => return Err(FleetError::EmptyAxis("players")),
+            Some(v) => {
+                for player in &v {
+                    player.validate().map_err(FleetError::Player)?;
+                }
+                PlayerAxis::Explicit(v)
+            }
+        };
+        if self.perturbations.is_empty() {
+            return Err(FleetError::EmptyAxis("perturbations"));
+        }
+        for (index, p) in self.perturbations.iter().enumerate() {
+            if !p.is_valid() {
+                return Err(FleetError::Perturbation {
+                    index,
+                    scale: p.scale,
+                    jitter_std_kbps: p.jitter_std_kbps,
+                });
+            }
+        }
+        Ok(ScenarioMatrix {
+            policies: self.policies,
+            players,
+            perturbations: self.perturbations,
+            master_seed: self.master_seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensei_core::ExperimentConfig;
+
+    fn quick_experiment() -> Experiment {
+        Experiment::build(&ExperimentConfig::quick(7)).unwrap()
+    }
+
+    #[test]
+    fn builder_validates_axes() {
+        assert!(matches!(
+            ScenarioMatrix::builder().build(),
+            Err(FleetError::EmptyAxis("policies"))
+        ));
+        assert!(matches!(
+            ScenarioMatrix::builder()
+                .policies([PolicyKind::Bba])
+                .players([])
+                .build(),
+            Err(FleetError::EmptyAxis("players"))
+        ));
+        assert!(matches!(
+            ScenarioMatrix::builder()
+                .policies([PolicyKind::Bba])
+                .players([PlayerConfig {
+                    max_buffer_s: -1.0,
+                    ..PlayerConfig::default()
+                }])
+                .build(),
+            Err(FleetError::Player(_))
+        ));
+        assert!(matches!(
+            ScenarioMatrix::builder()
+                .policies([PolicyKind::Bba])
+                .perturbations([TracePerturbation::scaled(0.0)])
+                .build(),
+            Err(FleetError::Perturbation { index: 0, .. })
+        ));
+        assert!(matches!(
+            ScenarioMatrix::builder()
+                .policies([PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::Bba])
+                .build(),
+            Err(FleetError::DuplicatePolicy(PolicyKind::Bba))
+        ));
+    }
+
+    #[test]
+    fn enumeration_is_policy_innermost_and_roundtrips() {
+        let env = quick_experiment();
+        let matrix = ScenarioMatrix::builder()
+            .policies([PolicyKind::Bba, PolicyKind::Fugu])
+            .perturbations([
+                TracePerturbation::identity(),
+                TracePerturbation::scaled(0.8),
+            ])
+            .players([
+                PlayerConfig::default(),
+                PlayerConfig {
+                    max_buffer_s: 12.0,
+                    ..PlayerConfig::default()
+                },
+            ])
+            .build()
+            .unwrap();
+        let total = matrix.num_scenarios(&env);
+        assert_eq!(total, 3 * 10 * 2 * 2 * 2);
+        assert_eq!(matrix.num_cells(&env), 3 * 10 * 2 * 2);
+        // Policy is the innermost axis: consecutive IDs differ only in
+        // policy and share the cell seed.
+        let a = matrix.scenario(&env, 0);
+        let b = matrix.scenario(&env, 1);
+        assert_eq!(a.policy, PolicyKind::Bba);
+        assert_eq!(b.policy, PolicyKind::Fugu);
+        assert_eq!(
+            (a.video_idx, a.trace_idx, a.perturbation_idx, a.player_idx),
+            (b.video_idx, b.trace_idx, b.perturbation_idx, b.player_idx)
+        );
+        assert_eq!(a.seed, b.seed);
+        // The next cell gets a different seed.
+        let c = matrix.scenario(&env, 2);
+        assert_ne!(a.seed, c.seed);
+        // Every ID decodes to in-range coordinates and the last scenario
+        // hits the last coordinate of every axis.
+        let last = matrix.scenario(&env, total - 1);
+        assert_eq!(last.video_idx, 2);
+        assert_eq!(last.trace_idx, 9);
+        assert_eq!(last.perturbation_idx, 1);
+        assert_eq!(last.player_idx, 1);
+        assert_eq!(last.policy, PolicyKind::Fugu);
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_master_seed_only() {
+        let m1 = ScenarioMatrix::builder()
+            .policies([PolicyKind::Bba])
+            .master_seed(1)
+            .build()
+            .unwrap();
+        let m2 = ScenarioMatrix::builder()
+            .policies([PolicyKind::Bba])
+            .master_seed(1)
+            .build()
+            .unwrap();
+        let m3 = ScenarioMatrix::builder()
+            .policies([PolicyKind::Bba])
+            .master_seed(2)
+            .build()
+            .unwrap();
+        assert_eq!(m1.cell_seed(17), m2.cell_seed(17));
+        assert_ne!(m1.cell_seed(17), m3.cell_seed(17));
+    }
+
+    #[test]
+    fn perturbation_apply_is_deterministic_and_lazy() {
+        let base = ThroughputTrace::constant("c", 2000.0, 60.0).unwrap();
+        let id = TracePerturbation::identity();
+        assert!(matches!(id.apply(&base, 9).unwrap(), Cow::Borrowed(_)));
+        let p = TracePerturbation {
+            scale: 0.5,
+            jitter_std_kbps: 200.0,
+        };
+        let a = p.apply(&base, 9).unwrap();
+        let b = p.apply(&base, 9).unwrap();
+        assert_eq!(a.samples(), b.samples());
+        let c = p.apply(&base, 10).unwrap();
+        assert_ne!(a.samples(), c.samples());
+        // Scaling shifts the mean before jitter.
+        assert!((a.mean_kbps() - 1000.0).abs() < 100.0, "{}", a.mean_kbps());
+    }
+}

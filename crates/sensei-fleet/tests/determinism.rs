@@ -1,0 +1,184 @@
+//! The fleet engine's two load-bearing guarantees:
+//!
+//! 1. **Execution-order independence** — the same master seed produces
+//!    bit-for-bit identical `FleetStats` aggregates with 1, 2, and 8
+//!    workers (the property the reorder-buffer collector exists for).
+//! 2. **Grid equivalence** — a single-worker fleet over
+//!    `ScenarioMatrix::grid` reproduces `Experiment::run_grid` cell for
+//!    cell, making the sequential harness a degenerate fleet run.
+
+use sensei_core::{Experiment, ExperimentConfig, PolicyKind};
+use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+use sensei_sim::PlayerConfig;
+
+/// Quick environment restricted to the corpus's shortest video
+/// ("Mountain", 21 chunks) — the MPC policies dominate test cost and it
+/// scales linearly with chunk count.
+fn quick_experiment(seed: u64) -> Experiment {
+    let mut cfg = ExperimentConfig::quick(seed);
+    cfg.videos = Some(vec!["Mountain".to_string()]);
+    Experiment::build(&cfg).unwrap()
+}
+
+/// A small but fully heterogeneous matrix: two policies (so gain CDFs are
+/// exercised), two player variants, and perturbed network scenarios
+/// (scaling + seeded jitter).
+fn mixed_matrix(master_seed: u64) -> ScenarioMatrix {
+    ScenarioMatrix::builder()
+        .policies([PolicyKind::Bba, PolicyKind::SenseiFugu])
+        .players([
+            PlayerConfig::default(),
+            PlayerConfig {
+                max_buffer_s: 12.0,
+                ..PlayerConfig::default()
+            },
+        ])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation {
+                scale: 0.8,
+                jitter_std_kbps: 150.0,
+            },
+        ])
+        .master_seed(master_seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn aggregates_are_identical_across_1_2_and_8_workers() {
+    let env = quick_experiment(11);
+    let matrix = mixed_matrix(0xF1EE7);
+    let reports: Vec<_> = [1usize, 2, 8]
+        .into_iter()
+        .map(|workers| {
+            Fleet::new(&env, &matrix, FleetConfig::new(workers))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+        .collect();
+    // 1 video × 10 traces × 2 perturbations × 2 players × 2 policies.
+    assert_eq!(reports[0].stats.sessions, 80);
+    // Bit-for-bit: Welford accumulators, histograms, and gain CDFs all
+    // compare with `==` (f64 equality), not tolerances.
+    assert_eq!(reports[0].stats, reports[1].stats, "1 vs 2 workers");
+    assert_eq!(reports[0].stats, reports[2].stats, "1 vs 8 workers");
+    assert_eq!(reports[1].workers, 2);
+    assert_eq!(reports[2].workers, 8);
+}
+
+#[test]
+fn different_master_seeds_change_perturbed_scenarios() {
+    let env = quick_experiment(11);
+    // Jitter-only matrices: the seed drives the noise stream.
+    let build = |seed| {
+        ScenarioMatrix::builder()
+            .policies([PolicyKind::Bba])
+            .perturbations([TracePerturbation::jittered(400.0)])
+            .master_seed(seed)
+            .build()
+            .unwrap()
+    };
+    let (m1, m2) = (build(1), build(2));
+    let r1 = Fleet::new(&env, &m1, FleetConfig::new(2))
+        .unwrap()
+        .run()
+        .unwrap();
+    let r2 = Fleet::new(&env, &m2, FleetConfig::new(2))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_ne!(
+        r1.stats, r2.stats,
+        "different master seeds must perturb the network differently"
+    );
+    // And the same seed reproduces exactly.
+    let r1b = Fleet::new(&env, &m1, FleetConfig::new(2))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(r1.stats, r1b.stats);
+}
+
+#[test]
+fn single_worker_grid_fleet_matches_run_grid() {
+    let env = quick_experiment(7);
+    let kinds = [PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu];
+    let sequential = env.run_grid(&kinds).unwrap();
+    let matrix = ScenarioMatrix::grid(&kinds).unwrap();
+    let fleet_cells = Fleet::new(&env, &matrix, FleetConfig::new(1))
+        .unwrap()
+        .run_cells()
+        .unwrap();
+    assert_eq!(sequential, fleet_cells);
+    // Sharding must not change per-cell results either.
+    let sharded = Fleet::new(&env, &matrix, FleetConfig::new(4))
+        .unwrap()
+        .run_cells()
+        .unwrap();
+    assert_eq!(sequential, sharded);
+}
+
+#[test]
+fn grid_equivalence_holds_for_custom_player_experiments() {
+    // The grid matrix's default player axis resolves to the experiment's
+    // own player, so the run_grid equivalence must survive a non-default
+    // PlayerConfig too.
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.videos = Some(vec!["Mountain".to_string()]);
+    cfg.player = PlayerConfig {
+        max_buffer_s: 12.0,
+        rtt_s: 0.2,
+        ..PlayerConfig::default()
+    };
+    let env = Experiment::build(&cfg).unwrap();
+    let kinds = [PolicyKind::Bba, PolicyKind::Fugu];
+    let sequential = env.run_grid(&kinds).unwrap();
+    let matrix = ScenarioMatrix::grid(&kinds).unwrap();
+    let fleet_cells = Fleet::new(&env, &matrix, FleetConfig::new(2))
+        .unwrap()
+        .run_cells()
+        .unwrap();
+    assert_eq!(sequential, fleet_cells);
+}
+
+#[test]
+fn failing_scenario_aborts_with_its_stable_id() {
+    let env = quick_experiment(7);
+    // Pensieve was not trained in the quick environment, so every
+    // Pensieve scenario fails. Policy axis [Bba, Pensieve] → the first
+    // failure in canonical order is scenario 1.
+    let matrix = ScenarioMatrix::builder()
+        .policies([PolicyKind::Bba, PolicyKind::Pensieve])
+        .build()
+        .unwrap();
+    let err = Fleet::new(&env, &matrix, FleetConfig::new(2))
+        .unwrap()
+        .run()
+        .unwrap_err();
+    match err {
+        sensei_fleet::FleetError::Scenario { id, .. } => {
+            assert_eq!(id % 2, 1, "failing scenarios are the odd (Pensieve) IDs");
+        }
+        other => panic!("expected Scenario error, got {other}"),
+    }
+}
+
+#[test]
+fn config_validation_is_enforced() {
+    let env = quick_experiment(7);
+    let matrix = ScenarioMatrix::grid(&[PolicyKind::Bba]).unwrap();
+    assert!(matches!(
+        Fleet::new(&env, &matrix, FleetConfig::new(0)),
+        Err(sensei_fleet::FleetError::NoWorkers)
+    ));
+    assert!(matches!(
+        Fleet::new(
+            &env,
+            &matrix,
+            FleetConfig::new(1).with_baseline(PolicyKind::Fugu)
+        ),
+        Err(sensei_fleet::FleetError::BaselineNotInMatrix(_))
+    ));
+}

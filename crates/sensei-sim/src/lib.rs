@@ -45,6 +45,13 @@ pub enum SimError {
     },
     /// A policy returned an invalid pause duration.
     InvalidPause(f64),
+    /// A [`PlayerConfig`] field is out of its valid range.
+    InvalidPlayerConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// The sensitivity weights do not cover the video.
     WeightLengthMismatch {
         /// Chunks in the video.
@@ -66,6 +73,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "policy chose level {level}, ladder has {ladder_len}")
             }
             SimError::InvalidPause(p) => write!(f, "invalid intentional pause: {p} s"),
+            SimError::InvalidPlayerConfig { field, value } => {
+                write!(f, "invalid player config: {field} = {value}")
+            }
             SimError::WeightLengthMismatch { chunks, weights } => {
                 write!(f, "video has {chunks} chunks, weights cover {weights}")
             }

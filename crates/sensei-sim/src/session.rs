@@ -13,7 +13,7 @@ use sensei_video::quality::visual_quality;
 use sensei_video::{EncodedVideo, RenderedChunk, RenderedVideo, SensitivityWeights, SourceVideo};
 
 /// Player configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlayerConfig {
     /// Maximum media seconds buffered ahead of the playhead.
     pub max_buffer_s: f64,
@@ -31,6 +31,39 @@ impl Default for PlayerConfig {
             rtt_s: 0.08,
             max_pause_s: 2.0,
         }
+    }
+}
+
+impl PlayerConfig {
+    /// Checks that every field is in its valid range: a positive finite
+    /// buffer cap and non-negative finite RTT and pause bound. [`simulate`]
+    /// calls this on entry, so a nonsensical player configuration fails
+    /// loudly instead of silently producing a meaningless session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPlayerConfig`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.max_buffer_s.is_finite() && self.max_buffer_s > 0.0) {
+            return Err(SimError::InvalidPlayerConfig {
+                field: "max_buffer_s",
+                value: self.max_buffer_s,
+            });
+        }
+        if !(self.rtt_s.is_finite() && self.rtt_s >= 0.0) {
+            return Err(SimError::InvalidPlayerConfig {
+                field: "rtt_s",
+                value: self.rtt_s,
+            });
+        }
+        if !(self.max_pause_s.is_finite() && self.max_pause_s >= 0.0) {
+            return Err(SimError::InvalidPlayerConfig {
+                field: "max_pause_s",
+                value: self.max_pause_s,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -146,8 +179,9 @@ impl Playback {
 ///
 /// # Errors
 ///
-/// Returns an error when the encoding does not match the source, the
-/// weights do not cover the video, or the policy emits an invalid decision.
+/// Returns an error when the player configuration is out of range, the
+/// encoding does not match the source, the weights do not cover the video,
+/// or the policy emits an invalid decision.
 pub fn simulate(
     source: &SourceVideo,
     encoded: &EncodedVideo,
@@ -156,6 +190,7 @@ pub fn simulate(
     config: &PlayerConfig,
     weights: Option<&SensitivityWeights>,
 ) -> Result<SessionResult, SimError> {
+    config.validate()?;
     let n = source.num_chunks();
     if encoded.num_chunks() != n {
         return Err(SimError::ChunkCountMismatch {
@@ -539,6 +574,75 @@ mod tests {
         assert!(matches!(
             simulate(&src, &enc, &trace, &mut BadPause, &cfg, None).unwrap_err(),
             SimError::InvalidPause(_)
+        ));
+    }
+
+    #[test]
+    fn player_config_is_validated() {
+        let ok = PlayerConfig::default();
+        assert!(ok.validate().is_ok());
+        // Zero RTT and zero pause bound are legitimate (ideal network,
+        // pause-free player).
+        assert!(PlayerConfig {
+            rtt_s: 0.0,
+            max_pause_s: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_ok());
+        let cases = [
+            (
+                "max_buffer_s",
+                PlayerConfig {
+                    max_buffer_s: 0.0,
+                    ..ok
+                },
+            ),
+            (
+                "max_buffer_s",
+                PlayerConfig {
+                    max_buffer_s: f64::NAN,
+                    ..ok
+                },
+            ),
+            ("rtt_s", PlayerConfig { rtt_s: -0.1, ..ok }),
+            (
+                "rtt_s",
+                PlayerConfig {
+                    rtt_s: f64::INFINITY,
+                    ..ok
+                },
+            ),
+            (
+                "max_pause_s",
+                PlayerConfig {
+                    max_pause_s: -1.0,
+                    ..ok
+                },
+            ),
+        ];
+        for (field, bad) in cases {
+            assert!(
+                matches!(
+                    bad.validate(),
+                    Err(SimError::InvalidPlayerConfig { field: f, .. }) if f == field
+                ),
+                "expected {field} to be rejected in {bad:?}"
+            );
+        }
+        // simulate() refuses to run under a nonsense config.
+        let (src, enc) = setup(4);
+        let trace = ThroughputTrace::constant("t", 2000.0, 600.0).unwrap();
+        let bad = PlayerConfig {
+            max_buffer_s: -5.0,
+            ..PlayerConfig::default()
+        };
+        assert!(matches!(
+            simulate(&src, &enc, &trace, &mut FixedLevel::new(0), &bad, None).unwrap_err(),
+            SimError::InvalidPlayerConfig {
+                field: "max_buffer_s",
+                ..
+            }
         ));
     }
 

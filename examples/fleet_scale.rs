@@ -1,0 +1,90 @@
+//! Fleet-scale evaluation: thousands of sessions sharded across workers
+//! with bit-for-bit deterministic aggregates.
+//!
+//! Expands the §7.1 grid along the axes the paper never had the budget to
+//! sweep — bandwidth-scaled and jittered trace families plus player
+//! variants — and streams every session into `O(bins)` accumulators.
+//!
+//! ```sh
+//! cargo run --release --example fleet_scale
+//! SENSEI_FLEET_QUICK=1 cargo run --release --example fleet_scale   # CI smoke
+//! ```
+
+use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+use sensei_sim::PlayerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("SENSEI_FLEET_QUICK").is_ok_and(|v| v == "1");
+
+    let mut config = ExperimentConfig::quick(2021);
+    if quick {
+        // The corpus's shortest video keeps the smoke run brief.
+        config.videos = Some(vec!["Mountain".to_string()]);
+    }
+    let env = Experiment::build(&config)?;
+
+    // Network-scenario perturbations: every base trace also runs
+    // bandwidth-scaled and with seeded Gaussian jitter.
+    let perturbations: Vec<TracePerturbation> = if quick {
+        vec![
+            TracePerturbation::identity(),
+            TracePerturbation::scaled(0.8),
+        ]
+    } else {
+        let mut p = Vec::new();
+        for scale in [0.7, 1.0, 1.3] {
+            for jitter in [0.0, 250.0] {
+                p.push(TracePerturbation {
+                    scale,
+                    jitter_std_kbps: jitter,
+                });
+            }
+        }
+        p
+    };
+
+    let matrix = ScenarioMatrix::builder()
+        .policies(if quick {
+            vec![PolicyKind::Bba, PolicyKind::SenseiFugu]
+        } else {
+            vec![PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu]
+        })
+        .players([
+            PlayerConfig::default(),
+            PlayerConfig {
+                max_buffer_s: 12.0,
+                ..PlayerConfig::default()
+            },
+        ])
+        .perturbations(perturbations)
+        .master_seed(2021)
+        .build()?;
+
+    let workers = if quick {
+        2
+    } else {
+        FleetConfig::default().workers
+    };
+    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers))?;
+    println!(
+        "fleet: {} scenarios ({} cells x {} policies) on {workers} workers",
+        fleet.num_scenarios(),
+        matrix.num_cells(&env),
+        matrix.policies().len(),
+    );
+    let report = fleet.run()?;
+    print!("{}", report.summary());
+
+    // The determinism pitch in one line: rerunning the same matrix on a
+    // different worker count reproduces the aggregates bit for bit.
+    if quick {
+        let rerun = Fleet::new(&env, &matrix, FleetConfig::new(1))?.run()?;
+        assert_eq!(
+            report.stats, rerun.stats,
+            "1-worker rerun must reproduce the aggregates bit for bit"
+        );
+        println!("determinism check: 2-worker and 1-worker aggregates identical");
+    }
+    Ok(())
+}

@@ -18,13 +18,15 @@
 //! | [`abr`] | `sensei-abr` | §5 — BBA, Fugu, Pensieve and their SENSEI variants |
 //! | [`dash`] | `sensei-dash` | §6 — the weight-extended MPD manifest |
 //! | [`sim`] | `sensei-sim` | §5.1, §6 — DASH session simulator with intentional rebuffering |
+//! | [`fleet`] | `sensei-fleet` | beyond §7 — sharded, deterministic fleet-scale session populations |
 //! | [`trace`] | `sensei-trace` | §7.1 — FCC / 3G-HSDPA-like throughput traces |
 //! | [`ml`] | `sensei-ml` | §4.2, §5.2 — regression, forests, LSTM, actor-critic substrate |
 //! | [`bench`] | `sensei-bench` | §7 — the per-figure benchmark harness |
 //!
 //! The crates form a DAG: substrates (`video`, `trace`, `ml`, `dash`) feed
 //! mid-layers (`qoe`, `sim`, `crowd`, `abr`), which feed the system layer
-//! (`core`) and the evaluation harness (`bench`).
+//! (`core`) and the evaluation harness (`bench`); `fleet` sits above
+//! `core` and shards its experiments across workers deterministically.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@ pub use sensei_bench as bench;
 pub use sensei_core as core;
 pub use sensei_crowd as crowd;
 pub use sensei_dash as dash;
+pub use sensei_fleet as fleet;
 pub use sensei_ml as ml;
 pub use sensei_qoe as qoe;
 pub use sensei_sim as sim;
@@ -90,6 +93,7 @@ mod tests {
             crate::qoe::QoeError::DegenerateTrainingSet("0 renders".into()).into(),
             crate::ml::MlError::SingularSystem.into(),
             crate::trace::TraceError::Empty.into(),
+            crate::fleet::FleetError::NoWorkers.into(),
         ];
         for e in errors {
             // All render a message and behave as std errors.

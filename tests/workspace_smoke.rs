@@ -60,3 +60,56 @@ fn onboarding_and_manifest_roundtrip_through_the_facade() {
     let xml2 = parsed.to_xml().expect("parsed manifest serializes");
     assert_eq!(xml, xml2);
 }
+
+/// Fleet smoke: a small matrix sharded across 2 workers through the
+/// facade — the parallel path runs on every `cargo test -q`, and its
+/// aggregates match a sequential rerun bit for bit.
+#[test]
+fn fleet_engine_smokes_through_the_facade() {
+    use sensei::fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+
+    let mut config = sensei::core::ExperimentConfig::quick(3);
+    config.videos = Some(vec!["Mountain".to_string()]);
+    let env = sensei::core::Experiment::build(&config).expect("environment builds");
+    let matrix = ScenarioMatrix::builder()
+        .policies([
+            sensei::core::PolicyKind::Bba,
+            sensei::core::PolicyKind::SenseiFugu,
+        ])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation {
+                scale: 0.8,
+                jitter_std_kbps: 200.0,
+            },
+        ])
+        .master_seed(3)
+        .build()
+        .expect("valid matrix");
+
+    let sharded = Fleet::new(&env, &matrix, FleetConfig::new(2))
+        .expect("valid fleet")
+        .run()
+        .expect("sharded run completes");
+    assert_eq!(sharded.stats.sessions, 40); // 1 video x 10 traces x 2 perturbations x 2 policies
+    assert_eq!(sharded.workers, 2);
+
+    let sequential = Fleet::new(&env, &matrix, FleetConfig::new(1))
+        .expect("valid fleet")
+        .run()
+        .expect("sequential run completes");
+    assert_eq!(
+        sharded.stats, sequential.stats,
+        "worker count leaked into aggregates"
+    );
+
+    // The gain CDF actually saw data (SENSEI-Fugu vs BBA).
+    let sensei_stats = sharded
+        .stats
+        .policy(sensei::core::PolicyKind::SenseiFugu)
+        .expect("SENSEI-Fugu aggregates exist");
+    assert!(sensei_stats
+        .gain_vs_baseline
+        .as_ref()
+        .is_some_and(|g| g.stats.count() > 0));
+}
