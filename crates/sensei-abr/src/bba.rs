@@ -63,7 +63,7 @@ impl AbrPolicy for Bba {
         "BBA"
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         Decision::level(self.level_for_buffer(state.buffer_s, ctx.num_levels()))
     }
 }

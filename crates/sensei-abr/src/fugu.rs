@@ -101,7 +101,7 @@ impl Fugu {
         &self,
         plan: &[usize],
         rate_kbps: f64,
-        state: &PlayerState,
+        state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: Option<&[f64]>,
     ) -> f64 {
@@ -135,16 +135,19 @@ impl Fugu {
         total
     }
 
-    /// Expected plan quality over the scenario set.
-    pub(crate) fn expected_plan_quality(
+    /// Expected plan quality against pre-resolved scenario rates.
+    /// The rates depend on the player state alone, so plan enumeration
+    /// resolves them once instead of re-allocating the scenario vector for
+    /// each of the `levels^h` candidate plans.
+    fn expected_plan_quality_with(
         &self,
+        scenario_rates: &[(f64, f64)],
         plan: &[usize],
-        state: &PlayerState,
+        state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: Option<&[f64]>,
     ) -> f64 {
-        self.predictor
-            .scenario_rates(state)
+        scenario_rates
             .iter()
             .map(|&(p, rate)| p * self.plan_quality(plan, rate, state, ctx, weights))
             .sum()
@@ -154,7 +157,7 @@ impl Fugu {
     /// plan's first action and its expected quality.
     pub(crate) fn best_plan(
         &self,
-        state: &PlayerState,
+        state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: Option<&[f64]>,
     ) -> (usize, f64) {
@@ -164,11 +167,12 @@ impl Fugu {
         if h == 0 {
             return (0, 0.0);
         }
+        let scenario_rates = self.predictor.scenario_rates(state);
         let mut plan = vec![0usize; h];
         let mut best_plan0 = 0usize;
         let mut best_q = f64::NEG_INFINITY;
         loop {
-            let q = self.expected_plan_quality(&plan, state, ctx, weights);
+            let q = self.expected_plan_quality_with(&scenario_rates, &plan, state, ctx, weights);
             if q > best_q {
                 best_q = q;
                 best_plan0 = plan[0];
@@ -201,7 +205,7 @@ impl AbrPolicy for Fugu {
         "Fugu"
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         Decision::level(self.best_plan(state, ctx, None).0)
     }
 }

@@ -68,7 +68,7 @@ impl OracleMpc {
         plan: &[usize],
         t0: f64,
         buffer0: f64,
-        state: &PlayerState,
+        state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: &[f64],
     ) -> f64 {
@@ -110,7 +110,15 @@ impl AbrPolicy for OracleMpc {
         &self.name
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    /// Oracles are constructed around a specific trace, so reusing one
+    /// instance across sessions requires re-indexing the new network. The
+    /// cumulative index rebuilds into its existing buffers, keeping the
+    /// per-session cost allocation-free.
+    fn rebind(&mut self, trace: &ThroughputTrace) {
+        self.cum.rebind(trace);
+    }
+
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let remaining = ctx.num_chunks() - state.next_chunk;
         let h = self.horizon.min(remaining);
         if h == 0 {

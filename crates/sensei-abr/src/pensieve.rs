@@ -90,7 +90,7 @@ pub struct Pensieve {
 }
 
 /// Builds the Pensieve state vector from player state and context.
-pub(crate) fn state_vector(state: &PlayerState, ctx: &SessionContext<'_>) -> Vec<f64> {
+pub(crate) fn state_vector(state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Vec<f64> {
     let mut v = Vec::with_capacity(STATE_DIM);
     // Last chunk's visual quality (0 before the first chunk).
     let last_vq = match state.last_level {
@@ -139,7 +139,7 @@ impl AbrPolicy for Explorer<'_> {
         "Pensieve(training)"
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let s = state_vector(state, ctx);
         let a = self
             .agent
@@ -225,7 +225,7 @@ impl AbrPolicy for Pensieve {
         &self.name
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let s = state_vector(state, ctx);
         let a = self
             .agent
@@ -286,8 +286,8 @@ mod tests {
             next_chunk: 3,
             buffer_s: 12.0,
             last_level: Some(2),
-            throughput_history_kbps: vec![1000.0, 2000.0, 3000.0],
-            download_time_history_s: vec![1.0, 2.0, 1.5],
+            throughput_history_kbps: &[1000.0, 2000.0, 3000.0],
+            download_time_history_s: &[1.0, 2.0, 1.5],
             elapsed_s: 20.0,
             playing: true,
         };

@@ -59,14 +59,14 @@ impl Default for ThroughputPredictor {
 
 impl ThroughputPredictor {
     /// Point estimate in kbps for the next chunk.
-    pub fn predict_kbps(&self, state: &PlayerState) -> f64 {
+    pub fn predict_kbps(&self, state: &PlayerState<'_>) -> f64 {
         state
             .harmonic_mean_throughput(self.window)
             .unwrap_or(self.cold_start_kbps)
     }
 
     /// The scenario set as `(probability, kbps)` pairs.
-    pub fn scenario_rates(&self, state: &PlayerState) -> Vec<(f64, f64)> {
+    pub fn scenario_rates(&self, state: &PlayerState<'_>) -> Vec<(f64, f64)> {
         let point = self.predict_kbps(state);
         self.scenarios
             .iter()
@@ -79,12 +79,12 @@ impl ThroughputPredictor {
 mod tests {
     use super::*;
 
-    fn state_with(history: Vec<f64>) -> PlayerState {
+    fn state_with<'a>(history: &'a [f64], downloads: &'a [f64]) -> PlayerState<'a> {
         PlayerState {
             next_chunk: history.len(),
             buffer_s: 8.0,
             last_level: Some(2),
-            download_time_history_s: vec![1.0; history.len()],
+            download_time_history_s: downloads,
             throughput_history_kbps: history,
             elapsed_s: 10.0,
             playing: true,
@@ -94,20 +94,20 @@ mod tests {
     #[test]
     fn cold_start_uses_default() {
         let p = ThroughputPredictor::default();
-        assert_eq!(p.predict_kbps(&state_with(vec![])), 1000.0);
+        assert_eq!(p.predict_kbps(&state_with(&[], &[])), 1000.0);
     }
 
     #[test]
     fn prediction_tracks_recent_samples() {
         let p = ThroughputPredictor::default();
-        let est = p.predict_kbps(&state_with(vec![2000.0, 2000.0, 2000.0]));
+        let est = p.predict_kbps(&state_with(&[2000.0; 3], &[1.0; 3]));
         assert!((est - 2000.0).abs() < 1.0);
     }
 
     #[test]
     fn scenarios_bracket_the_estimate() {
         let p = ThroughputPredictor::default();
-        let rates = p.scenario_rates(&state_with(vec![2000.0; 5]));
+        let rates = p.scenario_rates(&state_with(&[2000.0; 5], &[1.0; 5]));
         assert_eq!(rates.len(), 3);
         let total_p: f64 = rates.iter().map(|r| r.0).sum();
         assert!((total_p - 1.0).abs() < 1e-12);
@@ -121,7 +121,7 @@ mod tests {
             ..ThroughputPredictor::default()
         };
         // Ancient high samples must not leak in.
-        let est = p.predict_kbps(&state_with(vec![50_000.0, 50_000.0, 500.0, 500.0]));
+        let est = p.predict_kbps(&state_with(&[50_000.0, 50_000.0, 500.0, 500.0], &[1.0; 4]));
         assert!((est - 500.0).abs() < 1.0, "est = {est}");
     }
 }

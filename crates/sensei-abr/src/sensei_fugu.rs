@@ -80,7 +80,7 @@ impl SenseiFugu {
 
     /// Weight vector covering the horizon starting at `next_chunk`; falls
     /// back to uniform when the manifest carried no weights.
-    fn horizon_weights(state: &PlayerState, ctx: &SessionContext<'_>, h: usize) -> Vec<f64> {
+    fn horizon_weights(state: &PlayerState<'_>, ctx: &SessionContext<'_>, h: usize) -> Vec<f64> {
         match ctx.weights {
             Some(w) => {
                 let window = w.window(state.next_chunk, h);
@@ -94,7 +94,7 @@ impl SenseiFugu {
 
     /// Weight of the chunk currently at the playhead (where an intentional
     /// pause would land).
-    fn playhead_weight(state: &PlayerState, ctx: &SessionContext<'_>) -> f64 {
+    fn playhead_weight(state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> f64 {
         let Some(w) = ctx.weights else { return 1.0 };
         let buffered_chunks = (state.buffer_s / ctx.chunk_duration_s).ceil() as usize;
         let playhead = state.next_chunk.saturating_sub(buffered_chunks);
@@ -121,7 +121,7 @@ impl AbrPolicy for SenseiFugu {
         self.pause_spent_s = 0.0;
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let remaining = ctx.num_chunks() - state.next_chunk;
         let h = crate::fugu::DEFAULT_HORIZON.min(remaining);
         if h == 0 {
@@ -154,7 +154,7 @@ impl AbrPolicy for SenseiFugu {
             // and the stall is charged at the playhead chunk's weight —
             // at the SAME risk multiplier the planner applies to predicted
             // stalls, so relocation is never spuriously profitable.
-            let mut paused_state = state.clone();
+            let mut paused_state = *state;
             paused_state.buffer_s += pause;
             let pause_cost = playhead_w
                 * stall_penalty

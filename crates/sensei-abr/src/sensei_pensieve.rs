@@ -39,7 +39,7 @@ pub struct SenseiPensieve {
 
 /// Extends the Pensieve state with the sensitivity weights of the next h
 /// chunks (uniform 1.0 when the manifest carries none or past the end).
-fn sensei_state(state: &PlayerState, ctx: &SessionContext<'_>) -> Vec<f64> {
+fn sensei_state(state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Vec<f64> {
     let mut v = state_vector(state, ctx);
     match ctx.weights {
         Some(w) => {
@@ -59,7 +59,7 @@ fn sensei_state(state: &PlayerState, ctx: &SessionContext<'_>) -> Vec<f64> {
 /// currently *allowed* actions: pause actions are masked out during
 /// startup and once the {0, 1, 2}-second pause budget is spent.
 fn decide_with<F>(
-    state: &PlayerState,
+    state: &PlayerState<'_>,
     ctx: &SessionContext<'_>,
     max_pause_s: f64,
     mut act: F,
@@ -71,7 +71,7 @@ where
     let bitrate_actions: Vec<usize> = (0..n_levels).collect();
     let mut taken = Vec::new();
     let mut pause_total = 0.0;
-    let mut working = state.clone();
+    let mut working = *state;
     loop {
         let mut allowed = bitrate_actions.clone();
         if working.playing {
@@ -120,7 +120,7 @@ impl AbrPolicy for Explorer<'_> {
         "SENSEI-Pensieve(training)"
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let (decision, taken) = decide_with(state, ctx, self.max_pause_s, |s, allowed| {
             self.agent
                 .sample_action_masked(s, allowed, self.rng)
@@ -225,7 +225,7 @@ impl AbrPolicy for SenseiPensieve {
         &self.name
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         let (decision, _) = decide_with(state, ctx, 2.0, |s, allowed| {
             self.agent
                 .best_action_masked(s, allowed)
@@ -285,8 +285,8 @@ mod tests {
             next_chunk: 12, // key-moment region of the test video
             buffer_s: 8.0,
             last_level: Some(2),
-            throughput_history_kbps: vec![1500.0; 5],
-            download_time_history_s: vec![2.0; 5],
+            throughput_history_kbps: &[1500.0; 5],
+            download_time_history_s: &[2.0; 5],
             elapsed_s: 60.0,
             playing: true,
         };
@@ -314,8 +314,8 @@ mod tests {
             next_chunk: 3,
             buffer_s: 8.0,
             last_level: Some(2),
-            throughput_history_kbps: vec![1500.0; 3],
-            download_time_history_s: vec![2.0; 3],
+            throughput_history_kbps: &[1500.0; 3],
+            download_time_history_s: &[2.0; 3],
             elapsed_s: 20.0,
             playing: true,
         };
@@ -351,8 +351,8 @@ mod tests {
             next_chunk: 0,
             buffer_s: 0.0,
             last_level: None,
-            throughput_history_kbps: vec![],
-            download_time_history_s: vec![],
+            throughput_history_kbps: &[],
+            download_time_history_s: &[],
             elapsed_s: 0.0,
             playing: false,
         };

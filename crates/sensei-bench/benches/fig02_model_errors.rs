@@ -26,7 +26,7 @@ fn main() {
     let sensei_for = |video: &str| -> Option<SenseiQoe> {
         env.assets
             .iter()
-            .find(|a| a.name == video)
+            .find(|a| &*a.name == video)
             .map(|a| SenseiQoe::new(ksqi.clone(), a.weights.clone()))
     };
 

@@ -34,7 +34,7 @@ fn main() {
             sensei_ml::stats::mean(&gains)
         };
         table.add(vec![
-            asset.name.clone(),
+            asset.name.to_string(),
             asset.genre.to_string(),
             format!("{:+.1}", per_video("SENSEI")),
             format!("{:+.1}", per_video("Pensieve")),

@@ -23,7 +23,7 @@ fn main() {
         let per_trace = |policy: &str| {
             let subset: Vec<_> = results
                 .iter()
-                .filter(|r| r.trace == trace.name())
+                .filter(|r| &*r.trace == trace.name())
                 .cloned()
                 .collect();
             sensei_ml::stats::mean(&qoe_gains_over(&subset, policy, "BBA"))

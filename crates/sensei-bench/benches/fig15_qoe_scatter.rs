@@ -7,7 +7,7 @@ use sensei_video::RenderedVideo;
 
 /// SENSEI wrapper that looks up the right per-video weights per render.
 struct PerVideoSensei {
-    models: Vec<(String, SenseiQoe)>,
+    models: Vec<(std::sync::Arc<str>, SenseiQoe)>,
     fallback: Ksqi,
 }
 
@@ -19,7 +19,7 @@ impl QoeModel for PerVideoSensei {
         match self
             .models
             .iter()
-            .find(|(name, _)| name == render.source_name())
+            .find(|(name, _)| name.as_ref() == render.source_name())
         {
             Some((_, m)) => m.predict(render),
             None => self.fallback.predict(render),

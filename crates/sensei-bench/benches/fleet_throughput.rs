@@ -10,10 +10,34 @@
 //!
 //! Both runs use streaming `O(bins)` aggregation — no per-session results
 //! are retained, so the same harness scales to millions of sessions.
+//!
+//! Besides the human-readable stdout, the bench writes the measurements to
+//! `BENCH_fleet.json` at the workspace root so the perf trajectory can be
+//! tracked across PRs machine-readably.
+//!
+//! `SENSEI_FLEET_QUICK=1` bounds the scenario space to a few hundred
+//! sessions (and skips the ≥10k assertion) — the CI smoke mode that keeps
+//! this binary from rotting without turning CI into a benchmark farm.
 use sensei_bench::header;
 use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
-use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+use sensei_fleet::{Fleet, FleetConfig, FleetReport, ScenarioMatrix, TracePerturbation};
 use sensei_sim::PlayerConfig;
+
+fn quick_mode() -> bool {
+    std::env::var("SENSEI_FLEET_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// One `BENCH_fleet.json` entry, serialized by hand (the workspace is
+/// offline: no serde).
+fn run_json(name: &str, report: &FleetReport) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"sessions\": {}, \"workers\": {}, ",
+            "\"wall_time_s\": {:.3}, \"sessions_per_sec\": {:.1}}}"
+        ),
+        name, report.stats.sessions, report.workers, report.wall_time_s, report.sessions_per_sec
+    )
+}
 
 fn main() {
     header(
@@ -21,21 +45,34 @@ fn main() {
         "sharded fleet-simulation throughput (sessions/sec)",
         "n/a — beyond the paper: the ROADMAP's million-session scale axis",
     );
+    let quick = quick_mode();
     let t0 = std::time::Instant::now();
     let env = Experiment::build(&ExperimentConfig::quick(2021)).expect("environment builds");
     println!(
-        "[setup] {} videos, {} traces ({:.1}s)",
+        "[setup] {} videos, {} traces ({:.1}s){}",
         env.assets.len(),
         env.traces.len(),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64(),
+        if quick { " [quick mode]" } else { "" }
     );
     let workers = FleetConfig::default().workers;
 
     // --- Run 1: ≥10k sessions, cheap policy, wide scenario space. ------
+    // Quick mode trims the perturbation grid to a smoke-sized matrix.
+    let (scales, jitters): (Vec<f64>, &[f64]) = if quick {
+        (
+            (0..2).map(|i| 0.8 + 0.4 * f64::from(i)).collect(),
+            &[0.0, 200.0],
+        )
+    } else {
+        (
+            (0..13).map(|i| 0.5 + 0.1 * f64::from(i)).collect(), // 0.5x .. 1.7x
+            &[0.0, 100.0, 200.0, 400.0, 800.0],
+        )
+    };
     let mut perturbations = Vec::new();
-    for i in 0..13 {
-        let scale = 0.5 + 0.1 * f64::from(i); // 0.5x .. 1.7x bandwidth
-        for jitter in [0.0, 100.0, 200.0, 400.0, 800.0] {
+    for &scale in &scales {
+        for &jitter in jitters {
             perturbations.push(TracePerturbation {
                 scale,
                 jitter_std_kbps: jitter,
@@ -52,6 +89,11 @@ fn main() {
             })
         })
         .collect();
+    let players = if quick {
+        players[..2].to_vec()
+    } else {
+        players
+    };
     let matrix = ScenarioMatrix::builder()
         .policies([PolicyKind::Bba])
         .perturbations(perturbations)
@@ -62,24 +104,34 @@ fn main() {
     let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
     let total = fleet.num_scenarios();
     assert!(
-        total >= 10_000,
+        quick || total >= 10_000,
         "scale run must cover >= 10k sessions, got {total}"
     );
     println!("[scale] {total} sessions on {workers} workers...");
-    let report = fleet.run().expect("fleet run completes");
-    print!("{}", report.summary());
+    let scale_report = fleet.run().expect("fleet run completes");
+    print!("{}", scale_report.summary());
     println!(
         "measured: {:.0} sessions/sec ({} sessions in {:.1}s)",
-        report.sessions_per_sec, report.stats.sessions, report.wall_time_s
+        scale_report.sessions_per_sec, scale_report.stats.sessions, scale_report.wall_time_s
     );
 
     // --- Run 2: mixed policy line-up, gain CDF vs BBA. -----------------
-    let matrix = ScenarioMatrix::builder()
-        .policies([PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu])
-        .perturbations([
+    let mixed_perturbations = if quick {
+        vec![TracePerturbation::identity()]
+    } else {
+        vec![
             TracePerturbation::identity(),
             TracePerturbation::jittered(300.0),
-        ])
+        ]
+    };
+    let mixed_policies = if quick {
+        vec![PolicyKind::Bba, PolicyKind::SenseiFugu]
+    } else {
+        vec![PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu]
+    };
+    let matrix = ScenarioMatrix::builder()
+        .policies(mixed_policies)
+        .perturbations(mixed_perturbations)
         .master_seed(2021)
         .build()
         .expect("valid matrix");
@@ -88,10 +140,25 @@ fn main() {
         "[mixed] {} sessions on {workers} workers...",
         fleet.num_scenarios()
     );
-    let report = fleet.run().expect("fleet run completes");
-    print!("{}", report.summary());
+    let mixed_report = fleet.run().expect("fleet run completes");
+    print!("{}", mixed_report.summary());
     println!(
         "measured: {:.0} sessions/sec with the MPC line-up",
-        report.sessions_per_sec
+        mixed_report.sessions_per_sec
     );
+
+    // --- Machine-readable perf trajectory. -----------------------------
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_throughput\",\n  \"quick\": {},\n  \"runs\": [\n{},\n{}\n  ]\n}}\n",
+        quick,
+        run_json("scale", &scale_report),
+        run_json("mixed", &mixed_report)
+    );
+    // Anchor the artifact at the workspace root regardless of the CWD
+    // cargo hands the bench binary (package dir under `cargo bench`).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("[json] wrote {path}"),
+        Err(e) => eprintln!("[json] could not write {path}: {e}"),
+    }
 }

@@ -38,13 +38,13 @@ fn fixture() -> (SourceVideo, EncodedVideo, Vec<Vec<f64>>, SensitivityWeights) {
     (src, enc, vq, weights)
 }
 
-fn state() -> PlayerState {
+fn state() -> PlayerState<'static> {
     PlayerState {
         next_chunk: 12,
         buffer_s: 12.0,
         last_level: Some(2),
-        throughput_history_kbps: vec![1800.0, 2100.0, 1500.0, 1900.0, 2500.0],
-        download_time_history_s: vec![2.0, 1.8, 2.4, 2.1, 1.6],
+        throughput_history_kbps: &[1800.0, 2100.0, 1500.0, 1900.0, 2500.0],
+        download_time_history_s: &[2.0, 1.8, 2.4, 2.1, 1.6],
         elapsed_s: 60.0,
         playing: true,
     }

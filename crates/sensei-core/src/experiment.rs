@@ -8,9 +8,10 @@
 use crate::CoreError;
 use sensei_abr::{Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve};
 use sensei_crowd::{TrueQoe, WeightProfiler};
-use sensei_sim::{simulate, AbrPolicy, PlayerConfig, SessionResult};
+use sensei_sim::{simulate_in, AbrPolicy, PlayerConfig, SessionResult, SessionScratch};
 use sensei_trace::{generate, ThroughputTrace};
 use sensei_video::{corpus, BitrateLadder, EncodedVideo, SensitivityWeights, SourceVideo};
+use std::sync::Arc;
 
 /// How per-video weights are obtained for deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +75,9 @@ impl ExperimentConfig {
 /// One onboarded corpus video ready for the grid.
 #[derive(Debug, Clone)]
 pub struct VideoAsset {
-    /// Table-1 name.
-    pub name: String,
+    /// Table-1 name, interned: every [`CellResult`] for this video shares
+    /// the allocation by reference count instead of cloning a `String`.
+    pub name: Arc<str>,
     /// Genre label.
     pub genre: &'static str,
     /// Dataset-of-origin label.
@@ -140,17 +142,41 @@ impl PolicyKind {
                 | PolicyKind::OracleAware
         )
     }
+
+    /// Every policy kind, in declaration order — the index space of
+    /// [`SessionRuntime`]'s policy table.
+    pub const ALL: [PolicyKind; 8] = [
+        PolicyKind::Bba,
+        PolicyKind::Fugu,
+        PolicyKind::Pensieve,
+        PolicyKind::SenseiFugu,
+        PolicyKind::SenseiFuguNoPause,
+        PolicyKind::SenseiPensieve,
+        PolicyKind::OracleAware,
+        PolicyKind::OracleUnaware,
+    ];
+
+    /// Stable position in [`Self::ALL`].
+    fn index(self) -> usize {
+        self as usize
+    }
 }
 
 /// One grid cell outcome.
+///
+/// The identifying fields are interned: `video` and `trace` are shared
+/// handles into the experiment's corpus and trace tables, and `policy` is
+/// the `'static` label of its [`PolicyKind`], so constructing a cell result
+/// allocates no strings — load-bearing at fleet scale, where millions of
+/// cells stream through the aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
-    /// Video name.
-    pub video: String,
+    /// Video name (shared with [`VideoAsset::name`]).
+    pub video: Arc<str>,
     /// Genre label.
     pub genre: &'static str,
-    /// Trace name.
-    pub trace: String,
+    /// Trace name (shared with the trace's own interned name).
+    pub trace: Arc<str>,
     /// Trace mean throughput (kbps).
     pub trace_mean_kbps: f64,
     /// Policy label.
@@ -217,7 +243,7 @@ impl Experiment {
                 }
             };
             assets.push(VideoAsset {
-                name: entry.video.name().to_string(),
+                name: Arc::from(entry.video.name()),
                 genre: entry.video.genre().label(),
                 dataset: entry.source_dataset,
                 source: entry.video,
@@ -300,7 +326,7 @@ impl Experiment {
     pub fn asset(&self, name: &str) -> Result<&VideoAsset, CoreError> {
         self.assets
             .iter()
-            .find(|a| a.name == name)
+            .find(|a| &*a.name == name)
             .ok_or_else(|| CoreError::BadConfig(format!("video {name} not in corpus")))
     }
 
@@ -337,6 +363,9 @@ impl Experiment {
     /// Runs one session and scores it with the true-QoE oracle, using the
     /// experiment's own [`PlayerConfig`].
     ///
+    /// Convenience wrapper over [`Self::run_session_in`] with a throwaway
+    /// [`SessionRuntime`]; hot paths should hold a runtime per worker.
+    ///
     /// # Errors
     ///
     /// Propagates simulator/oracle failures.
@@ -353,6 +382,9 @@ impl Experiment {
     /// point fleet runs use to sweep player variants without rebuilding the
     /// (expensive) experiment environment per variant.
     ///
+    /// Convenience wrapper over [`Self::run_session_in`] with a throwaway
+    /// [`SessionRuntime`].
+    ///
     /// # Errors
     ///
     /// Propagates simulator/oracle failures.
@@ -363,9 +395,39 @@ impl Experiment {
         kind: PolicyKind,
         player: &PlayerConfig,
     ) -> Result<CellResult, CoreError> {
-        let mut policy = self.policy(kind, trace)?;
+        self.run_session_in(&mut SessionRuntime::new(), asset, trace, kind, player)
+    }
+
+    /// Runs one session through a reusable [`SessionRuntime`] — the
+    /// zero-allocation hot path. The runtime's policy instance for `kind`
+    /// is built on first use, then rebound ([`AbrPolicy::rebind`]) and
+    /// reset ([`AbrPolicy::reset`], inside the simulator) per session, so
+    /// thousands of sessions share one policy (for the RL policies, one
+    /// trained network) and one set of scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator/oracle failures.
+    pub fn run_session_in(
+        &self,
+        runtime: &mut SessionRuntime,
+        asset: &VideoAsset,
+        trace: &ThroughputTrace,
+        kind: PolicyKind,
+        player: &PlayerConfig,
+    ) -> Result<CellResult, CoreError> {
+        let SessionRuntime { policies, scratch } = runtime;
+        let slot = &mut policies[kind.index()];
+        let policy = match slot {
+            Some(policy) => policy,
+            None => slot.insert(self.policy(kind, trace)?),
+        };
+        // Attach trace-bound controllers (the oracles) to this session's
+        // network; a no-op for every other policy.
+        policy.rebind(trace);
         let weights = kind.uses_weights().then_some(&asset.weights);
-        let result: SessionResult = simulate(
+        let result: SessionResult = simulate_in(
+            scratch,
             &asset.source,
             &asset.encoded,
             trace,
@@ -374,10 +436,10 @@ impl Experiment {
             weights,
         )?;
         let qoe01 = self.oracle.qoe01(&asset.source, &result.render)?;
-        Ok(CellResult {
-            video: asset.name.clone(),
+        let cell = CellResult {
+            video: Arc::clone(&asset.name),
             genre: asset.genre,
-            trace: trace.name().to_string(),
+            trace: trace.name_handle(),
             trace_mean_kbps: trace.mean_kbps(),
             policy: kind.label(),
             qoe01,
@@ -391,11 +453,14 @@ impl Experiment {
                 .map(|c| c.intentional_rebuffer_s)
                 .sum(),
             bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
-        })
+        };
+        scratch.reclaim(result);
+        Ok(cell)
     }
 
     /// Runs the full `(video × trace × policy)` grid sequentially, in the
-    /// canonical enumeration order (video outermost, policy innermost).
+    /// canonical enumeration order (video outermost, policy innermost),
+    /// through one reused [`SessionRuntime`].
     ///
     /// This is the degenerate single-worker fleet run: `sensei-fleet`'s
     /// `ScenarioMatrix::grid` spans exactly this scenario space and its
@@ -407,15 +472,54 @@ impl Experiment {
     ///
     /// Propagates session failures.
     pub fn run_grid(&self, kinds: &[PolicyKind]) -> Result<Vec<CellResult>, CoreError> {
+        let mut runtime = SessionRuntime::new();
         let mut out = Vec::with_capacity(kinds.len() * self.assets.len() * self.traces.len());
         for asset in &self.assets {
             for trace in &self.traces {
                 for &kind in kinds {
-                    out.push(self.run_session(asset, trace, kind)?);
+                    out.push(self.run_session_in(
+                        &mut runtime,
+                        asset,
+                        trace,
+                        kind,
+                        &self.player,
+                    )?);
                 }
             }
         }
         Ok(out)
+    }
+}
+
+/// Reusable per-worker session state: one policy instance per
+/// [`PolicyKind`] (built lazily on first use, reset and rebound per
+/// session) plus the simulator's [`SessionScratch`] buffers.
+///
+/// The policy-reuse contract — a reset-and-reused instance produces results
+/// identical to fresh per-session construction — is what makes this a pure
+/// optimization; it is asserted for every kind in
+/// `tests/policy_reuse.rs`.
+pub struct SessionRuntime {
+    /// Policy table indexed by [`PolicyKind::ALL`] position.
+    policies: Vec<Option<Box<dyn AbrPolicy>>>,
+    /// Simulator scratch buffers, recycled across sessions.
+    scratch: SessionScratch,
+}
+
+impl SessionRuntime {
+    /// An empty runtime; policies and buffers materialize on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            policies: (0..PolicyKind::ALL.len()).map(|_| None).collect(),
+            scratch: SessionScratch::new(),
+        }
+    }
+}
+
+impl Default for SessionRuntime {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -1,0 +1,71 @@
+//! The policy-reuse soundness contract the session runtime rests on.
+//!
+//! `SessionRuntime` builds one policy instance per `PolicyKind` and reuses
+//! it (reset + rebound) across every session a worker runs. That is only a
+//! pure optimization if a reused instance is indistinguishable from fresh
+//! per-session construction — which this test asserts for **every**
+//! `PolicyKind`, including the trained RL policies and the trace-bound
+//! oracles, across a 3-video × 3-trace block.
+
+use sensei_core::{Experiment, ExperimentConfig, PolicyKind, SessionRuntime};
+
+/// Quick 3-video environment with *tiny* RL training so `Pensieve` and
+/// `SenseiPensieve` are constructible. The episode count only has to make
+/// training terminate — the reuse contract is about determinism, not
+/// policy quality.
+fn env_with_rl() -> Experiment {
+    let mut cfg = ExperimentConfig::quick(17);
+    cfg.train_rl = true;
+    cfg.rl_episodes = 12;
+    Experiment::build(&cfg).unwrap()
+}
+
+#[test]
+fn reused_policy_matches_fresh_construction_for_every_kind() {
+    let env = env_with_rl();
+    assert_eq!(env.assets.len(), 3, "block needs three videos");
+    let traces = &env.traces[..3];
+    for kind in PolicyKind::ALL {
+        // One runtime for the whole block: the same policy instance (and
+        // the same scratch buffers) serves all nine sessions.
+        let mut runtime = SessionRuntime::new();
+        for asset in &env.assets {
+            for trace in traces {
+                let fresh = env
+                    .run_session_with(asset, trace, kind, &env.player)
+                    .unwrap();
+                let reused = env
+                    .run_session_in(&mut runtime, asset, trace, kind, &env.player)
+                    .unwrap();
+                assert_eq!(
+                    fresh,
+                    reused,
+                    "{kind:?} diverged on ({}, {}) when reused",
+                    asset.name,
+                    trace.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn one_runtime_serves_interleaved_kinds() {
+    // Fleet workers interleave kinds cell by cell (policy is the innermost
+    // axis); the table must keep per-kind instances independent.
+    let env = Experiment::build(&ExperimentConfig::quick(17)).unwrap();
+    let kinds = [PolicyKind::Bba, PolicyKind::SenseiFugu, PolicyKind::Bba];
+    let mut runtime = SessionRuntime::new();
+    let asset = &env.assets[0];
+    let trace = &env.traces[0];
+    let mut cells = Vec::new();
+    for kind in kinds {
+        cells.push(
+            env.run_session_in(&mut runtime, asset, trace, kind, &env.player)
+                .unwrap(),
+        );
+    }
+    // The two BBA sessions bracket a SENSEI session and must agree.
+    assert_eq!(cells[0], cells[2]);
+    assert_ne!(cells[0].policy, cells[1].policy);
+}

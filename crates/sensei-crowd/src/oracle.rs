@@ -69,6 +69,21 @@ impl TrueQoe {
         source: &SourceVideo,
         render: &RenderedVideo,
     ) -> Result<Vec<f64>, CrowdError> {
+        let mut out = Vec::with_capacity(render.num_chunks());
+        self.for_each_experienced(source, render, |e| out.push(e))?;
+        Ok(out)
+    }
+
+    /// Streams each chunk's experienced quality into `visit`, in playback
+    /// order — the allocation-free spine shared by
+    /// [`Self::experienced_quality`] (which collects) and [`Self::qoe01`]
+    /// (which folds), so session scoring costs no per-session Vec.
+    fn for_each_experienced(
+        &self,
+        source: &SourceVideo,
+        render: &RenderedVideo,
+        mut visit: impl FnMut(f64),
+    ) -> Result<(), CrowdError> {
         if render.source_name() != source.name() || render.num_chunks() != source.num_chunks() {
             return Err(CrowdError::SourceMismatch {
                 render: render.source_name().to_string(),
@@ -84,31 +99,27 @@ impl TrueQoe {
             .fold(0.0, f64::max)
             .max(2850.0);
         let mut prev: Option<(f64, f64)> = None;
-        Ok(render
-            .chunks()
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let reference = visual_quality(top_kbps, c.complexity);
-                let stall = c.rebuffer_s
-                    + if i == 0 {
-                        render.startup_delay_s()
-                    } else {
-                        0.0
-                    };
-                let switch = match prev {
-                    Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
-                    _ => 0.0,
+        for (i, c) in render.chunks().iter().enumerate() {
+            let reference = visual_quality(top_kbps, c.complexity);
+            let stall = c.rebuffer_s
+                + if i == 0 {
+                    render.startup_delay_s()
+                } else {
+                    0.0
                 };
-                prev = Some((c.vq, c.bitrate_kbps));
-                // The stall term grows without a cap: sitting through a
-                // 14-second freeze is strictly worse than a 4-second one.
-                let deg = (reference - c.vq).max(0.0)
-                    + self.rebuffer_penalty * (stall / d).max(0.0)
-                    + self.switch_penalty * switch;
-                (reference - s[i] * deg).clamp(-2.0, 1.0)
-            })
-            .collect())
+            let switch = match prev {
+                Some((pvq, pbr)) if (pbr - c.bitrate_kbps).abs() > 1e-9 => (c.vq - pvq).abs(),
+                _ => 0.0,
+            };
+            prev = Some((c.vq, c.bitrate_kbps));
+            // The stall term grows without a cap: sitting through a
+            // 14-second freeze is strictly worse than a 4-second one.
+            let deg = (reference - c.vq).max(0.0)
+                + self.rebuffer_penalty * (stall / d).max(0.0)
+                + self.switch_penalty * switch;
+            visit((reference - s[i] * deg).clamp(-2.0, 1.0));
+        }
+        Ok(())
     }
 
     /// True normalized QoE in `[0, 1]` — the peak-end blend mapped through
@@ -118,9 +129,15 @@ impl TrueQoe {
     ///
     /// Returns an error when the render does not match the source video.
     pub fn qoe01(&self, source: &SourceVideo, render: &RenderedVideo) -> Result<f64, CrowdError> {
-        let e = self.experienced_quality(source, render)?;
-        let mean = e.iter().sum::<f64>() / e.len() as f64;
-        let worst = e.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut sum = 0.0;
+        let mut worst = f64::INFINITY;
+        let mut count = 0u32;
+        self.for_each_experienced(source, render, |e| {
+            sum += e;
+            worst = worst.min(e);
+            count += 1;
+        })?;
+        let mean = sum / f64::from(count);
         let q = self.mean_weight * mean + self.worst_weight * worst;
         Ok((self.map_offset + self.map_slope * q).clamp(0.0, 1.0))
     }

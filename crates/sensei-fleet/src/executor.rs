@@ -17,6 +17,7 @@
 //! aggregates, independent of fleet size.
 
 use crate::report::{FleetReport, FleetStats};
+use crate::runtime::WorkerRuntime;
 use crate::scenario::{Scenario, ScenarioMatrix};
 use crate::FleetError;
 use sensei_core::{CellResult, CoreError, Experiment, PolicyKind};
@@ -150,22 +151,39 @@ impl<'a> Fleet<'a> {
     ///
     /// Aborts on the first scenario failure.
     pub fn run_cells(&self) -> Result<Vec<CellResult>, FleetError> {
-        let mut cells = Vec::with_capacity(usize::try_from(self.num_scenarios()).unwrap_or(0));
+        // Pre-allocation hint with an explicit bound: the scenario count
+        // can exceed `usize` only on narrow targets where such a run could
+        // never be collected anyway, and even on 64-bit hosts a huge count
+        // must not translate into a huge up-front allocation — beyond
+        // `MAX_PREALLOC` cells the Vec grows normally instead.
+        const MAX_PREALLOC: usize = 1 << 22;
+        let hint =
+            usize::try_from(self.num_scenarios()).map_or(MAX_PREALLOC, |n| n.min(MAX_PREALLOC));
+        let mut cells = Vec::with_capacity(hint);
         self.execute(|_, result| cells.push(result))?;
         Ok(cells)
     }
 
-    /// Simulates one scenario. Pure function of (experiment, matrix,
-    /// scenario) — no shared mutable state, which is what makes sharding
-    /// trivially sound.
-    fn run_scenario(&self, sc: &Scenario) -> Result<CellResult, CoreError> {
+    /// Simulates one scenario against a worker's runtime. Apart from the
+    /// runtime's caches (which are result-invisible: reused policies are
+    /// reset per session and cached traces are value-identical to fresh
+    /// perturbations), this is a pure function of (experiment, matrix,
+    /// scenario) — which is what makes sharding trivially sound.
+    fn run_scenario(&self, rt: &mut WorkerRuntime, sc: &Scenario) -> Result<CellResult, CoreError> {
         let asset = &self.experiment.assets[sc.video_idx];
         let base = &self.experiment.traces[sc.trace_idx];
         let perturbation = &self.matrix.perturbations()[sc.perturbation_idx];
-        let trace = perturbation.apply(base, sc.seed)?;
+        let WorkerRuntime { session, traces } = rt;
+        let trace = traces.resolve(
+            base,
+            perturbation,
+            sc.trace_idx,
+            sc.perturbation_idx,
+            sc.seed,
+        )?;
         let player = self.matrix.player(self.experiment, sc.player_idx);
         self.experiment
-            .run_session_with(asset, &trace, sc.policy, player)
+            .run_session_in(session, asset, trace, sc.policy, player)
     }
 
     /// Fans scenarios out across the workers and invokes `sink` for every
@@ -180,12 +198,20 @@ impl<'a> Fleet<'a> {
         // ahead of the collector's fold frontier, which caps the reorder
         // buffer (and the channel) at `window` entries even when one slow
         // scenario stalls the frontier while the rest of the fleet races
-        // ahead.
-        let window = self.workers.saturating_mul(32).max(64) as u64;
+        // ahead. The conversion is checked: `usize` → `u64` is lossless on
+        // every supported target (≤ 64-bit), and saturating afterwards
+        // bounds even absurd worker counts instead of silently wrapping.
+        let window = u64::try_from(self.workers)
+            .unwrap_or(u64::MAX)
+            .saturating_mul(32)
+            .max(64);
         let cursor = AtomicU64::new(0);
         let poison = AtomicBool::new(false);
         let frontier = Frontier::default();
-        let (tx, rx) = mpsc::sync_channel::<(u64, Result<CellResult, CoreError>)>(window as usize);
+        // Checked back-conversion for the channel bound (the window was
+        // computed in u64; saturating keeps narrow targets safe).
+        let channel_bound = usize::try_from(window).unwrap_or(usize::MAX);
+        let (tx, rx) = mpsc::sync_channel::<(u64, Result<CellResult, CoreError>)>(channel_bound);
         thread::scope(|scope| {
             for _ in 0..self.workers {
                 let tx = tx.clone();
@@ -200,6 +226,10 @@ impl<'a> Fleet<'a> {
                     // waiting on a frontier that can no longer advance;
                     // `thread::scope` then propagates the panic.
                     let _guard = PoisonOnPanic { poison, frontier };
+                    // One runtime per worker for the whole run: policies,
+                    // simulator scratch, and perturbed traces are reused
+                    // across every scenario this worker executes.
+                    let mut runtime = WorkerRuntime::new();
                     loop {
                         if poison.load(Ordering::Relaxed) {
                             break;
@@ -212,7 +242,7 @@ impl<'a> Fleet<'a> {
                             break;
                         }
                         let scenario = fleet.matrix.scenario(fleet.experiment, id);
-                        let result = fleet.run_scenario(&scenario);
+                        let result = fleet.run_scenario(&mut runtime, &scenario);
                         let failed = result.is_err();
                         if failed {
                             poison.store(true, Ordering::Relaxed);

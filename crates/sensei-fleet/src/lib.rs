@@ -33,10 +33,12 @@
 
 pub mod executor;
 pub mod report;
+pub mod runtime;
 pub mod scenario;
 
 pub use executor::{Fleet, FleetConfig};
 pub use report::{FleetReport, FleetStats, GainCdf, Histogram, PolicyStats, Welford};
+pub use runtime::{TraceCache, WorkerRuntime};
 pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};
 
 use sensei_core::CoreError;

@@ -1,0 +1,238 @@
+//! Per-worker runtime state: reused policies, scratch buffers, and the
+//! trace-perturbation cache.
+//!
+//! `Fleet::execute` gives every worker thread one [`WorkerRuntime`] for the
+//! whole run. Policies and simulator buffers are reused through the
+//! embedded [`SessionRuntime`]; perturbed traces are the fleet-specific
+//! part, handled by a two-tier cache:
+//!
+//! * **Deterministic perturbations** (bandwidth scaling, no jitter) do not
+//!   depend on the cell seed, so the perturbed trace is materialized once
+//!   per `(trace, perturbation)` pair and shared by every scenario the
+//!   worker runs against it.
+//! * **Jittered perturbations** are a pure function of the cell seed and
+//!   must be regenerated per cell — but into a single scratch trace whose
+//!   sample buffer and interned name are recycled, so regeneration costs
+//!   the RNG draws and nothing else. Consecutive scenarios of the same
+//!   cell (the policy axis is innermost) reuse the scratch without
+//!   regenerating at all.
+//!
+//! Caching never changes results: cached and freshly-applied perturbations
+//! are value-identical (asserted by the tests below), and which worker's
+//! cache served a scenario is invisible to the deterministic collector.
+
+use crate::scenario::TracePerturbation;
+use sensei_core::SessionRuntime;
+use sensei_trace::{ThroughputTrace, TraceError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything one executor worker owns across its scenarios.
+pub struct WorkerRuntime {
+    /// Per-worker policy table and simulator scratch (see
+    /// [`sensei_core::SessionRuntime`]).
+    pub session: SessionRuntime,
+    /// Perturbed-trace cache.
+    pub traces: TraceCache,
+}
+
+impl WorkerRuntime {
+    /// An empty runtime; everything materializes on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            session: SessionRuntime::new(),
+            traces: TraceCache::new(),
+        }
+    }
+}
+
+impl Default for WorkerRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Key of a perturbed trace: indices into the experiment's trace table and
+/// the matrix's perturbation axis.
+type PairKey = (usize, usize);
+
+/// The per-worker perturbed-trace cache.
+pub struct TraceCache {
+    /// Seed-independent perturbations, materialized once per pair.
+    deterministic: HashMap<PairKey, ThroughputTrace>,
+    /// Interned names of jittered perturbations (seed-independent even
+    /// when the samples are not).
+    jitter_names: HashMap<PairKey, Arc<str>>,
+    /// The cell key the jitter scratch currently holds.
+    jitter_key: Option<(usize, usize, u64)>,
+    /// The reusable jittered scratch trace.
+    jitter: Option<ThroughputTrace>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            deterministic: HashMap::new(),
+            jitter_names: HashMap::new(),
+            jitter_key: None,
+            jitter: None,
+        }
+    }
+
+    /// Resolves the perturbed trace for one scenario, value-identical to
+    /// `perturbation.apply(base, seed)` but served from the cache when the
+    /// perturbation is deterministic (or the jitter scratch already holds
+    /// this cell's trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-algebra failures, exactly as the uncached path
+    /// does.
+    pub fn resolve<'a>(
+        &'a mut self,
+        base: &'a ThroughputTrace,
+        perturbation: &TracePerturbation,
+        trace_idx: usize,
+        perturbation_idx: usize,
+        seed: u64,
+    ) -> Result<&'a ThroughputTrace, TraceError> {
+        if perturbation.is_identity() {
+            return Ok(base);
+        }
+        let pair = (trace_idx, perturbation_idx);
+        if perturbation.jitter_std_kbps == 0.0 {
+            // Seed-independent: materialize once (the seed passed to
+            // `apply` is unused without jitter), reuse forever.
+            use std::collections::hash_map::Entry;
+            return Ok(match self.deterministic.entry(pair) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(v) => v.insert(perturbation.apply(base, seed)?.into_owned()),
+            });
+        }
+        let key = (trace_idx, perturbation_idx, seed);
+        if self.jitter_key == Some(key) {
+            return Ok(self.jitter.as_ref().expect("key implies scratch"));
+        }
+        self.jitter_key = None;
+        // The perturbed name depends on the pair but not the seed, so it is
+        // interned once and re-attached to the scratch by handle.
+        let name = Arc::clone(self.jitter_names.entry(pair).or_insert_with(|| {
+            Arc::from(base.perturbed_name(perturbation.scale, perturbation.jitter_std_kbps))
+        }));
+        // Regenerate through the one shared sample path
+        // (`ThroughputTrace::perturbed_into` — the same code
+        // `TracePerturbation::apply` runs), into the recycled buffer.
+        let buf = self
+            .jitter
+            .take()
+            .map_or_else(Vec::new, ThroughputTrace::into_samples);
+        let trace = base.perturbed_into(
+            perturbation.scale,
+            perturbation.jitter_std_kbps,
+            seed,
+            name,
+            buf,
+        )?;
+        self.jitter = Some(trace);
+        self.jitter_key = Some(key);
+        Ok(self.jitter.as_ref().expect("just stored"))
+    }
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ThroughputTrace {
+        sensei_trace::generate::hsdpa_like(1500.0, 120, 7)
+    }
+
+    #[test]
+    fn identity_borrows_the_base_trace() {
+        let base = base();
+        let mut cache = TraceCache::new();
+        let resolved = cache
+            .resolve(&base, &TracePerturbation::identity(), 0, 0, 99)
+            .unwrap();
+        assert!(std::ptr::eq(resolved, &base));
+    }
+
+    #[test]
+    fn deterministic_perturbations_are_cached_and_value_identical() {
+        let base = base();
+        let p = TracePerturbation::scaled(0.7);
+        let fresh = p.apply(&base, 1).unwrap().into_owned();
+        let mut cache = TraceCache::new();
+        let first_ptr = {
+            let t = cache.resolve(&base, &p, 2, 3, 1).unwrap();
+            assert_eq!(*t, fresh, "cached build must equal a fresh apply");
+            t.samples().as_ptr()
+        };
+        // A different seed (different cell, same pair) hits the same entry:
+        // deterministic perturbations are seed-independent.
+        let second = cache.resolve(&base, &p, 2, 3, 42).unwrap();
+        assert_eq!(*second, fresh);
+        assert!(
+            std::ptr::eq(second.samples().as_ptr(), first_ptr),
+            "second resolve must reuse the cached trace, not rebuild it"
+        );
+    }
+
+    #[test]
+    fn jittered_perturbations_are_a_pure_function_of_the_seed() {
+        let base = base();
+        let p = TracePerturbation {
+            scale: 0.8,
+            jitter_std_kbps: 250.0,
+        };
+        let mut cache = TraceCache::new();
+        // Cache output equals the uncached path, name included.
+        let fresh_a = p.apply(&base, 11).unwrap().into_owned();
+        let a = cache.resolve(&base, &p, 0, 1, 11).unwrap().clone();
+        assert_eq!(a, fresh_a);
+        // Same seed → same trace, even after the scratch held another cell.
+        let b = cache.resolve(&base, &p, 0, 1, 12).unwrap().clone();
+        assert_ne!(a.samples(), b.samples(), "different seeds must differ");
+        assert_eq!(a.name(), b.name(), "the interned name is seed-independent");
+        let a_again = cache.resolve(&base, &p, 0, 1, 11).unwrap().clone();
+        assert_eq!(a, a_again);
+        // And the regenerated trace still matches a fresh apply.
+        assert_eq!(b, p.apply(&base, 12).unwrap().into_owned());
+    }
+
+    #[test]
+    fn jitter_scratch_is_reused_for_consecutive_same_cell_scenarios() {
+        let base = base();
+        let p = TracePerturbation::jittered(300.0);
+        let mut cache = TraceCache::new();
+        let first_ptr = cache
+            .resolve(&base, &p, 0, 0, 5)
+            .unwrap()
+            .samples()
+            .as_ptr();
+        // Same cell again (the policy axis walks the same cell repeatedly):
+        // no regeneration, the very same scratch is handed back.
+        let again_ptr = cache
+            .resolve(&base, &p, 0, 0, 5)
+            .unwrap()
+            .samples()
+            .as_ptr();
+        assert!(std::ptr::eq(first_ptr, again_ptr));
+        // A different cell regenerates, but into the same buffer.
+        let other_ptr = cache
+            .resolve(&base, &p, 0, 0, 6)
+            .unwrap()
+            .samples()
+            .as_ptr();
+        assert!(std::ptr::eq(first_ptr, other_ptr));
+    }
+}

@@ -77,6 +77,11 @@ impl TracePerturbation {
     /// `seed`. The identity perturbation borrows the base trace (no
     /// allocation on the hot path).
     ///
+    /// Non-identity perturbations go through
+    /// [`ThroughputTrace::perturbed_into`] — the same single sample path
+    /// the per-worker trace caches use, so cached and freshly-applied
+    /// perturbations are value-identical by construction.
+    ///
     /// # Errors
     ///
     /// Propagates trace-algebra failures (e.g. jitter so extreme the
@@ -89,14 +94,13 @@ impl TracePerturbation {
         if self.is_identity() {
             return Ok(Cow::Borrowed(base));
         }
-        let mut trace = Cow::Borrowed(base);
-        if self.scale != 1.0 {
-            trace = Cow::Owned(trace.scaled(self.scale)?);
-        }
-        if self.jitter_std_kbps > 0.0 {
-            trace = Cow::Owned(trace.with_gaussian_noise(self.jitter_std_kbps, seed)?);
-        }
-        Ok(trace)
+        Ok(Cow::Owned(base.perturbed_into(
+            self.scale,
+            self.jitter_std_kbps,
+            seed,
+            base.perturbed_name(self.scale, self.jitter_std_kbps),
+            Vec::new(),
+        )?))
     }
 }
 

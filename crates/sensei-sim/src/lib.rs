@@ -24,7 +24,7 @@ pub mod policy;
 pub mod session;
 
 pub use policy::{AbrPolicy, Decision, PlayerState, SessionContext};
-pub use session::{simulate, PlayerConfig, SessionResult};
+pub use session::{simulate, simulate_in, PlayerConfig, SessionResult, SessionScratch};
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq)]

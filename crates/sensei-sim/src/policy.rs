@@ -6,11 +6,17 @@
 //! [`PlayerState`]/[`SessionContext`] carry the inputs, [`Decision`] the
 //! outputs; non-SENSEI policies simply ignore the new fields.
 
+use sensei_trace::ThroughputTrace;
 use sensei_video::{EncodedVideo, SensitivityWeights};
 
 /// Dynamic player state visible to a policy at decision time.
-#[derive(Debug, Clone)]
-pub struct PlayerState {
+///
+/// The history fields borrow the simulator's scratch buffers: the state is
+/// `Copy`, so policies that want to evaluate hypothetical variants (e.g.
+/// SENSEI's pause candidates) copy it for free instead of cloning two
+/// heap-allocated vectors per decision.
+#[derive(Debug, Clone, Copy)]
+pub struct PlayerState<'a> {
     /// Index of the chunk about to be downloaded.
     pub next_chunk: usize,
     /// Media seconds currently buffered.
@@ -19,20 +25,20 @@ pub struct PlayerState {
     /// first chunk).
     pub last_level: Option<usize>,
     /// Measured throughput of past chunk downloads, kbps, oldest first.
-    pub throughput_history_kbps: Vec<f64>,
+    pub throughput_history_kbps: &'a [f64],
     /// Download time of past chunks, seconds, oldest first.
-    pub download_time_history_s: Vec<f64>,
+    pub download_time_history_s: &'a [f64],
     /// Wall-clock seconds since the session started.
     pub elapsed_s: f64,
     /// Whether playback has started (startup phase complete).
     pub playing: bool,
 }
 
-impl PlayerState {
+impl PlayerState<'_> {
     /// Harmonic mean of the last `n` throughput samples (kbps) — the
     /// classic robust throughput estimator. Returns `None` with no history.
     pub fn harmonic_mean_throughput(&self, n: usize) -> Option<f64> {
-        let hist = &self.throughput_history_kbps;
+        let hist = self.throughput_history_kbps;
         if hist.is_empty() || n == 0 {
             return None;
         }
@@ -91,16 +97,27 @@ impl Decision {
 }
 
 /// An adaptive-bitrate algorithm.
+///
+/// Policies follow a reuse lifecycle so one instance can serve thousands of
+/// sessions: [`Self::rebind`] attaches trace-bound policies to the next
+/// session's network, [`Self::reset`] clears per-session state (called by
+/// [`crate::simulate`] on entry), and [`Self::decide`] runs per chunk.
 pub trait AbrPolicy {
     /// Algorithm name for reports.
     fn name(&self) -> &str;
 
     /// Chooses the level (and optional intentional pause) for the next
     /// chunk.
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision;
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision;
 
     /// Resets internal state before a new session; default is stateless.
     fn reset(&mut self) {}
+
+    /// Rebinds the policy to a new session's throughput trace. Only
+    /// oracle-style controllers that were constructed around a specific
+    /// trace need this; the default is a no-op because ordinary policies
+    /// observe the network solely through [`PlayerState`].
+    fn rebind(&mut self, _trace: &ThroughputTrace) {}
 }
 
 /// Boxed policies are policies, so experiment harnesses can hold
@@ -111,12 +128,16 @@ impl<P: AbrPolicy + ?Sized> AbrPolicy for Box<P> {
         (**self).name()
     }
 
-    fn decide(&mut self, state: &PlayerState, ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         (**self).decide(state, ctx)
     }
 
     fn reset(&mut self) {
         (**self).reset();
+    }
+
+    fn rebind(&mut self, trace: &ThroughputTrace) {
+        (**self).rebind(trace);
     }
 }
 
@@ -146,7 +167,7 @@ impl AbrPolicy for FixedLevel {
         &self.name
     }
 
-    fn decide(&mut self, _state: &PlayerState, _ctx: &SessionContext<'_>) -> Decision {
+    fn decide(&mut self, _state: &PlayerState<'_>, _ctx: &SessionContext<'_>) -> Decision {
         Decision::level(self.level)
     }
 }
@@ -161,8 +182,8 @@ mod tests {
             next_chunk: 3,
             buffer_s: 8.0,
             last_level: Some(2),
-            throughput_history_kbps: vec![1000.0, 1000.0, 100000.0],
-            download_time_history_s: vec![1.0, 1.0, 0.1],
+            throughput_history_kbps: &[1000.0, 1000.0, 100000.0],
+            download_time_history_s: &[1.0, 1.0, 0.1],
             elapsed_s: 10.0,
             playing: true,
         };
@@ -180,8 +201,8 @@ mod tests {
             next_chunk: 0,
             buffer_s: 0.0,
             last_level: None,
-            throughput_history_kbps: vec![],
-            download_time_history_s: vec![],
+            throughput_history_kbps: &[],
+            download_time_history_s: &[],
             elapsed_s: 0.0,
             playing: false,
         };

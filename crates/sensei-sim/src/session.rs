@@ -9,7 +9,6 @@
 use crate::policy::{AbrPolicy, PlayerState, SessionContext};
 use crate::SimError;
 use sensei_trace::ThroughputTrace;
-use sensei_video::quality::visual_quality;
 use sensei_video::{EncodedVideo, RenderedChunk, RenderedVideo, SensitivityWeights, SourceVideo};
 
 /// Player configuration.
@@ -83,8 +82,9 @@ pub struct SessionResult {
     pub policy_name: String,
 }
 
-/// Internal playback bookkeeping.
-struct Playback {
+/// Internal playback bookkeeping. The stall ledger is borrowed from the
+/// session scratch so it is recycled across sessions.
+struct Playback<'a> {
     /// Media seconds played so far.
     m: f64,
     /// Media seconds downloaded so far (multiple of the chunk duration).
@@ -92,7 +92,7 @@ struct Playback {
     /// Intentional pause waiting to be taken at the next chunk boundary.
     pending_pause: f64,
     /// Per-chunk (forced, intentional) stall seconds.
-    stalls: Vec<(f64, f64)>,
+    stalls: &'a mut Vec<(f64, f64)>,
     /// Chunk duration.
     d: f64,
     /// Total media duration.
@@ -101,7 +101,7 @@ struct Playback {
 
 const EPS: f64 = 1e-9;
 
-impl Playback {
+impl Playback<'_> {
     fn buffer(&self) -> f64 {
         (self.downloaded_end - self.m).max(0.0)
     }
@@ -171,11 +171,63 @@ impl Playback {
     }
 }
 
+/// Reusable buffers for the session event loop.
+///
+/// A scratch owns every allocation [`simulate_in`] needs: the visual-quality
+/// table, the playback stall ledger, the throughput/download histories, and
+/// spare buffers for the outgoing [`SessionResult`] (levels, rendered
+/// chunks, name strings). One scratch per worker means the steady-state
+/// session loop performs **no heap allocation**: buffers handed out inside a
+/// `SessionResult` come back via [`SessionScratch::reclaim`], so session
+/// `k + 1` streams entirely through session `k`'s capacity.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    /// Per-chunk (forced, intentional) stall ledger for [`Playback`].
+    stalls: Vec<(f64, f64)>,
+    /// Measured throughput history, kbps.
+    tput: Vec<f64>,
+    /// Download-time history, seconds.
+    dl: Vec<f64>,
+    /// Spare buffer for [`SessionResult::levels`].
+    levels: Vec<usize>,
+    /// Spare buffer for the render's chunk list.
+    chunks: Vec<RenderedChunk>,
+    /// Spare buffer for the render's source name.
+    source_name: String,
+    /// Spare buffer for [`SessionResult::policy_name`].
+    policy_name: String,
+}
+
+impl SessionScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a consumed session's buffers to the pool so the next
+    /// [`simulate_in`] call reuses their capacity instead of allocating.
+    /// Call this once the [`SessionResult`] has been fully read (scored,
+    /// aggregated); dropping the result instead is always safe, it just
+    /// forfeits the recycling.
+    pub fn reclaim(&mut self, result: SessionResult) {
+        self.levels = result.levels;
+        self.policy_name = result.policy_name;
+        let (source_name, chunks) = result.render.into_parts();
+        self.source_name = source_name;
+        self.chunks = chunks;
+    }
+}
+
 /// Simulates streaming `source` (pre-encoded as `encoded`) over `trace`
 /// under `policy`.
 ///
 /// `weights` is forwarded to the policy via [`SessionContext`]; pass `None`
 /// for sensitivity-unaware players.
+///
+/// This is the one-shot convenience wrapper over [`simulate_in`] with a
+/// throwaway [`SessionScratch`]; hot paths running many sessions should
+/// hold a scratch per worker and call [`simulate_in`] directly.
 ///
 /// # Errors
 ///
@@ -183,6 +235,33 @@ impl Playback {
 /// encoding does not match the source, the weights do not cover the video,
 /// or the policy emits an invalid decision.
 pub fn simulate(
+    source: &SourceVideo,
+    encoded: &EncodedVideo,
+    trace: &ThroughputTrace,
+    policy: &mut dyn AbrPolicy,
+    config: &PlayerConfig,
+    weights: Option<&SensitivityWeights>,
+) -> Result<SessionResult, SimError> {
+    simulate_in(
+        &mut SessionScratch::new(),
+        source,
+        encoded,
+        trace,
+        policy,
+        config,
+        weights,
+    )
+}
+
+/// [`simulate`] against caller-owned scratch buffers — the zero-allocation
+/// session path. Behaviour and results are identical to [`simulate`];
+/// only the allocation strategy differs.
+///
+/// # Errors
+///
+/// Returns the same errors as [`simulate`].
+pub fn simulate_in(
+    scratch: &mut SessionScratch,
     source: &SourceVideo,
     encoded: &EncodedVideo,
     trace: &ThroughputTrace,
@@ -208,40 +287,47 @@ pub fn simulate(
     }
     let ladder = encoded.ladder();
     let d = source.chunk_duration_s();
-    // Per-chunk, per-level visual quality table (manifest metadata).
-    let vq_table: Vec<Vec<f64>> = source
-        .chunks()
-        .iter()
-        .map(|c| {
-            ladder
-                .levels()
-                .iter()
-                .map(|&b| visual_quality(b, c.complexity))
-                .collect()
-        })
-        .collect();
+    // Split the scratch into independent field borrows; only the
+    // result-bound buffers (levels, chunks, names) are moved out and come
+    // back via `reclaim`. The visual-quality table is an encode artifact
+    // (manifest metadata), borrowed straight from the encoding.
+    let SessionScratch {
+        stalls,
+        tput: throughput_hist,
+        dl: download_hist,
+        levels: scratch_levels,
+        chunks: scratch_chunks,
+        source_name: scratch_source_name,
+        policy_name: scratch_policy_name,
+    } = scratch;
     let ctx = SessionContext {
         encoded,
-        vq: &vq_table,
+        vq: encoded.vq_table(),
         weights,
         chunk_duration_s: d,
     };
 
     policy.reset();
+    stalls.clear();
+    stalls.resize(n, (0.0, 0.0));
     let mut pb = Playback {
         m: 0.0,
         downloaded_end: 0.0,
         pending_pause: 0.0,
-        stalls: vec![(0.0, 0.0); n],
+        stalls,
         d,
         total: n as f64 * d,
     };
     let mut t = 0.0_f64;
     let mut startup_delay = 0.0;
     let mut playing = false;
-    let mut levels = Vec::with_capacity(n);
-    let mut throughput_hist = Vec::with_capacity(n);
-    let mut download_hist = Vec::with_capacity(n);
+    let mut levels = std::mem::take(scratch_levels);
+    levels.clear();
+    levels.reserve(n);
+    throughput_hist.clear();
+    throughput_hist.reserve(n);
+    download_hist.clear();
+    download_hist.reserve(n);
     let mut bits_downloaded = 0.0;
 
     for i in 0..n {
@@ -263,13 +349,14 @@ pub fn simulate(
             next_chunk: i,
             buffer_s: pb.buffer(),
             last_level: levels.last().copied(),
-            throughput_history_kbps: throughput_hist.clone(),
-            download_time_history_s: download_hist.clone(),
+            throughput_history_kbps: throughput_hist,
+            download_time_history_s: download_hist,
             elapsed_s: t,
             playing,
         };
         let decision = policy.decide(&state, &ctx);
         if decision.level >= ladder.len() {
+            *scratch_levels = levels;
             return Err(SimError::InvalidLevel {
                 level: decision.level,
                 ladder_len: ladder.len(),
@@ -279,13 +366,20 @@ pub fn simulate(
             && decision.pause_s >= 0.0
             && decision.pause_s <= config.max_pause_s + EPS)
         {
+            *scratch_levels = levels;
             return Err(SimError::InvalidPause(decision.pause_s));
         }
         if decision.pause_s > EPS {
             pb.pending_pause += decision.pause_s;
         }
 
-        let size = encoded.size_bits(i, decision.level)?;
+        let size = match encoded.size_bits(i, decision.level) {
+            Ok(size) => size,
+            Err(e) => {
+                *scratch_levels = levels;
+                return Err(e.into());
+            }
+        };
         let transfer = trace.download_time(t + config.rtt_s, size);
         let dt = config.rtt_s + transfer;
         if playing {
@@ -315,28 +409,44 @@ pub fn simulate(
         }
     }
 
-    let chunks: Vec<RenderedChunk> = (0..n)
-        .map(|i| {
-            let content = &source.chunks()[i];
-            let (forced, intentional) = pb.stalls[i];
-            RenderedChunk {
-                bitrate_kbps: ladder.kbps(levels[i]).expect("validated level"),
-                vq: vq_table[i][levels[i]],
-                rebuffer_s: forced + intentional,
-                intentional_rebuffer_s: intentional,
-                motion: content.motion,
-                complexity: content.complexity,
-            }
-        })
-        .collect();
-    let render = RenderedVideo::new(source.name(), d, startup_delay, chunks)?;
+    // The histories and the vq table stay behind in the scratch; levels,
+    // chunks, and the name strings travel inside the result and come back
+    // to the pool via [`SessionScratch::reclaim`].
+    let mut chunks = std::mem::take(scratch_chunks);
+    chunks.clear();
+    chunks.reserve(n);
+    chunks.extend((0..n).map(|i| {
+        let content = &source.chunks()[i];
+        let (forced, intentional) = pb.stalls[i];
+        RenderedChunk {
+            bitrate_kbps: ladder.kbps(levels[i]).expect("validated level"),
+            vq: ctx.vq[i][levels[i]],
+            rebuffer_s: forced + intentional,
+            intentional_rebuffer_s: intentional,
+            motion: content.motion,
+            complexity: content.complexity,
+        }
+    }));
+    let mut source_name = std::mem::take(scratch_source_name);
+    source_name.clear();
+    source_name.push_str(source.name());
+    let render = match RenderedVideo::new(source_name, d, startup_delay, chunks) {
+        Ok(render) => render,
+        Err(e) => {
+            *scratch_levels = levels;
+            return Err(e.into());
+        }
+    };
     let wall_time_s = startup_delay + render.content_duration_s() + render.total_rebuffer_s()
         - render.startup_delay_s();
+    let mut policy_name = std::mem::take(scratch_policy_name);
+    policy_name.clear();
+    policy_name.push_str(policy.name());
     Ok(SessionResult {
         wall_time_s,
         bits_downloaded,
         levels,
-        policy_name: policy.name().to_string(),
+        policy_name,
         render,
     })
 }
@@ -666,6 +776,73 @@ mod tests {
                 weights: 3
             }
         ));
+    }
+
+    #[test]
+    fn scratch_reuse_reproduces_one_shot_results() {
+        // The zero-allocation contract: running many sessions through one
+        // reclaimed scratch yields byte-identical results to fresh
+        // `simulate` calls, across different videos and traces.
+        let mut scratch = SessionScratch::new();
+        let (src_a, enc_a) = setup(12);
+        let (src_b, enc_b) = setup(7);
+        let sessions: Vec<(&SourceVideo, &EncodedVideo, f64)> = vec![
+            (&src_a, &enc_a, 900.0),
+            (&src_b, &enc_b, 4000.0),
+            (&src_a, &enc_a, 2000.0),
+            (&src_b, &enc_b, 700.0),
+        ];
+        for (src, enc, kbps) in sessions {
+            let trace = ThroughputTrace::constant("t", kbps, 600.0).unwrap();
+            let config = PlayerConfig::default();
+            let fresh = simulate(src, enc, &trace, &mut FixedLevel::new(2), &config, None).unwrap();
+            let reused = simulate_in(
+                &mut scratch,
+                src,
+                enc,
+                &trace,
+                &mut FixedLevel::new(2),
+                &config,
+                None,
+            )
+            .unwrap();
+            assert_eq!(fresh.levels, reused.levels);
+            assert_eq!(fresh.policy_name, reused.policy_name);
+            assert_eq!(fresh.wall_time_s, reused.wall_time_s);
+            assert_eq!(fresh.bits_downloaded, reused.bits_downloaded);
+            assert_eq!(fresh.render, reused.render);
+            scratch.reclaim(reused);
+        }
+    }
+
+    #[test]
+    fn scratch_survives_failing_sessions() {
+        // An invalid decision must not poison the pool for later sessions.
+        struct BadLevel;
+        impl AbrPolicy for BadLevel {
+            fn name(&self) -> &str {
+                "BadLevel"
+            }
+            fn decide(&mut self, _: &PlayerState<'_>, _: &SessionContext<'_>) -> Decision {
+                Decision::level(99)
+            }
+        }
+        let mut scratch = SessionScratch::new();
+        let (src, enc) = setup(6);
+        let trace = ThroughputTrace::constant("t", 2000.0, 600.0).unwrap();
+        let cfg = PlayerConfig::default();
+        assert!(simulate_in(&mut scratch, &src, &enc, &trace, &mut BadLevel, &cfg, None).is_err());
+        let ok = simulate_in(
+            &mut scratch,
+            &src,
+            &enc,
+            &trace,
+            &mut FixedLevel::new(1),
+            &cfg,
+            None,
+        )
+        .unwrap();
+        assert_eq!(ok.levels, vec![1; 6]);
     }
 
     #[test]

@@ -19,18 +19,28 @@ pub struct CumulativeTrace {
 impl CumulativeTrace {
     /// Builds the index from a trace.
     pub fn new(trace: &ThroughputTrace) -> Self {
-        let interval = trace.interval_s();
-        let mut cum = Vec::with_capacity(trace.samples().len() + 1);
+        let mut index = Self {
+            cum_bits: Vec::with_capacity(trace.samples().len() + 1),
+            kbps: Vec::with_capacity(trace.samples().len()),
+            interval_s: trace.interval_s(),
+        };
+        index.rebind(trace);
+        index
+    }
+
+    /// Rebuilds the index over a different trace, reusing the existing
+    /// buffers — the rebind path long-lived MPC controllers use when one
+    /// policy instance serves thousands of sessions on changing networks.
+    pub fn rebind(&mut self, trace: &ThroughputTrace) {
+        self.interval_s = trace.interval_s();
+        self.kbps.clear();
+        self.kbps.extend_from_slice(trace.samples());
+        self.cum_bits.clear();
+        self.cum_bits.push(0.0);
         let mut acc = 0.0;
-        cum.push(0.0);
         for &kbps in trace.samples() {
-            acc += kbps * 1000.0 * interval;
-            cum.push(acc);
-        }
-        Self {
-            cum_bits: cum,
-            kbps: trace.samples().to_vec(),
-            interval_s: interval,
+            acc += kbps * 1000.0 * self.interval_s;
+            self.cum_bits.push(acc);
         }
     }
 

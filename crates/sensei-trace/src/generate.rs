@@ -78,7 +78,7 @@ impl Ar1Params {
 /// outside `[0, 1)`, or an inverted event-length range); these are programmer
 /// errors in experiment setup, not runtime conditions.
 pub fn ar1_trace(
-    name: impl Into<String>,
+    name: impl Into<std::sync::Arc<str>>,
     params: &Ar1Params,
     duration_s: usize,
     seed: u64,

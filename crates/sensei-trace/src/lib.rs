@@ -24,6 +24,7 @@ pub mod generate;
 pub use cumulative::CumulativeTrace;
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced when constructing or manipulating traces.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,13 +86,17 @@ impl std::error::Error for TraceError {}
 /// arbitrarily long videos.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputTrace {
-    name: String,
+    /// Interned so fleet-scale result records can share the name by
+    /// reference-count bump instead of allocating a `String` per session.
+    name: Arc<str>,
     interval_s: f64,
     kbps: Vec<f64>,
 }
 
 impl ThroughputTrace {
-    /// Builds a trace from raw samples.
+    /// Builds a trace from raw samples. The sample buffer is taken by value
+    /// and reused as-is, so callers recycling buffers (see
+    /// [`Self::into_samples`]) pay no copy.
     ///
     /// # Errors
     ///
@@ -99,7 +104,7 @@ impl ThroughputTrace {
     /// positive finite number, any sample is negative or non-finite, or all
     /// samples are zero (such a trace could never transfer data).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         interval_s: f64,
         kbps: Vec<f64>,
     ) -> Result<Self, TraceError> {
@@ -130,7 +135,7 @@ impl ThroughputTrace {
     ///
     /// Returns an error when `kbps` is not a positive finite value.
     pub fn constant(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         kbps: f64,
         duration_s: f64,
     ) -> Result<Self, TraceError> {
@@ -141,6 +146,20 @@ impl ThroughputTrace {
     /// The trace's human-readable name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// A shared handle to the interned name — cloning the handle bumps a
+    /// reference count instead of copying the string, which is what lets
+    /// per-session result records carry trace names allocation-free.
+    pub fn name_handle(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
+    /// Consumes the trace and returns its sample buffer so hot paths can
+    /// recycle the allocation (pair with [`Self::new`], which takes the
+    /// buffer by value).
+    pub fn into_samples(self) -> Vec<f64> {
+        self.kbps
     }
 
     /// Sampling interval in seconds.
@@ -255,16 +274,12 @@ impl ThroughputTrace {
     ///
     /// Returns an error when `factor` is not a positive finite value.
     pub fn scaled(&self, factor: f64) -> Result<Self, TraceError> {
-        if !(factor.is_finite() && factor > 0.0) {
-            return Err(TraceError::InvalidSample {
-                index: 0,
-                value: factor,
-            });
-        }
-        Self::new(
+        self.perturbed_into(
+            factor,
+            0.0,
+            0,
             format!("{}@x{factor:.2}", self.name),
-            self.interval_s,
-            self.kbps.iter().map(|&v| v * factor).collect(),
+            Vec::new(),
         )
     }
 
@@ -288,18 +303,68 @@ impl ThroughputTrace {
     /// Returns an error when the resulting trace would be all-zero (only
     /// possible for extreme negative noise on tiny traces).
     pub fn with_gaussian_noise(&self, std_kbps: f64, seed: u64) -> Result<Self, TraceError> {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let noisy = self
-            .kbps
-            .iter()
-            .map(|&v| (v + gaussian(&mut rng) * std_kbps).max(0.0))
-            .collect();
-        Self::new(
+        self.perturbed_into(
+            1.0,
+            std_kbps,
+            seed,
             format!("{}+n{std_kbps:.0}", self.name),
-            self.interval_s,
-            noisy,
+            Vec::new(),
         )
+    }
+
+    /// The name of the scale-then-jitter perturbation of this trace —
+    /// `{name}@x{scale:.2}` when scaled, `+n{std:.0}` appended when
+    /// jittered, matching the chained [`Self::scaled`] /
+    /// [`Self::with_gaussian_noise`] naming. Seed-independent, so caches
+    /// can intern it once per (trace, perturbation) pair.
+    pub fn perturbed_name(&self, scale: f64, jitter_std_kbps: f64) -> String {
+        let mut name = self.name.to_string();
+        if scale != 1.0 {
+            name = format!("{name}@x{scale:.2}");
+        }
+        if jitter_std_kbps > 0.0 {
+            name = format!("{name}+n{jitter_std_kbps:.0}");
+        }
+        name
+    }
+
+    /// Builds the scale-then-jitter perturbation of this trace, writing
+    /// samples into the recycled `buf` (cleared first) and attaching the
+    /// pre-interned `name` — the single sample path behind both one-shot
+    /// perturbation (fleet's `TracePerturbation::apply`) and the
+    /// per-worker trace caches, so the two can never drift. Equivalent to
+    /// `scaled(scale)? .with_gaussian_noise(std, seed)?` with the identity
+    /// steps skipped (multiplying by a scale of exactly 1.0 is bit-exact
+    /// for the non-negative finite samples traces admit).
+    ///
+    /// # Errors
+    ///
+    /// The same errors as the chained operators: an invalid scale, or a
+    /// perturbed trace that would be all-zero.
+    pub fn perturbed_into(
+        &self,
+        scale: f64,
+        jitter_std_kbps: f64,
+        seed: u64,
+        name: impl Into<Arc<str>>,
+        mut buf: Vec<f64>,
+    ) -> Result<Self, TraceError> {
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(TraceError::InvalidSample {
+                index: 0,
+                value: scale,
+            });
+        }
+        buf.clear();
+        buf.extend(self.kbps.iter().map(|&v| v * scale));
+        if jitter_std_kbps > 0.0 {
+            use rand::SeedableRng;
+            let mut gauss = GaussianSource::new(rand::rngs::StdRng::seed_from_u64(seed));
+            for v in &mut buf {
+                *v = (*v + gauss.next_value() * jitter_std_kbps).max(0.0);
+            }
+        }
+        Self::new(name, self.interval_s, buf)
     }
 
     /// Extracts a contiguous window of samples as a new trace.
@@ -331,6 +396,37 @@ pub fn gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Streaming standard-normal source that uses **both** Box–Muller variates
+/// of each `(u1, u2)` pair, halving the transcendental cost per draw —
+/// the noise generator for whole-trace perturbations, where the per-sample
+/// cost dominates jittered fleet scenarios. The stream is a deterministic
+/// function of the RNG seed (but a *different* stream than repeated
+/// [`gaussian`] calls, which discard the sine variate).
+pub struct GaussianSource<R> {
+    rng: R,
+    spare: Option<f64>,
+}
+
+impl<R: rand::Rng> GaussianSource<R> {
+    /// Wraps an RNG.
+    pub fn new(rng: R) -> Self {
+        Self { rng, spare: None }
+    }
+
+    /// The next standard-normal variate.
+    pub fn next_value(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! larger, simple chunks slightly smaller, with seeded per-chunk jitter.
 
 use crate::content::SourceVideo;
+use crate::quality::visual_quality;
 use crate::VideoError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,13 +105,18 @@ impl BitrateLadder {
     }
 }
 
-/// A source video encoded at every ladder level, with per-chunk VBR sizes.
+/// A source video encoded at every ladder level, with per-chunk VBR sizes
+/// and per-chunk, per-level visual quality (the manifest metadata a real
+/// system ships — Puffer carries per-chunk SSIM the same way).
 #[derive(Debug, Clone)]
 pub struct EncodedVideo {
     ladder: BitrateLadder,
     chunk_duration_s: f64,
     /// `sizes_bits[chunk][level]`.
     sizes_bits: Vec<Vec<f64>>,
+    /// `vq[chunk][level]`, precomputed at encode time so the session hot
+    /// path never recomputes the perceptual-quality curve.
+    vq: Vec<Vec<f64>>,
 }
 
 impl EncodedVideo {
@@ -140,11 +146,29 @@ impl EncodedVideo {
                     .collect()
             })
             .collect();
+        let vq = source
+            .chunks()
+            .iter()
+            .map(|c| {
+                ladder
+                    .levels()
+                    .iter()
+                    .map(|&b| visual_quality(b, c.complexity))
+                    .collect()
+            })
+            .collect();
         Self {
             ladder: ladder.clone(),
             chunk_duration_s: d,
             sizes_bits,
+            vq,
         }
+    }
+
+    /// Per-chunk, per-level visual quality (`vq[chunk][level]`) — encode
+    /// artifacts, computed once here rather than per session.
+    pub fn vq_table(&self) -> &[Vec<f64>] {
+        &self.vq
     }
 
     /// The ladder this video was encoded with.

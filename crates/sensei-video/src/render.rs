@@ -202,6 +202,13 @@ impl RenderedVideo {
         &self.source_name
     }
 
+    /// Decomposes the render into its owned `(source_name, chunks)` buffers
+    /// so hot paths (the simulator's session scratch) can recycle the
+    /// allocations across sessions instead of dropping and re-allocating.
+    pub fn into_parts(self) -> (String, Vec<RenderedChunk>) {
+        (self.source_name, self.chunks)
+    }
+
     /// Chunk duration in seconds.
     pub fn chunk_duration_s(&self) -> f64 {
         self.chunk_duration_s

@@ -15,7 +15,9 @@ use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
 use sensei_sim::PlayerConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::var("SENSEI_FLEET_QUICK").is_ok_and(|v| v == "1");
+    // Same convention as benches/fleet_throughput.rs: any non-empty value
+    // other than "0" enables quick mode, so the two binaries cannot drift.
+    let quick = std::env::var("SENSEI_FLEET_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
 
     let mut config = ExperimentConfig::quick(2021);
     if quick {
