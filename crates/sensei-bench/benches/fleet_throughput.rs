@@ -20,7 +20,9 @@
 //! this binary from rotting without turning CI into a benchmark farm.
 use sensei_bench::header;
 use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
-use sensei_fleet::{Fleet, FleetConfig, FleetReport, ScenarioMatrix, TracePerturbation};
+use sensei_fleet::{
+    Fleet, FleetConfig, FleetReport, ScenarioFamilies, ScenarioMatrix, TracePerturbation,
+};
 use sensei_sim::PlayerConfig;
 
 fn quick_mode() -> bool {
@@ -147,12 +149,78 @@ fn main() {
         mixed_report.sessions_per_sec
     );
 
+    // --- Run 3: procedural-corpus scale run. ---------------------------
+    // The scenario-family axis: a generated corpus (not Table 1) crossed
+    // with three generated trace families, all BBA so the number measures
+    // the session runtime, not MPC planning. Videos average the same
+    // chunk count as the quick Table-1 trio, so sessions/sec is directly
+    // comparable with the scale run above.
+    let families = if quick {
+        ScenarioFamilies::builder()
+            .videos(12)
+            .traces_per_family(2)
+            .trace_duration_s(400)
+            .seed(2021)
+            .build()
+    } else {
+        ScenarioFamilies::builder()
+            .videos(150)
+            .traces_per_family(4)
+            .trace_duration_s(600)
+            .seed(2021)
+            .build()
+    }
+    .expect("valid family spec");
+    let matrix = families
+        .matrix_builder()
+        .policies([PolicyKind::Bba])
+        .perturbations(if quick {
+            vec![TracePerturbation::identity()]
+        } else {
+            vec![
+                TracePerturbation::identity(),
+                TracePerturbation::scaled(0.85),
+            ]
+        })
+        .players(if quick {
+            vec![PlayerConfig::default()]
+        } else {
+            vec![
+                PlayerConfig::default(),
+                PlayerConfig {
+                    max_buffer_s: 8.0,
+                    ..PlayerConfig::default()
+                },
+            ]
+        })
+        .build()
+        .expect("valid matrix");
+    let mut proc_config = ExperimentConfig::quick(2021);
+    proc_config.videos = None;
+    let (corpus_size, trace_count) = (families.corpus.len(), families.traces.len());
+    let proc_env = families
+        .into_experiment(&proc_config)
+        .expect("families onboard");
+    let fleet = Fleet::new(&proc_env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    println!(
+        "[procedural] {} sessions ({corpus_size} videos x {trace_count} family traces) on {workers} workers...",
+        fleet.num_scenarios()
+    );
+    let proc_report = fleet.run().expect("fleet run completes");
+    print!("{}", proc_report.summary());
+    println!(
+        "measured: {:.0} sessions/sec on the procedural corpus ({:.2}x the scale run)",
+        proc_report.sessions_per_sec,
+        proc_report.sessions_per_sec / scale_report.sessions_per_sec.max(1e-9)
+    );
+
     // --- Machine-readable perf trajectory. -----------------------------
     let json = format!(
-        "{{\n  \"bench\": \"fleet_throughput\",\n  \"quick\": {},\n  \"runs\": [\n{},\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fleet_throughput\",\n  \"quick\": {},\n  \"runs\": [\n{},\n{},\n{}\n  ]\n}}\n",
         quick,
         run_json("scale", &scale_report),
-        run_json("mixed", &mixed_report)
+        run_json("mixed", &mixed_report),
+        run_json("procedural", &proc_report)
     );
     // Anchor the artifact at the workspace root regardless of the CWD
     // cargo hands the bench binary (package dir under `cargo bench`).

@@ -10,7 +10,9 @@ use sensei_abr::{Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, Sen
 use sensei_crowd::{TrueQoe, WeightProfiler};
 use sensei_sim::{simulate_in, AbrPolicy, PlayerConfig, SessionResult, SessionScratch};
 use sensei_trace::{generate, ThroughputTrace};
-use sensei_video::{corpus, BitrateLadder, EncodedVideo, SensitivityWeights, SourceVideo};
+use sensei_video::{
+    corpus, BitrateLadder, CorpusEntry, EncodedVideo, SensitivityWeights, SourceVideo,
+};
 use std::sync::Arc;
 
 /// How per-video weights are obtained for deployment.
@@ -160,6 +162,12 @@ impl PolicyKind {
     fn index(self) -> usize {
         self as usize
     }
+
+    /// The inverse of [`Self::label`] — used when deserializing persisted
+    /// fleet reports. Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// One grid cell outcome.
@@ -217,20 +225,61 @@ pub struct Experiment {
 impl Experiment {
     /// Builds the environment: corpus, traces, weights, trained policies.
     ///
+    /// Equivalent to [`Self::from_parts`] over the `config.videos`-filtered
+    /// Table-1 corpus and the 10-trace evaluation set.
+    ///
     /// # Errors
     ///
     /// Returns an error when the video filter matches nothing or any
     /// substrate fails.
     pub fn build(config: &ExperimentConfig) -> Result<Self, CoreError> {
+        let entries: Vec<CorpusEntry> = corpus::table1(config.seed)
+            .into_iter()
+            .filter(|entry| {
+                config
+                    .videos
+                    .as_ref()
+                    .is_none_or(|filter| filter.iter().any(|n| n == entry.video.name()))
+            })
+            .collect();
+        if entries.is_empty() {
+            return Err(CoreError::BadConfig(
+                "video filter matched no corpus entries".to_string(),
+            ));
+        }
+        let traces = generate::evaluation_set(config.seed ^ 0x7AACE);
+        Self::from_parts(config, entries, traces)
+    }
+
+    /// Builds the environment from an **explicit** corpus and trace set —
+    /// the entry point for procedurally generated scenario families
+    /// (`sensei_video::corpus::generate_family`,
+    /// `sensei_trace::generate::generate_family`), where the fixed Table-1
+    /// sixteen and the 10-trace evaluation set are replaced wholesale.
+    ///
+    /// `config.videos` is **not** applied here: it filters the Table-1
+    /// corpus in [`Self::build`], while explicit corpora arrive already
+    /// curated. Everything else in the config (weight source, RL training,
+    /// player, seed) applies as usual.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the corpus or trace set is empty, or any
+    /// substrate fails.
+    pub fn from_parts(
+        config: &ExperimentConfig,
+        corpus: Vec<CorpusEntry>,
+        traces: Vec<ThroughputTrace>,
+    ) -> Result<Self, CoreError> {
+        if traces.is_empty() {
+            return Err(CoreError::BadConfig(
+                "experiment trace set is empty".to_string(),
+            ));
+        }
         let ladder = BitrateLadder::default_paper();
         let mut assets = Vec::new();
         let mut total_cost = 0.0;
-        for entry in corpus::table1(config.seed) {
-            if let Some(filter) = &config.videos {
-                if !filter.iter().any(|n| n == entry.video.name()) {
-                    continue;
-                }
-            }
+        for entry in corpus {
             let encoded = EncodedVideo::encode(&entry.video, &ladder, config.seed ^ 0xE0C);
             let true_weights = SensitivityWeights::ground_truth(&entry.video);
             let (weights, cost) = match config.weight_source {
@@ -255,10 +304,9 @@ impl Experiment {
         }
         if assets.is_empty() {
             return Err(CoreError::BadConfig(
-                "video filter matched no corpus entries".to_string(),
+                "experiment corpus is empty".to_string(),
             ));
         }
-        let traces = generate::evaluation_set(config.seed ^ 0x7AACE);
 
         // Train the RL policies on *training* traces disjoint from the
         // evaluation set (different seeds and means), as Pensieve requires.
@@ -606,6 +654,44 @@ mod tests {
         // the relative-gain helper.
         let gains = qoe_gains_over(&results, "SENSEI", "BBA");
         assert!(gains.len() >= 25, "got {} gain cells", gains.len());
+    }
+
+    #[test]
+    fn from_parts_onboards_procedural_families() {
+        let cfg = ExperimentConfig::quick(7);
+        let corpus =
+            sensei_video::corpus::generate_family(&sensei_video::GenreMix::uniform(), 5, cfg.seed)
+                .unwrap();
+        let traces = sensei_trace::generate::generate_family(
+            &sensei_trace::generate::TraceFamily::Diurnal,
+            4,
+            600,
+            cfg.seed,
+        );
+        let env = Experiment::from_parts(&cfg, corpus, traces).unwrap();
+        assert_eq!(env.assets.len(), 5);
+        assert_eq!(env.traces.len(), 4);
+        assert!(env.assets[0].name.starts_with("proc-"));
+        assert_eq!(env.assets[0].dataset, "procedural");
+        // A procedural session runs end to end.
+        let cell = env
+            .run_session(&env.assets[0], &env.traces[0], PolicyKind::Bba)
+            .unwrap();
+        assert!(cell.qoe01 >= 0.0 && cell.qoe01 <= 1.0);
+        // Empty parts are rejected.
+        assert!(Experiment::from_parts(&cfg, Vec::new(), env.traces.clone()).is_err());
+        let corpus2 =
+            sensei_video::corpus::generate_family(&sensei_video::GenreMix::uniform(), 1, cfg.seed)
+                .unwrap();
+        assert!(Experiment::from_parts(&cfg, corpus2, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(PolicyKind::from_label("NotAPolicy"), None);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Procedural scenario families: the bridge between the substrate-level
+//! generators (`sensei_video::corpus::generate_family`,
+//! `sensei_trace::generate::generate_family`) and a runnable fleet.
+//!
+//! A [`ScenarioFamilies`] value is a *generated* corpus + trace set —
+//! hundreds of distinct, deterministic videos crossed with several
+//! admission-filtered trace families — built from a compact seeded spec.
+//! It onboards into an [`Experiment`] via `Experiment::from_parts`, after
+//! which the usual [`crate::ScenarioMatrix`] axes (perturbations, player
+//! variants, policies) apply on top, exactly as they do for the Table-1
+//! corpus. The same spec + seed always reproduces the same scenario
+//! space, so a `(spec, master seed)` pair is a complete, shareable
+//! description of a fleet-scale evaluation.
+
+use crate::{FleetError, ScenarioMatrixBuilder};
+use sensei_core::{CoreError, Experiment, ExperimentConfig};
+use sensei_trace::generate::{self as trace_gen, TraceFamily};
+use sensei_trace::ThroughputTrace;
+use sensei_video::corpus::{generate_family as video_family, CorpusEntry, GenreMix};
+
+/// A generated scenario-family bundle: the procedural corpus and the
+/// admission-filtered traces of every requested family.
+#[derive(Debug, Clone)]
+pub struct ScenarioFamilies {
+    /// The procedural video corpus.
+    pub corpus: Vec<CorpusEntry>,
+    /// All generated traces, family by family in spec order.
+    pub traces: Vec<ThroughputTrace>,
+    /// The seed the families were generated from.
+    seed: u64,
+}
+
+impl ScenarioFamilies {
+    /// Starts a spec builder. Defaults: a uniform genre mix, 100 videos,
+    /// the diurnal/burst/shared-cell families at 3 traces each, 600-second
+    /// traces, seed 2021.
+    #[must_use]
+    pub fn builder() -> ScenarioFamiliesBuilder {
+        ScenarioFamiliesBuilder::default()
+    }
+
+    /// The generation seed (doubles as a natural master seed for the
+    /// scenario matrix, see [`Self::matrix_builder`]).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Onboards the generated families into an experiment environment
+    /// (encoding, weights, optional RL training — everything
+    /// `Experiment::from_parts` does), consuming the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates onboarding failures.
+    pub fn into_experiment(self, config: &ExperimentConfig) -> Result<Experiment, CoreError> {
+        Experiment::from_parts(config, self.corpus, self.traces)
+    }
+
+    /// A [`crate::ScenarioMatrix`] builder pre-seeded with the family
+    /// seed, so the perturbation/jitter streams of the matrix derive from
+    /// the same master seed as the families themselves.
+    #[must_use]
+    pub fn matrix_builder(&self) -> ScenarioMatrixBuilder {
+        ScenarioMatrixBuilder::default().master_seed(self.seed)
+    }
+}
+
+/// Builder for [`ScenarioFamilies`].
+#[derive(Debug, Clone)]
+pub struct ScenarioFamiliesBuilder {
+    genre_mix: GenreMix,
+    videos: usize,
+    trace_families: Vec<TraceFamily>,
+    traces_per_family: usize,
+    trace_duration_s: usize,
+    seed: u64,
+}
+
+impl Default for ScenarioFamiliesBuilder {
+    fn default() -> Self {
+        Self {
+            genre_mix: GenreMix::uniform(),
+            videos: 100,
+            trace_families: vec![
+                TraceFamily::Diurnal,
+                TraceFamily::CrossTrafficBursts,
+                TraceFamily::SharedCell { users: 4 },
+            ],
+            traces_per_family: 3,
+            trace_duration_s: 600,
+            seed: 2021,
+        }
+    }
+}
+
+impl ScenarioFamiliesBuilder {
+    /// Sets the genre mix videos are drawn from.
+    #[must_use]
+    pub fn genre_mix(mut self, mix: GenreMix) -> Self {
+        self.genre_mix = mix;
+        self
+    }
+
+    /// Sets the corpus size (must be ≥ 1).
+    #[must_use]
+    pub fn videos(mut self, count: usize) -> Self {
+        self.videos = count;
+        self
+    }
+
+    /// Replaces the trace-family list (must end up non-empty).
+    #[must_use]
+    pub fn trace_families(mut self, families: impl IntoIterator<Item = TraceFamily>) -> Self {
+        self.trace_families = families.into_iter().collect();
+        self
+    }
+
+    /// Sets how many traces each family contributes (must be ≥ 1).
+    #[must_use]
+    pub fn traces_per_family(mut self, count: usize) -> Self {
+        self.traces_per_family = count;
+        self
+    }
+
+    /// Sets the generated trace duration in seconds (must be ≥ 1; keep it
+    /// longer than the videos so sessions never wrap mid-chunk more than
+    /// the paper's replay semantics intend).
+    #[must_use]
+    pub fn trace_duration_s(mut self, seconds: usize) -> Self {
+        self.trace_duration_s = seconds;
+        self
+    }
+
+    /// Sets the generation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the spec and generates the families. Deterministic: the
+    /// same spec and seed produce byte-identical corpus entries and
+    /// traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Family`] on zero counts, an empty family
+    /// list, or an invalid genre mix.
+    pub fn build(self) -> Result<ScenarioFamilies, FleetError> {
+        if self.videos == 0 {
+            return Err(FleetError::Family("video count must be >= 1".into()));
+        }
+        if self.trace_families.is_empty() {
+            return Err(FleetError::Family("trace-family list is empty".into()));
+        }
+        if self.traces_per_family == 0 {
+            return Err(FleetError::Family("traces per family must be >= 1".into()));
+        }
+        if self.trace_duration_s == 0 {
+            return Err(FleetError::Family("trace duration must be >= 1 s".into()));
+        }
+        let corpus = video_family(&self.genre_mix, self.videos, self.seed)
+            .map_err(|e| FleetError::Family(e.to_string()))?;
+        let mut traces = Vec::with_capacity(self.trace_families.len() * self.traces_per_family);
+        for (i, family) in self.trace_families.iter().enumerate() {
+            // Family-indexed derived seeds keep each family's stream
+            // independent of its position-mates while staying a pure
+            // function of the spec seed.
+            let family_seed = crate::splitmix64(self.seed ^ (0xFA_0000 + i as u64));
+            traces.extend(trace_gen::generate_family(
+                family,
+                self.traces_per_family,
+                self.trace_duration_s,
+                family_seed,
+            ));
+        }
+        Ok(ScenarioFamilies {
+            corpus,
+            traces,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_the_spec() {
+        assert!(matches!(
+            ScenarioFamilies::builder().videos(0).build(),
+            Err(FleetError::Family(_))
+        ));
+        assert!(matches!(
+            ScenarioFamilies::builder().trace_families([]).build(),
+            Err(FleetError::Family(_))
+        ));
+        assert!(matches!(
+            ScenarioFamilies::builder().traces_per_family(0).build(),
+            Err(FleetError::Family(_))
+        ));
+        assert!(matches!(
+            ScenarioFamilies::builder().trace_duration_s(0).build(),
+            Err(FleetError::Family(_))
+        ));
+        let bad_mix = GenreMix {
+            sports: -1.0,
+            ..GenreMix::uniform()
+        };
+        assert!(matches!(
+            ScenarioFamilies::builder().genre_mix(bad_mix).build(),
+            Err(FleetError::Family(_))
+        ));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_admitted() {
+        let spec = || {
+            ScenarioFamilies::builder()
+                .videos(12)
+                .traces_per_family(2)
+                .trace_duration_s(300)
+                .seed(7)
+        };
+        let a = spec().build().unwrap();
+        let b = spec().build().unwrap();
+        assert_eq!(a.corpus.len(), 12);
+        assert_eq!(a.traces.len(), 3 * 2);
+        for (x, y) in a.corpus.iter().zip(&b.corpus) {
+            assert_eq!(x.video, y.video);
+        }
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x, y);
+        }
+        for t in &a.traces {
+            assert!(
+                trace_gen::in_admission_band(t.mean_kbps()),
+                "{} mean {}",
+                t.name(),
+                t.mean_kbps()
+            );
+        }
+        // Different seed, different scenario space.
+        let c = spec().seed(8).build().unwrap();
+        assert!(a
+            .corpus
+            .iter()
+            .zip(&c.corpus)
+            .any(|(x, y)| x.video != y.video));
+    }
+
+    #[test]
+    fn families_onboard_into_an_experiment() {
+        let families = ScenarioFamilies::builder()
+            .videos(4)
+            .traces_per_family(1)
+            .trace_duration_s(300)
+            .seed(3)
+            .build()
+            .unwrap();
+        let seed = families.seed();
+        let mut config = ExperimentConfig::quick(seed);
+        config.videos = None; // the filter targets Table 1, not families
+        let env = families.into_experiment(&config).unwrap();
+        assert_eq!(env.assets.len(), 4);
+        assert_eq!(env.traces.len(), 3);
+        assert!(env.assets.iter().all(|a| a.dataset == "procedural"));
+    }
+}

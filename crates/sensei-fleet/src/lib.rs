@@ -30,14 +30,32 @@
 //! worker, no perturbations, one player config. [`ScenarioMatrix::grid`]
 //! spans exactly that space and [`Fleet::run_cells`] reproduces `run_grid`'s
 //! output cell for cell (asserted in this crate's tests).
+//!
+//! Two layers on top of the executor open the scenario-diversity axis:
+//!
+//! * [`ScenarioFamilies`] — procedurally generated corpora and trace
+//!   families (`sensei-video`/`sensei-trace` generators behind one seeded
+//!   spec), so the matrix can span hundreds of distinct videos and
+//!   admission-filtered network families instead of the fixed Table-1
+//!   sixteen.
+//! * [`FleetReport::to_json`] / [`FleetReport::from_json`] /
+//!   [`FleetReport::diff`] — lossless persistence of the deterministic
+//!   aggregates (via the serde-free [`json`] module) and per-policy
+//!   QoE-mean drift detection, the mechanism behind the checked-in
+//!   `BASELINE_fleet.json` CI gate.
 
 pub mod executor;
+pub mod families;
+pub mod json;
 pub mod report;
 pub mod runtime;
 pub mod scenario;
 
 pub use executor::{Fleet, FleetConfig};
-pub use report::{FleetReport, FleetStats, GainCdf, Histogram, PolicyStats, Welford};
+pub use families::{ScenarioFamilies, ScenarioFamiliesBuilder};
+pub use report::{
+    FleetDiff, FleetReport, FleetStats, GainCdf, Histogram, PolicyDrift, PolicyStats, Welford,
+};
 pub use runtime::{TraceCache, WorkerRuntime};
 pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};
 
@@ -76,6 +94,11 @@ pub enum FleetError {
         /// The underlying failure.
         source: Box<CoreError>,
     },
+    /// A persisted fleet report could not be parsed or validated.
+    Persist(String),
+    /// A procedural scenario-family spec is invalid (zero counts, an
+    /// empty family list, or a bad genre mix).
+    Family(String),
 }
 
 impl std::fmt::Display for FleetError {
@@ -105,6 +128,8 @@ impl std::fmt::Display for FleetError {
             FleetError::Scenario { id, source } => {
                 write!(f, "scenario {id} failed: {source}")
             }
+            FleetError::Persist(msg) => write!(f, "persisted fleet report is invalid: {msg}"),
+            FleetError::Family(msg) => write!(f, "invalid scenario-family spec: {msg}"),
         }
     }
 }

@@ -7,6 +7,8 @@
 //! regardless of how many million sessions stream through — the
 //! per-session results are folded and dropped.
 
+use crate::json::{self, obj, Json};
+use crate::FleetError;
 use sensei_core::{CellResult, PolicyKind};
 
 /// Welford online mean/variance accumulator.
@@ -52,6 +54,20 @@ impl Welford {
     #[must_use]
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
+    }
+
+    /// The raw second central moment (Σ(x − mean)²) — exposed so the
+    /// accumulator state can be persisted and restored losslessly.
+    #[must_use]
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Restores an accumulator from its persisted state (the inverse of
+    /// reading `count`/`mean`/`m2`).
+    #[must_use]
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
     }
 }
 
@@ -108,24 +124,67 @@ impl Histogram {
         self.total
     }
 
+    /// Lower edge of the histogram range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Inclusive upper edge of bin `i`.
     #[must_use]
     pub fn bin_upper_edge(&self, i: usize) -> f64 {
         self.lo + (self.hi - self.lo) * (i as f64 + 1.0) / self.counts.len() as f64
     }
 
+    /// Restores a histogram from its persisted state. The total is
+    /// recomputed from the counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty bin list or an invalid range, exactly like
+    /// [`Self::new`].
+    #[must_use]
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi}]"
+        );
+        let total = counts.iter().sum();
+        Self {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
     /// Fraction of observations at or below `x` (by whole bins — the CDF
     /// read off the fixed bins). Returns 0 when empty.
+    ///
+    /// Edge comparison uses a tolerance *relative to the bin width*: an
+    /// absolute slop (the old `1e-12`) is below one ulp once ranges reach
+    /// kbps magnitudes (one ulp of 6000.0 is ≈ 9.1e-13 per unit, so edge
+    /// arithmetic error easily exceeds a fixed 1e-12), which made
+    /// exact-bin-edge queries fall one whole bin short on throughput
+    /// histograms while working fine on percent scales.
     #[must_use]
     pub fn cdf_at(&self, x: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
+        let eps = (self.hi - self.lo) / self.counts.len() as f64 * 1e-9;
         let below: u64 = self
             .counts
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.bin_upper_edge(*i) <= x + 1e-12)
+            .filter(|(i, _)| self.bin_upper_edge(*i) <= x + eps)
             .map(|(_, &c)| c)
             .sum();
         below as f64 / self.total as f64
@@ -169,6 +228,22 @@ impl GainCdf {
             return 0.0;
         }
         self.positive as f64 / self.stats.count() as f64
+    }
+
+    /// Exact count of strictly positive gains — exposed for persistence.
+    #[must_use]
+    pub fn positive(&self) -> u64 {
+        self.positive
+    }
+
+    /// Restores a gain CDF from its persisted state.
+    #[must_use]
+    pub fn from_parts(hist: Histogram, stats: Welford, positive: u64) -> Self {
+        Self {
+            hist,
+            stats,
+            positive,
+        }
     }
 }
 
@@ -341,6 +416,354 @@ impl FleetReport {
     }
 }
 
+/// Version tag of the persisted report format; bumped on any schema
+/// change so stale baselines fail with a clear message instead of a
+/// field-level parse error.
+const FORMAT_TAG: &str = "sensei-fleet-report/1";
+
+fn welford_to_json(w: &Welford) -> Json {
+    obj([
+        ("count", Json::Num(w.count() as f64)),
+        ("mean", Json::Num(w.mean())),
+        ("m2", Json::Num(w.m2())),
+    ])
+}
+
+fn hist_to_json(h: &Histogram) -> Json {
+    obj([
+        ("lo", Json::Num(h.lo())),
+        ("hi", Json::Num(h.hi())),
+        (
+            "counts",
+            Json::Arr(h.counts().iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+    ])
+}
+
+/// Field-lookup helpers for deserialization; every miss names the path
+/// it failed at so a corrupted baseline is diagnosable.
+fn field<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, FleetError> {
+    v.get(key)
+        .ok_or_else(|| FleetError::Persist(format!("missing field `{ctx}.{key}`")))
+}
+
+fn num_field(v: &Json, key: &str, ctx: &str) -> Result<f64, FleetError> {
+    field(v, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| FleetError::Persist(format!("field `{ctx}.{key}` is not a number")))
+}
+
+fn u64_field(v: &Json, key: &str, ctx: &str) -> Result<u64, FleetError> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| FleetError::Persist(format!("field `{ctx}.{key}` is not a whole count")))
+}
+
+fn welford_from_json(v: &Json, ctx: &str) -> Result<Welford, FleetError> {
+    Ok(Welford::from_parts(
+        u64_field(v, "count", ctx)?,
+        num_field(v, "mean", ctx)?,
+        num_field(v, "m2", ctx)?,
+    ))
+}
+
+fn hist_from_json(v: &Json, ctx: &str) -> Result<Histogram, FleetError> {
+    let lo = num_field(v, "lo", ctx)?;
+    let hi = num_field(v, "hi", ctx)?;
+    let counts = field(v, "counts", ctx)?
+        .as_arr()
+        .ok_or_else(|| FleetError::Persist(format!("field `{ctx}.counts` is not an array")))?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .ok_or_else(|| FleetError::Persist(format!("`{ctx}.counts` entry is not a count")))
+        })
+        .collect::<Result<Vec<u64>, _>>()?;
+    if counts.is_empty() || !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(FleetError::Persist(format!(
+            "`{ctx}` has an invalid histogram layout [{lo}, {hi}] × {} bins",
+            counts.len()
+        )));
+    }
+    Ok(Histogram::from_parts(lo, hi, counts))
+}
+
+impl FleetReport {
+    /// Serializes the report — aggregates and throughput figures — to the
+    /// persistence JSON format (`BASELINE_fleet.json`). Floats are written
+    /// in shortest-round-trip form, so
+    /// `from_json(to_json()).stats == stats` holds **bit for bit**.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let per_policy: Vec<Json> = self
+            .stats
+            .per_policy
+            .iter()
+            .map(|s| {
+                let gain = s.gain_vs_baseline.as_ref().map_or(Json::Null, |g| {
+                    obj([
+                        ("hist", hist_to_json(&g.hist)),
+                        ("stats", welford_to_json(&g.stats)),
+                        ("positive", Json::Num(g.positive() as f64)),
+                    ])
+                });
+                obj([
+                    ("policy", Json::Str(s.policy.label().to_string())),
+                    ("sessions", Json::Num(s.sessions as f64)),
+                    ("qoe", welford_to_json(&s.qoe)),
+                    ("bitrate_kbps", welford_to_json(&s.bitrate_kbps)),
+                    ("rebuffer_ratio", welford_to_json(&s.rebuffer_ratio)),
+                    ("stall_hist", hist_to_json(&s.stall_hist)),
+                    ("switch_hist", hist_to_json(&s.switch_hist)),
+                    ("intentional_stall_s", Json::Num(s.intentional_stall_s)),
+                    ("gain_vs_baseline", gain),
+                ])
+            })
+            .collect();
+        obj([
+            ("format", Json::Str(FORMAT_TAG.to_string())),
+            ("workers", Json::Num(self.workers as f64)),
+            ("wall_time_s", Json::Num(self.wall_time_s)),
+            ("sessions_per_sec", Json::Num(self.sessions_per_sec)),
+            (
+                "stats",
+                obj([
+                    ("sessions", Json::Num(self.stats.sessions as f64)),
+                    (
+                        "baseline",
+                        Json::Str(self.stats.baseline.label().to_string()),
+                    ),
+                    ("per_policy", Json::Arr(per_policy)),
+                ]),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses a report persisted by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Persist`] on syntax errors, an unknown
+    /// format version, missing or mistyped fields, unknown policy labels,
+    /// or a baseline outside the policy list.
+    pub fn from_json(text: &str) -> Result<Self, FleetError> {
+        let doc = json::parse(text).map_err(FleetError::Persist)?;
+        let format = field(&doc, "format", "report")?
+            .as_str()
+            .ok_or_else(|| FleetError::Persist("field `report.format` is not a string".into()))?;
+        if format != FORMAT_TAG {
+            return Err(FleetError::Persist(format!(
+                "unsupported report format `{format}` (this build reads `{FORMAT_TAG}`)"
+            )));
+        }
+        let policy_kind = |v: &Json, ctx: &str| -> Result<PolicyKind, FleetError> {
+            let label = field(v, "policy", ctx)?.as_str().ok_or_else(|| {
+                FleetError::Persist(format!("field `{ctx}.policy` is not a string"))
+            })?;
+            PolicyKind::from_label(label)
+                .ok_or_else(|| FleetError::Persist(format!("unknown policy label `{label}`")))
+        };
+        let stats_v = field(&doc, "stats", "report")?;
+        let baseline_label = field(stats_v, "baseline", "stats")?
+            .as_str()
+            .ok_or_else(|| FleetError::Persist("field `stats.baseline` is not a string".into()))?;
+        let baseline = PolicyKind::from_label(baseline_label).ok_or_else(|| {
+            FleetError::Persist(format!("unknown baseline policy `{baseline_label}`"))
+        })?;
+        let per_policy_v = field(stats_v, "per_policy", "stats")?
+            .as_arr()
+            .ok_or_else(|| FleetError::Persist("`stats.per_policy` is not an array".into()))?;
+        let mut per_policy = Vec::with_capacity(per_policy_v.len());
+        for (i, v) in per_policy_v.iter().enumerate() {
+            let ctx = format!("per_policy[{i}]");
+            let gain_v = field(v, "gain_vs_baseline", &ctx)?;
+            let gain_vs_baseline = if gain_v.is_null() {
+                None
+            } else {
+                Some(GainCdf::from_parts(
+                    hist_from_json(field(gain_v, "hist", &ctx)?, &ctx)?,
+                    welford_from_json(field(gain_v, "stats", &ctx)?, &ctx)?,
+                    u64_field(gain_v, "positive", &ctx)?,
+                ))
+            };
+            per_policy.push(PolicyStats {
+                policy: policy_kind(v, &ctx)?,
+                sessions: u64_field(v, "sessions", &ctx)?,
+                qoe: welford_from_json(field(v, "qoe", &ctx)?, &ctx)?,
+                bitrate_kbps: welford_from_json(field(v, "bitrate_kbps", &ctx)?, &ctx)?,
+                rebuffer_ratio: welford_from_json(field(v, "rebuffer_ratio", &ctx)?, &ctx)?,
+                stall_hist: hist_from_json(field(v, "stall_hist", &ctx)?, &ctx)?,
+                switch_hist: hist_from_json(field(v, "switch_hist", &ctx)?, &ctx)?,
+                intentional_stall_s: num_field(v, "intentional_stall_s", &ctx)?,
+                gain_vs_baseline,
+            });
+        }
+        if !per_policy.iter().any(|s| s.policy == baseline) {
+            return Err(FleetError::Persist(format!(
+                "baseline `{baseline_label}` is not among the per-policy stats"
+            )));
+        }
+        Ok(Self {
+            stats: FleetStats {
+                sessions: u64_field(stats_v, "sessions", "stats")?,
+                baseline,
+                per_policy,
+            },
+            workers: usize::try_from(u64_field(&doc, "workers", "report")?)
+                .map_err(|_| FleetError::Persist("worker count out of range".into()))?,
+            wall_time_s: num_field(&doc, "wall_time_s", "report")?,
+            sessions_per_sec: num_field(&doc, "sessions_per_sec", "report")?,
+        })
+    }
+
+    /// Compares this report's deterministic aggregates against a
+    /// `baseline` report (typically a checked-in `BASELINE_fleet.json`),
+    /// pairing policies by kind. Wall-clock fields are ignored — only the
+    /// order-independent [`FleetStats`] participate.
+    #[must_use]
+    pub fn diff(&self, baseline: &FleetReport) -> FleetDiff {
+        let mut drifts = Vec::new();
+        let mut only_in_baseline = Vec::new();
+        for b in &baseline.stats.per_policy {
+            match self.stats.policy(b.policy) {
+                Some(c) => drifts.push(PolicyDrift {
+                    policy: b.policy,
+                    baseline_qoe_mean: b.qoe.mean(),
+                    current_qoe_mean: c.qoe.mean(),
+                    baseline_sessions: b.sessions,
+                    current_sessions: c.sessions,
+                }),
+                None => only_in_baseline.push(b.policy),
+            }
+        }
+        let only_in_current = self
+            .stats
+            .per_policy
+            .iter()
+            .map(|s| s.policy)
+            .filter(|p| baseline.stats.policy(*p).is_none())
+            .collect();
+        FleetDiff {
+            drifts,
+            only_in_baseline,
+            only_in_current,
+            // A changed gain baseline re-anchors every gain CDF even when
+            // the per-policy QoE means agree, so it is a structural
+            // difference in its own right.
+            baseline_changed: (self.stats.baseline != baseline.stats.baseline)
+                .then_some((baseline.stats.baseline, self.stats.baseline)),
+        }
+    }
+}
+
+/// Per-policy QoE-mean movement between a baseline report and the
+/// current one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDrift {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// QoE mean in the baseline report.
+    pub baseline_qoe_mean: f64,
+    /// QoE mean in the current report.
+    pub current_qoe_mean: f64,
+    /// Sessions folded in the baseline report.
+    pub baseline_sessions: u64,
+    /// Sessions folded in the current report.
+    pub current_sessions: u64,
+}
+
+impl PolicyDrift {
+    /// Signed QoE-mean movement (current − baseline); negative is a
+    /// regression.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.current_qoe_mean - self.baseline_qoe_mean
+    }
+}
+
+/// Outcome of [`FleetReport::diff`]: per-policy QoE-mean drifts plus the
+/// structural differences (policies present on only one side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDiff {
+    /// Policies present in both reports, with their QoE-mean movement.
+    pub drifts: Vec<PolicyDrift>,
+    /// Policies only the baseline report has.
+    pub only_in_baseline: Vec<PolicyKind>,
+    /// Policies only the current report has.
+    pub only_in_current: Vec<PolicyKind>,
+    /// `Some((baseline's, current's))` when the two reports anchor their
+    /// gain CDFs to different baseline policies.
+    pub baseline_changed: Option<(PolicyKind, PolicyKind)>,
+}
+
+impl FleetDiff {
+    /// Drifts whose QoE mean **dropped** by more than `tolerance`.
+    #[must_use]
+    pub fn regressions(&self, tolerance: f64) -> Vec<&PolicyDrift> {
+        self.drifts
+            .iter()
+            .filter(|d| d.delta() < -tolerance)
+            .collect()
+    }
+
+    /// Drifts whose QoE mean moved by more than `tolerance` in either
+    /// direction, or whose session count changed (a matrix-shape change
+    /// masquerading as a same-scenario run).
+    #[must_use]
+    pub fn drifted(&self, tolerance: f64) -> Vec<&PolicyDrift> {
+        self.drifts
+            .iter()
+            .filter(|d| d.delta().abs() > tolerance || d.baseline_sessions != d.current_sessions)
+            .collect()
+    }
+
+    /// Whether the reports agree: same policy axes, same gain baseline,
+    /// and no drift beyond `tolerance`. This is the CI baseline gate.
+    #[must_use]
+    pub fn is_clean(&self, tolerance: f64) -> bool {
+        self.only_in_baseline.is_empty()
+            && self.only_in_current.is_empty()
+            && self.baseline_changed.is_none()
+            && self.drifted(tolerance).is_empty()
+    }
+
+    /// A human-readable account of every difference (empty string when
+    /// the diff is clean at `tolerance`).
+    #[must_use]
+    pub fn summary(&self, tolerance: f64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.only_in_baseline {
+            let _ = writeln!(out, "policy {} missing from the current report", p.label());
+        }
+        for p in &self.only_in_current {
+            let _ = writeln!(out, "policy {} missing from the baseline", p.label());
+        }
+        if let Some((was, now)) = self.baseline_changed {
+            let _ = writeln!(
+                out,
+                "gain baseline changed: {} -> {}",
+                was.label(),
+                now.label()
+            );
+        }
+        for d in self.drifted(tolerance) {
+            let _ = writeln!(
+                out,
+                "policy {}: QoE mean {:.6} -> {:.6} (Δ {:+.6}), sessions {} -> {}",
+                d.policy.label(),
+                d.baseline_qoe_mean,
+                d.current_qoe_mean,
+                d.delta(),
+                d.baseline_sessions,
+                d.current_sessions
+            );
+        }
+        out
+    }
+}
+
 impl PolicyStats {
     /// Mean bitrate switches per session, estimated from the fixed-bin
     /// histogram (bin midpoints — exact enough for reporting).
@@ -391,6 +814,56 @@ mod tests {
     }
 
     #[test]
+    fn cdf_exact_bin_edges_at_percent_and_kbps_magnitudes() {
+        // Regression: the old absolute 1e-12 edge slop is below one ulp
+        // for kbps-scale ranges, so exact-edge queries fell a whole bin
+        // short on throughput histograms. The tolerance is now relative
+        // to the bin width, so both magnitudes behave identically.
+        // Percent scale (gain CDFs): edges at multiples of 5.
+        let mut pct = Histogram::new(-100.0, 100.0, 40);
+        for x in [-99.0, -12.0, 3.0, 42.0, 97.0] {
+            pct.add(x);
+        }
+        for i in 0..40 {
+            let edge = pct.bin_upper_edge(i);
+            let below: u64 = pct.counts()[..=i].iter().sum();
+            assert!(
+                (pct.cdf_at(edge) - below as f64 / pct.total() as f64).abs() < 1e-12,
+                "percent edge {edge}"
+            );
+        }
+        // kbps scale (trace-family throughput histograms): a caller
+        // walking the edges by accumulation (`x += width`, the usual
+        // figure-script pattern) drifts from the internally computed
+        // edges by up to ~1.8e-12 at this layout — beyond the old
+        // absolute slop, so bin 9's exact-edge query used to fall one
+        // whole bin short.
+        let mut kbps = Histogram::new(200.0, 6000.0, 11);
+        for x in [250.0, 900.0, 2500.0, 4400.0, 5950.0] {
+            kbps.add(x);
+        }
+        let width = (6000.0 - 200.0) / 11.0;
+        let mut drifted = false;
+        let mut edge = 200.0;
+        for i in 0..11 {
+            edge += width;
+            let below: u64 = kbps.counts()[..=i].iter().sum();
+            assert!(
+                (kbps.cdf_at(edge) - below as f64 / kbps.total() as f64).abs() < 1e-12,
+                "accumulated kbps edge {edge} (bin {i})"
+            );
+            drifted |= kbps.bin_upper_edge(i) - edge > 1e-12;
+        }
+        assert!(
+            drifted,
+            "layout no longer exhibits >1e-12 edge drift; pick one that does"
+        );
+        // The tolerance must stay far below a bin width: a mid-bin query
+        // still excludes its own bin.
+        assert_eq!(kbps.cdf_at(300.0), 0.0);
+    }
+
+    #[test]
     fn gain_cdf_fraction_positive() {
         let mut g = GainCdf::new();
         for x in [-20.0, -5.0, 10.0, 30.0] {
@@ -403,6 +876,139 @@ mod tests {
         tie.add(0.0);
         tie.add(5.0);
         assert!((tie.fraction_positive() - 0.5).abs() < 1e-12);
+    }
+
+    /// A small synthetic report with non-trivial accumulator state in
+    /// every field (gain CDFs included).
+    fn sample_report() -> FleetReport {
+        let mk = |policy: &'static str, qoe01: f64, rr: f64| CellResult {
+            video: "v".into(),
+            genre: "Sports",
+            trace: "t".into(),
+            trace_mean_kbps: 1234.5,
+            policy,
+            qoe01,
+            avg_bitrate_kbps: 1500.3,
+            rebuffer_ratio: rr,
+            delivered_bits: 1e8,
+            intentional_stall_s: 0.25,
+            bitrate_switches: 3,
+        };
+        let mut stats =
+            FleetStats::new(&[PolicyKind::Bba, PolicyKind::SenseiFugu], PolicyKind::Bba);
+        stats.fold_cell(&[mk("BBA", 0.51, 0.02), mk("SENSEI", 0.63, 0.01)]);
+        stats.fold_cell(&[mk("BBA", 0.47, 0.06), mk("SENSEI", 0.44, 0.09)]);
+        stats.fold_cell(&[mk("BBA", 1.0 / 3.0, 0.0), mk("SENSEI", 0.1 / 0.3, 0.0)]);
+        FleetReport {
+            stats,
+            workers: 4,
+            wall_time_s: 1.5,
+            sessions_per_sec: 4.0,
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips_bit_for_bit() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = FleetReport::from_json(&text).unwrap();
+        // FleetStats derives PartialEq over every accumulator, so this is
+        // a bit-for-bit comparison of means, m2s, and histogram counts.
+        assert_eq!(report.stats, back.stats);
+        assert_eq!(report.workers, back.workers);
+        assert_eq!(report.wall_time_s.to_bits(), back.wall_time_s.to_bits());
+        // Serialization is stable: a second round trip emits identical
+        // bytes (checked-in baselines must not churn).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn report_json_rejects_corruption() {
+        let report = sample_report();
+        let text = report.to_json();
+        assert!(matches!(
+            FleetReport::from_json("not json"),
+            Err(FleetError::Persist(_))
+        ));
+        assert!(matches!(
+            FleetReport::from_json("{}"),
+            Err(FleetError::Persist(_))
+        ));
+        let bad_policy = text.replace("\"BBA\"", "\"NotAPolicy\"");
+        assert!(matches!(
+            FleetReport::from_json(&bad_policy),
+            Err(FleetError::Persist(_))
+        ));
+        let bad_count = text.replace("\"workers\": 4", "\"workers\": -1");
+        assert!(matches!(
+            FleetReport::from_json(&bad_count),
+            Err(FleetError::Persist(_))
+        ));
+        // Unknown format versions fail with a version message, not a
+        // field-level parse error.
+        let bad_format = text.replace("sensei-fleet-report/1", "sensei-fleet-report/999");
+        match FleetReport::from_json(&bad_format) {
+            Err(FleetError::Persist(msg)) => {
+                assert!(msg.contains("format"), "got: {msg}");
+            }
+            other => panic!("expected Persist error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_flags_qoe_mean_drift_and_axis_changes() {
+        let baseline = sample_report();
+        // Identical reports diff clean at any tolerance.
+        let same = FleetReport::from_json(&baseline.to_json()).unwrap();
+        let clean = same.diff(&baseline);
+        assert!(clean.is_clean(0.0));
+        assert!(clean.regressions(0.0).is_empty());
+        assert_eq!(clean.summary(0.0), "");
+        // Perturb one policy's QoE mean: flagged beyond tolerance, quiet
+        // within it.
+        let mut drifted = FleetReport::from_json(&baseline.to_json()).unwrap();
+        let qoe = &mut drifted.stats.per_policy[1].qoe;
+        *qoe = Welford::from_parts(qoe.count(), qoe.mean() - 0.01, qoe.m2());
+        let diff = drifted.diff(&baseline);
+        assert!(!diff.is_clean(0.005));
+        assert!(diff.is_clean(0.05));
+        let regs = diff.regressions(0.005);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].policy, PolicyKind::SenseiFugu);
+        assert!(regs[0].delta() < 0.0);
+        assert!(diff.summary(0.005).contains("SENSEI"));
+        // An improvement is drift (baseline should be refreshed) but not
+        // a regression.
+        let mut improved = FleetReport::from_json(&baseline.to_json()).unwrap();
+        let qoe = &mut improved.stats.per_policy[1].qoe;
+        *qoe = Welford::from_parts(qoe.count(), qoe.mean() + 0.01, qoe.m2());
+        let diff = improved.diff(&baseline);
+        assert!(diff.regressions(0.005).is_empty());
+        assert!(!diff.is_clean(0.005));
+        // Axis changes are structural differences.
+        let mut reshaped = FleetReport::from_json(&baseline.to_json()).unwrap();
+        reshaped.stats.per_policy.pop();
+        let diff = reshaped.diff(&baseline);
+        assert_eq!(diff.only_in_baseline, vec![PolicyKind::SenseiFugu]);
+        assert!(!diff.is_clean(f64::INFINITY));
+        assert!(diff.summary(0.0).contains("missing from the current"));
+        // Session-count changes are drift even when means agree.
+        let mut resized = FleetReport::from_json(&baseline.to_json()).unwrap();
+        resized.stats.per_policy[0].sessions += 1;
+        assert!(!resized.diff(&baseline).is_clean(f64::INFINITY));
+        // A changed gain baseline is structural: every gain CDF is
+        // re-anchored even when the per-policy means agree.
+        let mut reanchored = FleetReport::from_json(&baseline.to_json()).unwrap();
+        reanchored.stats.baseline = PolicyKind::SenseiFugu;
+        let diff = reanchored.diff(&baseline);
+        assert_eq!(
+            diff.baseline_changed,
+            Some((PolicyKind::Bba, PolicyKind::SenseiFugu))
+        );
+        assert!(!diff.is_clean(f64::INFINITY));
+        assert!(diff
+            .summary(f64::INFINITY)
+            .contains("gain baseline changed"));
     }
 
     #[test]

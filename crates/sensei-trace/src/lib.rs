@@ -270,17 +270,16 @@ impl ThroughputTrace {
 
     /// Returns a copy with every sample multiplied by `factor`.
     ///
+    /// The name goes through [`Self::perturbed_name`], so the identity
+    /// scale (`factor == 1.0`) keeps the base name — byte-identical to
+    /// what `perturbed_name`/`TraceCache` would intern for the same
+    /// perturbation.
+    ///
     /// # Errors
     ///
     /// Returns an error when `factor` is not a positive finite value.
     pub fn scaled(&self, factor: f64) -> Result<Self, TraceError> {
-        self.perturbed_into(
-            factor,
-            0.0,
-            0,
-            format!("{}@x{factor:.2}", self.name),
-            Vec::new(),
-        )
+        self.perturbed_into(factor, 0.0, 0, self.perturbed_name(factor, 0.0), Vec::new())
     }
 
     /// Returns a copy rescaled so its mean equals `target_mean_kbps`.
@@ -298,6 +297,11 @@ impl ThroughputTrace {
     /// This is the Fig. 17 operator: the paper increases a trace's throughput
     /// variance "by adding a Gaussian noise with zero mean".
     ///
+    /// The name goes through [`Self::perturbed_name`], so zero-std noise
+    /// keeps the base name — byte-identical to what
+    /// `perturbed_name`/`TraceCache` would intern for the same
+    /// perturbation.
+    ///
     /// # Errors
     ///
     /// Returns an error when the resulting trace would be all-zero (only
@@ -307,16 +311,20 @@ impl ThroughputTrace {
             1.0,
             std_kbps,
             seed,
-            format!("{}+n{std_kbps:.0}", self.name),
+            self.perturbed_name(1.0, std_kbps),
             Vec::new(),
         )
     }
 
     /// The name of the scale-then-jitter perturbation of this trace —
     /// `{name}@x{scale:.2}` when scaled, `+n{std:.0}` appended when
-    /// jittered, matching the chained [`Self::scaled`] /
-    /// [`Self::with_gaussian_noise`] naming. Seed-independent, so caches
-    /// can intern it once per (trace, perturbation) pair.
+    /// jittered, identity components skipped. This is the **single**
+    /// naming path: [`Self::scaled`] and [`Self::with_gaussian_noise`]
+    /// route through it, so the one-shot operators, `perturbed_into`
+    /// callers, and the fleet's interned `TraceCache` names can never
+    /// drift — an identity perturbation always keeps the base name
+    /// byte-identical. Seed-independent, so caches can intern it once
+    /// per (trace, perturbation) pair.
     pub fn perturbed_name(&self, scale: f64, jitter_std_kbps: f64) -> String {
         let mut name = self.name.to_string();
         if scale != 1.0 {
@@ -563,6 +571,42 @@ mod tests {
         // Determinism.
         let n2 = t.with_gaussian_noise(500.0, 7).unwrap();
         assert_eq!(n.samples(), n2.samples());
+    }
+
+    #[test]
+    fn identity_perturbations_keep_the_base_name() {
+        // Regression: `scaled(1.0)` / `with_gaussian_noise(0.0, _)` used
+        // to emit `{name}@x1.00` / `{name}+n0` while `perturbed_name`
+        // identity-skipped those components, so the one-shot operators
+        // and the TraceCache-interned names disagreed. All naming now
+        // routes through `perturbed_name`.
+        let t = trace(&[1000.0, 3000.0]);
+        let s = t.scaled(1.0).unwrap();
+        assert_eq!(s.name(), t.name());
+        assert_eq!(s.name(), t.perturbed_name(1.0, 0.0));
+        assert_eq!(s.samples(), t.samples());
+        let n = t.with_gaussian_noise(0.0, 123).unwrap();
+        assert_eq!(n.name(), t.name());
+        assert_eq!(n.name(), t.perturbed_name(1.0, 0.0));
+        assert_eq!(n.samples(), t.samples());
+    }
+
+    #[test]
+    fn one_shot_operator_names_match_perturbed_name() {
+        // Non-identity components must agree with the helper too, for
+        // every combination of the two operators.
+        let t = trace(&[1000.0, 3000.0]);
+        assert_eq!(t.scaled(0.5).unwrap().name(), t.perturbed_name(0.5, 0.0));
+        assert_eq!(
+            t.with_gaussian_noise(250.0, 7).unwrap().name(),
+            t.perturbed_name(1.0, 250.0)
+        );
+        let chained = t
+            .scaled(0.5)
+            .unwrap()
+            .with_gaussian_noise(250.0, 7)
+            .unwrap();
+        assert_eq!(chained.name(), t.perturbed_name(0.5, 250.0));
     }
 
     #[test]

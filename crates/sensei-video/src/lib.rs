@@ -13,7 +13,10 @@
 //!   and [`content::SourceVideo`] built from scripted scene graphs.
 //! * [`corpus`] — the 16-video Table-1 test set with per-video scene scripts
 //!   (the goal in Soccer1, the scoreboard in Soccer2, the scenic lulls in
-//!   Space, the bully-trap in BigBuckBunny, ...).
+//!   Space, the bully-trap in BigBuckBunny, ...), plus
+//!   [`corpus::generate_family`]: procedurally composed scene scripts that
+//!   scale the corpus to hundreds of distinct deterministic videos for
+//!   fleet evaluation.
 //! * [`encode`] — the {300, 750, 1200, 1850, 2850} kbps ladder and a VBR
 //!   chunk-size model.
 //! * [`quality`] — the `vq(bitrate, complexity)` perceptual-quality curve
@@ -32,6 +35,7 @@ pub mod render;
 pub mod weights;
 
 pub use content::{ChunkContent, Genre, SceneKind, SourceVideo};
+pub use corpus::{generate_family, CorpusEntry, GenreMix};
 pub use encode::{BitrateLadder, EncodedVideo};
 pub use quality::visual_quality;
 pub use render::{Incident, RenderedChunk, RenderedVideo};
@@ -65,6 +69,9 @@ pub enum VideoError {
     UnknownBitrate(f64),
     /// Weight vectors must be positive, finite, and match the chunk count.
     InvalidWeights(String),
+    /// A procedural genre mix must have non-negative finite weights with a
+    /// positive sum.
+    InvalidGenreMix(String),
 }
 
 impl std::fmt::Display for VideoError {
@@ -83,6 +90,7 @@ impl std::fmt::Display for VideoError {
             ),
             VideoError::UnknownBitrate(b) => write!(f, "bitrate {b} kbps is not in the ladder"),
             VideoError::InvalidWeights(msg) => write!(f, "invalid sensitivity weights: {msg}"),
+            VideoError::InvalidGenreMix(msg) => write!(f, "invalid genre mix: {msg}"),
         }
     }
 }

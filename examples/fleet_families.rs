@@ -1,0 +1,142 @@
+//! Procedural scenario families at fleet scale, plus baseline diffing.
+//!
+//! Full mode expands a 120-video procedural corpus across three generated
+//! trace families (diurnal load, cross-traffic bursts, correlated shared
+//! cells — all admission-filtered to the paper's 0.2–6 Mbps band) and
+//! streams the whole matrix through the sharded executor.
+//!
+//! Quick mode (`SENSEI_FLEET_QUICK=1`) runs a bounded family matrix and
+//! **diffs its deterministic aggregates against the checked-in
+//! `BASELINE_fleet.json`**, failing on per-policy QoE-mean drift beyond
+//! tolerance — the CI regression gate for the whole simulation stack.
+//!
+//! ```sh
+//! cargo run --release --example fleet_families                 # full sweep
+//! SENSEI_FLEET_QUICK=1 cargo run --release --example fleet_families  # CI gate
+//! SENSEI_FLEET_WRITE_BASELINE=1 cargo run --release --example fleet_families  # refresh baseline
+//! ```
+
+use sensei_core::experiment::{ExperimentConfig, PolicyKind};
+use sensei_fleet::{Fleet, FleetConfig, FleetReport, ScenarioFamilies, TracePerturbation};
+use sensei_trace::generate::TraceFamily;
+
+/// Committed baseline of the quick-mode family run's aggregates.
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BASELINE_fleet.json");
+
+/// Allowed per-policy QoE-mean movement before the gate fails. The run
+/// is bit-deterministic on one machine; the tolerance only absorbs
+/// last-ulp libm differences across platforms, which stay orders of
+/// magnitude below a real behavioral regression.
+const QOE_MEAN_TOLERANCE: f64 = 1e-3;
+
+fn flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let write_baseline = flag("SENSEI_FLEET_WRITE_BASELINE");
+    // The baseline is defined over the bounded matrix, so refreshing it
+    // implies quick mode.
+    let quick = flag("SENSEI_FLEET_QUICK") || write_baseline;
+
+    let families = if quick {
+        ScenarioFamilies::builder()
+            .videos(5)
+            .traces_per_family(1)
+            .trace_duration_s(400)
+            .seed(2026)
+            .build()?
+    } else {
+        ScenarioFamilies::builder()
+            .videos(120)
+            .trace_families([
+                TraceFamily::Diurnal,
+                TraceFamily::CrossTrafficBursts,
+                TraceFamily::SharedCell { users: 4 },
+            ])
+            .traces_per_family(3)
+            .trace_duration_s(600)
+            .seed(2026)
+            .build()?
+    };
+    println!(
+        "families: {} procedural videos, {} traces across 3 trace families",
+        families.corpus.len(),
+        families.traces.len(),
+    );
+    for t in families.traces.iter().take(6) {
+        println!("  trace {:<24} mean {:>6.0} kbps", t.name(), t.mean_kbps());
+    }
+
+    let matrix = families
+        .matrix_builder()
+        .policies([PolicyKind::Bba, PolicyKind::SenseiFugu])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation::jittered(200.0),
+        ])
+        .build()?;
+    let mut config = ExperimentConfig::quick(families.seed());
+    config.videos = None; // the Table-1 filter does not apply to families
+    let env = families.into_experiment(&config)?;
+
+    let workers = if quick {
+        2
+    } else {
+        FleetConfig::default().workers
+    };
+    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers))?;
+    println!(
+        "fleet: {} scenarios ({} cells x {} policies) on {workers} workers",
+        fleet.num_scenarios(),
+        matrix.num_cells(&env),
+        matrix.policies().len(),
+    );
+    let report = fleet.run()?;
+    print!("{}", report.summary());
+
+    if !quick {
+        return Ok(());
+    }
+
+    // Determinism cross-check, same convention as fleet_scale.
+    let rerun = Fleet::new(&env, &matrix, FleetConfig::new(1))?.run()?;
+    assert_eq!(
+        report.stats, rerun.stats,
+        "1-worker rerun must reproduce the aggregates bit for bit"
+    );
+    println!("determinism check: 2-worker and 1-worker aggregates identical");
+
+    if write_baseline {
+        std::fs::write(BASELINE_PATH, report.to_json())?;
+        println!("[baseline] wrote {BASELINE_PATH}");
+        return Ok(());
+    }
+
+    // The CI gate: regenerate the quick report, diff against the
+    // committed baseline, fail on drift.
+    let baseline_text = std::fs::read_to_string(BASELINE_PATH).map_err(|e| {
+        format!(
+            "cannot read {BASELINE_PATH}: {e}\n\
+             regenerate it with SENSEI_FLEET_WRITE_BASELINE=1 \
+             cargo run --release --example fleet_families"
+        )
+    })?;
+    let baseline = FleetReport::from_json(&baseline_text)?;
+    let diff = report.diff(&baseline);
+    if diff.is_clean(QOE_MEAN_TOLERANCE) {
+        println!(
+            "[baseline] clean: {} policies within {QOE_MEAN_TOLERANCE} of {BASELINE_PATH}",
+            diff.drifts.len()
+        );
+        Ok(())
+    } else {
+        eprintln!(
+            "[baseline] DRIFT against {BASELINE_PATH}:\n{}\
+             if intentional, refresh with SENSEI_FLEET_WRITE_BASELINE=1 \
+             cargo run --release --example fleet_families",
+            diff.summary(QOE_MEAN_TOLERANCE)
+        );
+        Err("fleet aggregates drifted from the committed baseline".into())
+    }
+}

@@ -53,6 +53,59 @@ proptest! {
         }
     }
 
+    /// Every procedurally generated video family is deterministic given
+    /// its seed, and every chunk profile it produces is valid.
+    #[test]
+    fn video_families_are_deterministic_per_seed(
+        seed in 0u64..1_000_000_000,
+        count in 1usize..6,
+        sports in 0.0f64..4.0,
+        nature in 0.0f64..4.0,
+    ) {
+        let mix = sensei_video::GenreMix {
+            sports,
+            gaming: 1.0,
+            nature,
+            animation: 1.0,
+        };
+        let a = sensei_video::generate_family(&mix, count, seed).unwrap();
+        let b = sensei_video::generate_family(&mix, count, seed).unwrap();
+        prop_assert_eq!(a.len(), count);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.video, &y.video);
+            prop_assert_eq!(x.source_dataset, "procedural");
+            for chunk in x.video.chunks() {
+                prop_assert!(chunk.validate().is_ok());
+            }
+        }
+    }
+
+    /// Every generated trace family lands inside the paper's 0.2–6 Mbps
+    /// admission band with no all-zero traces, for arbitrary seeds.
+    #[test]
+    fn trace_families_land_in_admission_band(
+        seed in 0u64..1_000_000_000,
+        family_idx in 0usize..5,
+        count in 1usize..4,
+    ) {
+        use sensei_trace::generate::{generate_family, in_admission_band, TraceFamily};
+        let family = TraceFamily::all().swap_remove(family_idx);
+        let set = generate_family(&family, count, 300, seed);
+        prop_assert_eq!(set.len(), count);
+        for t in &set {
+            prop_assert!(
+                in_admission_band(t.mean_kbps()),
+                "{} mean {} outside 0.2-6 Mbps", t.name(), t.mean_kbps()
+            );
+            prop_assert!(t.samples().iter().any(|&v| v > 0.0));
+        }
+        // Determinism in the seed.
+        let again = generate_family(&family, count, 300, seed);
+        for (x, y) in set.iter().zip(&again) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
     /// Visual quality is monotone in bitrate for any complexity.
     #[test]
     fn visual_quality_is_monotone(
