@@ -6,7 +6,7 @@
 //! BBA is the paper's common baseline (every Fig. 12–14 gain is "over
 //! BBA").
 
-use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 
 /// The BBA policy.
 #[derive(Debug, Clone)]
@@ -65,6 +65,23 @@ impl AbrPolicy for Bba {
 
     fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         Decision::level(self.level_for_buffer(state.buffer_s, ctx.num_levels()))
+    }
+
+    /// BBA's threshold rule is a pure function of buffer occupancy, so the
+    /// batched entry point maps the whole lane-buffer slice through the
+    /// reservoir/cushion map in one tight loop — one virtual call per
+    /// chunk step instead of one per lane, and a loop the compiler can
+    /// unroll and vectorize.
+    fn select_batch(
+        &mut self,
+        states: &BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        let num_levels = ctx.num_levels();
+        for (slot, &buffer_s) in out.iter_mut().zip(states.buffers()) {
+            *slot = Decision::level(self.level_for_buffer(buffer_s, num_levels));
+        }
     }
 }
 

@@ -94,67 +94,20 @@ impl Fugu {
         self
     }
 
-    /// Scores one bitrate plan under one throughput scenario: a buffer walk
-    /// yielding Σ_j q(b_j, t_j).
-    #[allow(clippy::too_many_arguments)]
-    fn plan_quality(
-        &self,
-        plan: &[usize],
-        rate_kbps: f64,
-        state: &PlayerState<'_>,
-        ctx: &SessionContext<'_>,
-        weights: Option<&[f64]>,
-    ) -> f64 {
-        let d = ctx.chunk_duration_s;
-        let mut buf = state.buffer_s;
-        let mut prev: Option<(f64, usize)> = state
-            .last_level
-            .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
-        let mut total = 0.0;
-        for (j, &level) in plan.iter().enumerate() {
-            let chunk = state.next_chunk + j;
-            let size = ctx
-                .encoded
-                .size_bits(chunk, level)
-                .expect("plan stays in range");
-            let dt = self.rtt_s + size / (rate_kbps * 1000.0);
-            let stall = (dt - buf).max(0.0);
-            buf = (buf - dt).max(0.0) + d;
-            buf = buf.min(self.max_buffer_s);
-            let vq = ctx.vq[chunk][level];
-            let switch = match prev {
-                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
-                _ => 0.0,
-            };
-            prev = Some((vq, level));
-            let q = self
-                .qoe
-                .chunk_quality(vq, stall * self.risk_aversion, switch, d);
-            total += weights.map_or(q, |w| w[j] * q);
-        }
-        total
-    }
-
-    /// Expected plan quality against pre-resolved scenario rates.
-    /// The rates depend on the player state alone, so plan enumeration
-    /// resolves them once instead of re-allocating the scenario vector for
-    /// each of the `levels^h` candidate plans.
-    fn expected_plan_quality_with(
-        &self,
-        scenario_rates: &[(f64, f64)],
-        plan: &[usize],
-        state: &PlayerState<'_>,
-        ctx: &SessionContext<'_>,
-        weights: Option<&[f64]>,
-    ) -> f64 {
-        scenario_rates
-            .iter()
-            .map(|&(p, rate)| p * self.plan_quality(plan, rate, state, ctx, weights))
-            .sum()
-    }
-
     /// Enumerates all plans over the effective horizon; returns the best
     /// plan's first action and its expected quality.
+    ///
+    /// The enumeration runs as a depth-first walk over the plan *tree*
+    /// rather than a flat odometer over the `levels^h` plan list: the
+    /// `levels^(j+1)` plans sharing a length-`j+1` prefix share that
+    /// prefix's buffer walk, so each prefix is scored **once** instead of
+    /// once per completion — `Σ_j levels^j ≈ levels^h · levels/(levels−1)`
+    /// chunk evaluations instead of `levels^h · h`, an ~`h`-fold cut at
+    /// the paper's horizon. Leaves are visited in exactly the odometer's
+    /// lexicographic order and every per-chunk operation is performed in
+    /// the same sequence, so the winning plan, its score, and every
+    /// tie-break are bit-identical to the flat enumeration (asserted
+    /// against a reference odometer in this module's tests).
     pub(crate) fn best_plan(
         &self,
         state: &PlayerState<'_>,
@@ -168,27 +121,123 @@ impl Fugu {
             return (0, 0.0);
         }
         let scenario_rates = self.predictor.scenario_rates(state);
-        let mut plan = vec![0usize; h];
-        let mut best_plan0 = 0usize;
-        let mut best_q = f64::NEG_INFINITY;
-        loop {
-            let q = self.expected_plan_quality_with(&scenario_rates, &plan, state, ctx, weights);
-            if q > best_q {
-                best_q = q;
-                best_plan0 = plan[0];
-            }
-            // Odometer increment over the plan space.
-            let mut pos = h;
-            loop {
-                if pos == 0 {
-                    return (best_plan0, best_q);
+        let prev = state
+            .last_level
+            .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+        // One per-scenario running state per tree depth: row 0 is the
+        // pre-plan state, row j+1 the state after the length-(j+1) prefix.
+        let mut search = PlanSearch {
+            rtt_s: self.rtt_s,
+            max_buffer_s: self.max_buffer_s,
+            risk_aversion: self.risk_aversion,
+            qoe: &self.qoe,
+            ctx,
+            weights,
+            next_chunk: state.next_chunk,
+            h,
+            n_levels,
+            rates: &scenario_rates,
+            stack: vec![
+                ScenarioWalk {
+                    buf: state.buffer_s,
+                    prev,
+                    total: 0.0,
+                };
+                (h + 1) * scenario_rates.len()
+            ],
+            best_q: f64::NEG_INFINITY,
+            best_plan0: 0,
+        };
+        search.descend(0, 0);
+        (search.best_plan0, search.best_q)
+    }
+}
+
+/// Per-scenario running state of one plan prefix: the buffer walk's
+/// position, the previous chunk's `(vq, level)` for switch penalties, and
+/// the accumulated weighted quality.
+#[derive(Debug, Clone, Copy)]
+struct ScenarioWalk {
+    buf: f64,
+    prev: Option<(f64, usize)>,
+    total: f64,
+}
+
+/// Depth-first plan enumeration state (see [`Fugu::best_plan`]).
+struct PlanSearch<'a, 'b> {
+    rtt_s: f64,
+    max_buffer_s: f64,
+    risk_aversion: f64,
+    qoe: &'a Ksqi,
+    ctx: &'a SessionContext<'b>,
+    weights: Option<&'a [f64]>,
+    next_chunk: usize,
+    h: usize,
+    n_levels: usize,
+    rates: &'a [(f64, f64)],
+    /// `(h + 1) × scenarios` rows of running state, indexed by depth.
+    stack: Vec<ScenarioWalk>,
+    best_q: f64,
+    best_plan0: usize,
+}
+
+impl PlanSearch<'_, '_> {
+    /// Extends every scenario's walk at `depth` by `level`, writing the
+    /// child row; identical arithmetic (and order) to one iteration of
+    /// the flat plan scorer's buffer walk.
+    fn step(&mut self, depth: usize, level: usize) {
+        let s = self.rates.len();
+        let d = self.ctx.chunk_duration_s;
+        let chunk = self.next_chunk + depth;
+        let size = self
+            .ctx
+            .encoded
+            .size_bits(chunk, level)
+            .expect("plan stays in range");
+        let vq = self.ctx.vq[chunk][level];
+        for si in 0..s {
+            let parent = self.stack[depth * s + si];
+            let rate_kbps = self.rates[si].1;
+            let dt = self.rtt_s + size / (rate_kbps * 1000.0);
+            let stall = (dt - parent.buf).max(0.0);
+            let mut buf = (parent.buf - dt).max(0.0) + d;
+            buf = buf.min(self.max_buffer_s);
+            let switch = match parent.prev {
+                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                _ => 0.0,
+            };
+            let q = self
+                .qoe
+                .chunk_quality(vq, stall * self.risk_aversion, switch, d);
+            self.stack[(depth + 1) * s + si] = ScenarioWalk {
+                buf,
+                prev: Some((vq, level)),
+                total: parent.total + self.weights.map_or(q, |w| w[depth] * q),
+            };
+        }
+    }
+
+    /// Recursively enumerates levels at `depth`; `plan0` is the root
+    /// level of the current subtree (the candidate first action).
+    fn descend(&mut self, depth: usize, plan0: usize) {
+        let s = self.rates.len();
+        for level in 0..self.n_levels {
+            let plan0 = if depth == 0 { level } else { plan0 };
+            self.step(depth, level);
+            if depth + 1 == self.h {
+                // Expected quality over the scenario set, folded in
+                // scenario order from 0.0 — the same reduction the flat
+                // enumeration performs per plan.
+                let mut q = 0.0;
+                for si in 0..s {
+                    q += self.rates[si].0 * self.stack[(depth + 1) * s + si].total;
                 }
-                pos -= 1;
-                plan[pos] += 1;
-                if plan[pos] < n_levels {
-                    break;
+                if q > self.best_q {
+                    self.best_q = q;
+                    self.best_plan0 = plan0;
                 }
-                plan[pos] = 0;
+            } else {
+                self.descend(depth + 1, plan0);
             }
         }
     }
@@ -307,5 +356,122 @@ mod tests {
     #[should_panic(expected = "horizon")]
     fn zero_horizon_is_rejected() {
         let _ = Fugu::new().with_horizon(0);
+    }
+
+    /// The pre-refactor flat enumeration, kept as the reference the
+    /// prefix-sharing DFS must reproduce bit for bit: every plan scored
+    /// from scratch by an independent buffer walk per scenario, plans
+    /// visited in odometer (lexicographic) order.
+    fn reference_best_plan(
+        fugu: &Fugu,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+        weights: Option<&[f64]>,
+    ) -> (usize, f64) {
+        let plan_quality = |plan: &[usize], rate_kbps: f64| -> f64 {
+            let d = ctx.chunk_duration_s;
+            let mut buf = state.buffer_s;
+            let mut prev: Option<(f64, usize)> = state
+                .last_level
+                .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+            let mut total = 0.0;
+            for (j, &level) in plan.iter().enumerate() {
+                let chunk = state.next_chunk + j;
+                let size = ctx.encoded.size_bits(chunk, level).unwrap();
+                let dt = 0.08 + size / (rate_kbps * 1000.0);
+                let stall = (dt - buf).max(0.0);
+                buf = (buf - dt).max(0.0) + d;
+                buf = buf.min(24.0);
+                let vq = ctx.vq[chunk][level];
+                let switch = match prev {
+                    Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                    _ => 0.0,
+                };
+                prev = Some((vq, level));
+                let q =
+                    Ksqi::canonical().chunk_quality(vq, stall * fugu.risk_aversion(), switch, d);
+                total += weights.map_or(q, |w| w[j] * q);
+            }
+            total
+        };
+        let n_levels = ctx.num_levels();
+        let h = DEFAULT_HORIZON.min(ctx.num_chunks() - state.next_chunk);
+        let scenario_rates = fugu.predictor().scenario_rates(state);
+        let mut plan = vec![0usize; h];
+        let mut best_plan0 = 0usize;
+        let mut best_q = f64::NEG_INFINITY;
+        loop {
+            let q: f64 = scenario_rates
+                .iter()
+                .map(|&(p, rate)| p * plan_quality(&plan, rate))
+                .sum();
+            if q > best_q {
+                best_q = q;
+                best_plan0 = plan[0];
+            }
+            let mut pos = h;
+            loop {
+                if pos == 0 {
+                    return (best_plan0, best_q);
+                }
+                pos -= 1;
+                plan[pos] += 1;
+                if plan[pos] < n_levels {
+                    break;
+                }
+                plan[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_enumeration_matches_the_flat_reference_bit_for_bit() {
+        use sensei_sim::SessionContext;
+        let src = source();
+        let enc = encoded(&src);
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: enc.vq_table(),
+            weights: None,
+            chunk_duration_s: src.chunk_duration_s(),
+        };
+        let fugu = Fugu::new();
+        let weight_rows: [Option<Vec<f64>>; 2] =
+            [None, Some(vec![1.4, 0.6, 1.0, 2.0, 0.8, 1.1, 0.9])];
+        // A spread of buffer levels, histories, and positions — including
+        // the truncated-horizon video tail and near-tie states.
+        let histories: [&[f64]; 3] = [
+            &[1200.0, 900.0, 1500.0],
+            &[400.0, 420.0, 380.0, 410.0, 395.0],
+            &[5000.0; 6],
+        ];
+        for weights in &weight_rows {
+            for hist in histories {
+                for next_chunk in [0, 3, src.num_chunks() - 3, src.num_chunks() - 1] {
+                    for buffer_s in [0.5, 4.0, 11.0, 23.0] {
+                        let state = PlayerState {
+                            next_chunk,
+                            buffer_s,
+                            last_level: Some(2),
+                            throughput_history_kbps: hist,
+                            download_time_history_s: &[1.0; 6][..hist.len()],
+                            elapsed_s: 30.0,
+                            playing: true,
+                        };
+                        let w = weights
+                            .as_deref()
+                            .map(|w| &w[..DEFAULT_HORIZON.min(src.num_chunks() - next_chunk)]);
+                        let fast = fugu.best_plan(&state, &ctx, w);
+                        let slow = reference_best_plan(&fugu, &state, &ctx, w);
+                        assert_eq!(fast.0, slow.0, "chosen level at chunk {next_chunk}");
+                        assert_eq!(
+                            fast.1.to_bits(),
+                            slow.1.to_bits(),
+                            "plan score at chunk {next_chunk} (buffer {buffer_s})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -61,48 +61,93 @@ impl OracleMpc {
         }
     }
 
-    /// Scores a plan with exact future throughput starting at wall time
-    /// `t0`, returning the weighted horizon quality.
-    fn plan_quality(
+    /// Depth-first enumeration of every length-`h` plan under one pause
+    /// candidate, with exact-throughput walks shared across plan
+    /// prefixes — the oracle-side counterpart of [`crate::Fugu`]'s
+    /// prefix-sharing search (leaves visited in the flat enumeration's
+    /// lexicographic order, per-chunk arithmetic in the same sequence, so
+    /// scores and tie-breaks are bit-identical to scoring each plan from
+    /// scratch). Updates `(best_q, best)` in place.
+    #[allow(clippy::too_many_arguments)]
+    fn search_plans(
         &self,
-        plan: &[usize],
-        t0: f64,
-        buffer0: f64,
+        depth: usize,
+        h: usize,
+        stack: &mut [OracleWalk],
+        pause: f64,
+        pause_cost: f64,
         state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: &[f64],
-    ) -> f64 {
+        best_q: &mut f64,
+        best: &mut Decision,
+        plan0: usize,
+    ) {
         let d = ctx.chunk_duration_s;
-        let mut t = t0;
-        let mut buf = buffer0;
-        let mut prev: Option<(f64, usize)> = state
-            .last_level
-            .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
-        let mut total = 0.0;
-        for (j, &level) in plan.iter().enumerate() {
-            let chunk = state.next_chunk + j;
+        let n_levels = ctx.num_levels();
+        let chunk = state.next_chunk + depth;
+        for level in 0..n_levels {
+            let plan0 = if depth == 0 { level } else { plan0 };
+            let parent = stack[depth];
             let size = ctx
                 .encoded
                 .size_bits(chunk, level)
                 .expect("plan stays in range");
-            let dt = self.rtt_s + self.cum.download_time(t + self.rtt_s, size);
-            let stall = (dt - buf).max(0.0);
-            buf = (buf - dt).max(0.0) + d;
+            let dt = self.rtt_s + self.cum.download_time(parent.t + self.rtt_s, size);
+            let stall = (dt - parent.buf).max(0.0);
+            let mut buf = (parent.buf - dt).max(0.0) + d;
             buf = buf.min(self.max_buffer_s);
-            t += dt;
             let vq = ctx.vq[chunk][level];
-            let switch = match prev {
+            let switch = match parent.prev {
                 Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
                 _ => 0.0,
             };
-            prev = Some((vq, level));
-            total += weights[j]
-                * self
-                    .qoe
-                    .chunk_quality(vq, stall * self.risk_aversion, switch, d);
+            stack[depth + 1] = OracleWalk {
+                t: parent.t + dt,
+                buf,
+                prev: Some((vq, level)),
+                total: parent.total
+                    + weights[depth]
+                        * self
+                            .qoe
+                            .chunk_quality(vq, stall * self.risk_aversion, switch, d),
+            };
+            if depth + 1 == h {
+                let q = stack[depth + 1].total - pause_cost;
+                if q > *best_q {
+                    *best_q = q;
+                    *best = Decision {
+                        level: plan0,
+                        pause_s: pause,
+                    };
+                }
+            } else {
+                self.search_plans(
+                    depth + 1,
+                    h,
+                    stack,
+                    pause,
+                    pause_cost,
+                    state,
+                    ctx,
+                    weights,
+                    best_q,
+                    best,
+                    plan0,
+                );
+            }
         }
-        total
     }
+}
+
+/// Running state of one exact-throughput plan prefix: wall clock, buffer,
+/// previous `(vq, level)`, and accumulated weighted quality.
+#[derive(Debug, Clone, Copy)]
+struct OracleWalk {
+    t: f64,
+    buf: f64,
+    prev: Option<(f64, usize)>,
+    total: f64,
 }
 
 impl AbrPolicy for OracleMpc {
@@ -154,9 +199,20 @@ impl AbrPolicy for OracleMpc {
             &[0.0]
         };
 
-        let n_levels = ctx.num_levels();
         let mut best = Decision::level(0);
         let mut best_q = f64::NEG_INFINITY;
+        let prev = state
+            .last_level
+            .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+        let mut stack = vec![
+            OracleWalk {
+                t: 0.0,
+                buf: 0.0,
+                prev: None,
+                total: 0.0,
+            };
+            h + 1
+        ];
         for &pause in pauses {
             // Charged at the same risk multiplier the planner applies to
             // predicted stalls, so relocating a stall is never spuriously
@@ -165,41 +221,25 @@ impl AbrPolicy for OracleMpc {
                 * stall_penalty
                 * self.risk_aversion
                 * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
-            let mut plan = vec![0usize; h];
-            loop {
-                let q = self.plan_quality(
-                    &plan,
-                    state.elapsed_s,
-                    state.buffer_s + pause,
-                    state,
-                    ctx,
-                    &weights,
-                ) - pause_cost;
-                if q > best_q {
-                    best_q = q;
-                    best = Decision {
-                        level: plan[0],
-                        pause_s: pause,
-                    };
-                }
-                let mut pos = h;
-                let mut done = false;
-                loop {
-                    if pos == 0 {
-                        done = true;
-                        break;
-                    }
-                    pos -= 1;
-                    plan[pos] += 1;
-                    if plan[pos] < n_levels {
-                        break;
-                    }
-                    plan[pos] = 0;
-                }
-                if done {
-                    break;
-                }
-            }
+            stack[0] = OracleWalk {
+                t: state.elapsed_s,
+                buf: state.buffer_s + pause,
+                prev,
+                total: 0.0,
+            };
+            self.search_plans(
+                0,
+                h,
+                &mut stack,
+                pause,
+                pause_cost,
+                state,
+                ctx,
+                &weights,
+                &mut best_q,
+                &mut best,
+                0,
+            );
         }
         best
     }

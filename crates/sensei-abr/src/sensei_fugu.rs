@@ -13,7 +13,7 @@
 
 use crate::fugu::Fugu;
 use sensei_qoe::Ksqi;
-use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 
 /// The intentional-rebuffer action levels (§5.2: "{0, 1, 2} seconds ...
 /// only ... at chunk boundaries").
@@ -29,6 +29,10 @@ pub struct SenseiFugu {
     allow_pause: bool,
     /// Intentional stall spent so far this session, seconds.
     pause_spent_s: f64,
+    /// Per-lane pause ledgers when the instance serves a batch: the pause
+    /// budget is **per-session** state, so each lane keeps its own spend
+    /// (see [`AbrPolicy::select_batch`] below).
+    lane_pause_spent_s: Vec<f64>,
 }
 
 impl SenseiFugu {
@@ -44,6 +48,7 @@ impl SenseiFugu {
             qoe: Ksqi::canonical(),
             allow_pause: true,
             pause_spent_s: 0.0,
+            lane_pause_spent_s: Vec::new(),
         }
     }
 
@@ -119,6 +124,30 @@ impl AbrPolicy for SenseiFugu {
 
     fn reset(&mut self) {
         self.pause_spent_s = 0.0;
+    }
+
+    /// The pause budget is per-session state, so a batch keeps one ledger
+    /// slot per lane.
+    fn begin_batch(&mut self, lanes: usize) {
+        self.lane_pause_spent_s.clear();
+        self.lane_pause_spent_s.resize(lanes, 0.0);
+    }
+
+    /// Swaps each lane's pause ledger into the scalar slot around
+    /// [`Self::decide`], so every lane sees exactly the budget state a
+    /// dedicated per-session instance would — byte-identical decisions to
+    /// the scalar path.
+    fn select_batch(
+        &mut self,
+        states: &BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
+            self.pause_spent_s = self.lane_pause_spent_s[i];
+            *slot = self.decide(&states.state(i), ctx);
+            self.lane_pause_spent_s[i] = self.pause_spent_s;
+        }
     }
 
     fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {

@@ -11,15 +11,19 @@
 //! Both runs use streaming `O(bins)` aggregation — no per-session results
 //! are retained, so the same harness scales to millions of sessions.
 //!
-//! Besides the human-readable stdout, the bench writes the measurements to
+//! Besides the human-readable stdout, the bench maintains
 //! `BENCH_fleet.json` at the workspace root so the perf trajectory can be
-//! tracked across PRs machine-readably.
+//! tracked across PRs machine-readably: the latest measurements land in
+//! `runs`, and every run is **appended** to a `trajectory` array (keyed by
+//! run name + ISO date + quick flag), so a re-run records history instead
+//! of overwriting it.
 //!
 //! `SENSEI_FLEET_QUICK=1` bounds the scenario space to a few hundred
 //! sessions (and skips the ≥10k assertion) — the CI smoke mode that keeps
 //! this binary from rotting without turning CI into a benchmark farm.
 use sensei_bench::header;
 use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
+use sensei_fleet::json::{obj, parse, Json};
 use sensei_fleet::{
     Fleet, FleetConfig, FleetReport, ScenarioFamilies, ScenarioMatrix, TracePerturbation,
 };
@@ -29,16 +33,112 @@ fn quick_mode() -> bool {
     std::env::var("SENSEI_FLEET_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
-/// One `BENCH_fleet.json` entry, serialized by hand (the workspace is
-/// offline: no serde).
-fn run_json(name: &str, report: &FleetReport) -> String {
-    format!(
-        concat!(
-            "    {{\"name\": \"{}\", \"sessions\": {}, \"workers\": {}, ",
-            "\"wall_time_s\": {:.3}, \"sessions_per_sec\": {:.1}}}"
-        ),
-        name, report.stats.sessions, report.workers, report.wall_time_s, report.sessions_per_sec
-    )
+/// Today's civil date as `YYYY-MM-DD` (UTC), via Howard Hinnant's
+/// days-to-civil algorithm — the workspace is offline, so no chrono.
+fn iso_date_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// One measurement entry (used both for the latest `runs` and the
+/// appended `trajectory`).
+fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
+    obj([
+        ("name", Json::Str(name.to_string())),
+        ("date", Json::Str(date.to_string())),
+        ("quick", Json::Bool(quick)),
+        ("sessions", Json::Num(report.stats.sessions as f64)),
+        ("workers", Json::Num(report.workers as f64)),
+        ("wall_time_s", Json::Num(report.wall_time_s)),
+        ("sessions_per_sec", Json::Num(report.sessions_per_sec)),
+    ])
+}
+
+/// Prior trajectory entries from an existing `BENCH_fleet.json`: the
+/// `trajectory` array when present, else the legacy `runs` array (tagged
+/// `pre-trajectory` since those files carried no dates). A missing file
+/// yields an empty history; an **unparsable** file is backed up to
+/// `{path}.bak` before this run overwrites it — the bench must never
+/// refuse to measure because an old artifact is stale, but it must not
+/// silently destroy the committed cross-PR history either (a truncated
+/// write or merge-conflict markers stay recoverable).
+fn prior_trajectory(path: &str) -> Vec<Json> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let doc = match parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            let backup = format!("{path}.bak");
+            match std::fs::write(&backup, &text) {
+                Ok(()) => eprintln!(
+                    "[json] {path} is unparsable ({e}); preserved the old contents at {backup}"
+                ),
+                Err(io) => eprintln!(
+                    "[json] {path} is unparsable ({e}) and backing it up failed ({io}); \
+                     its history will be lost"
+                ),
+            }
+            return Vec::new();
+        }
+    };
+    if let Some(entries) = doc.get("trajectory").and_then(Json::as_arr) {
+        return entries.to_vec();
+    }
+    let quick = doc.get("quick").and_then(|q| match q {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    });
+    doc.get("runs")
+        .and_then(Json::as_arr)
+        .map(|runs| {
+            runs.iter()
+                .map(|r| {
+                    obj([
+                        (
+                            "name",
+                            Json::Str(
+                                r.get("name")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or("unknown")
+                                    .to_string(),
+                            ),
+                        ),
+                        ("date", Json::Str("pre-trajectory".to_string())),
+                        ("quick", Json::Bool(quick.unwrap_or(false))),
+                        (
+                            "sessions",
+                            r.get("sessions").cloned().unwrap_or(Json::Num(0.0)),
+                        ),
+                        (
+                            "workers",
+                            r.get("workers").cloned().unwrap_or(Json::Num(0.0)),
+                        ),
+                        (
+                            "wall_time_s",
+                            r.get("wall_time_s").cloned().unwrap_or(Json::Num(0.0)),
+                        ),
+                        (
+                            "sessions_per_sec",
+                            r.get("sessions_per_sec").cloned().unwrap_or(Json::Num(0.0)),
+                        ),
+                    ])
+                })
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 fn main() {
@@ -215,18 +315,43 @@ fn main() {
     );
 
     // --- Machine-readable perf trajectory. -----------------------------
-    let json = format!(
-        "{{\n  \"bench\": \"fleet_throughput\",\n  \"quick\": {},\n  \"runs\": [\n{},\n{},\n{}\n  ]\n}}\n",
-        quick,
-        run_json("scale", &scale_report),
-        run_json("mixed", &mixed_report),
-        run_json("procedural", &proc_report)
-    );
     // Anchor the artifact at the workspace root regardless of the CWD
     // cargo hands the bench binary (package dir under `cargo bench`).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("[json] wrote {path}"),
+    let date = iso_date_today();
+    let latest = [
+        ("scale", &scale_report),
+        ("mixed", &mixed_report),
+        ("procedural", &proc_report),
+    ];
+    // Build each measurement entry once and share it between the latest
+    // `runs` and the appended history, so the two views can never
+    // disagree. History entries are keyed by (name, date, quick): a
+    // same-day re-run *replaces* its key (local iteration stays
+    // idempotent) while distinct days append — which is what preserves
+    // the cross-PR trajectory across re-measurements.
+    let entries: Vec<Json> = latest
+        .iter()
+        .map(|(name, report)| run_json(name, &date, quick, report))
+        .collect();
+    let key = |e: &Json| {
+        (
+            e.get("name").and_then(Json::as_str).map(str::to_string),
+            e.get("date").and_then(Json::as_str).map(str::to_string),
+            matches!(e.get("quick"), Some(Json::Bool(true))),
+        )
+    };
+    let mut trajectory = prior_trajectory(path);
+    trajectory.retain(|old| !entries.iter().any(|new| key(new) == key(old)));
+    trajectory.extend(entries.iter().cloned());
+    let doc = obj([
+        ("bench", Json::Str("fleet_throughput".to_string())),
+        ("quick", Json::Bool(quick)),
+        ("runs", Json::Arr(entries)),
+        ("trajectory", Json::Arr(trajectory)),
+    ]);
+    match std::fs::write(path, doc.to_pretty() + "\n") {
+        Ok(()) => println!("[json] wrote {path} ({date})"),
         Err(e) => eprintln!("[json] could not write {path}: {e}"),
     }
 }

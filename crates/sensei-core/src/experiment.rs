@@ -8,11 +8,14 @@
 use crate::CoreError;
 use sensei_abr::{Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve};
 use sensei_crowd::{TrueQoe, WeightProfiler};
-use sensei_sim::{simulate_in, AbrPolicy, PlayerConfig, SessionResult, SessionScratch};
+use sensei_sim::{
+    simulate_batch_in, AbrPolicy, BatchLanes, PlayerConfig, SessionBatch, SessionResult,
+};
 use sensei_trace::{generate, ThroughputTrace};
 use sensei_video::{
     corpus, BitrateLadder, CorpusEntry, EncodedVideo, SensitivityWeights, SourceVideo,
 };
+use std::ops::Range;
 use std::sync::Arc;
 
 /// How per-video weights are obtained for deployment.
@@ -447,11 +450,12 @@ impl Experiment {
     }
 
     /// Runs one session through a reusable [`SessionRuntime`] — the
-    /// zero-allocation hot path. The runtime's policy instance for `kind`
-    /// is built on first use, then rebound ([`AbrPolicy::rebind`]) and
-    /// reset ([`AbrPolicy::reset`], inside the simulator) per session, so
-    /// thousands of sessions share one policy (for the RL policies, one
-    /// trained network) and one set of scratch buffers.
+    /// width-1 special case of [`Self::run_batch_in`], so the scalar path
+    /// and the batch engine can never drift apart. The runtime's policy
+    /// instance for `kind` is built on first use, then rebound
+    /// ([`AbrPolicy::rebind`]) and reset per session, so thousands of
+    /// sessions share one policy (for the RL policies, one trained
+    /// network) and one set of scratch buffers.
     ///
     /// # Errors
     ///
@@ -464,46 +468,170 @@ impl Experiment {
         kind: PolicyKind,
         player: &PlayerConfig,
     ) -> Result<CellResult, CoreError> {
-        let SessionRuntime { policies, scratch } = runtime;
-        let slot = &mut policies[kind.index()];
-        let policy = match slot {
-            Some(policy) => policy,
-            None => slot.insert(self.policy(kind, trace)?),
-        };
-        // Attach trace-bound controllers (the oracles) to this session's
-        // network; a no-op for every other policy.
-        policy.rebind(trace);
-        let weights = kind.uses_weights().then_some(&asset.weights);
-        let result: SessionResult = simulate_in(
-            scratch,
+        let mut cells = std::mem::take(&mut runtime.cells);
+        cells.clear();
+        let run = self.run_batch_in(runtime, asset, trace, &[(kind, *player)], &mut cells);
+        let cell = run.map_err(|failure| failure.error).and_then(|()| {
+            cells
+                .pop()
+                .ok_or_else(|| CoreError::BadConfig("width-1 batch produced no cell".into()))
+        });
+        runtime.cells = cells;
+        cell
+    }
+
+    /// Runs one **batch** of sessions — every `(policy, player)` lane of
+    /// one `(video, trace)` pair — through the structure-of-arrays batch
+    /// engine ([`sensei_sim::simulate_batch_in`]), scoring each lane with
+    /// the true-QoE oracle and appending one [`CellResult`] per lane to
+    /// `out` **in lane order**.
+    ///
+    /// Lanes are regrouped by policy internally, so each policy instance
+    /// is built once, rebound to the trace **once per batch** (the big
+    /// win for the trace-indexed oracles, whose rebind is `O(trace)`),
+    /// and asked for all its lanes' decisions with a single
+    /// [`AbrPolicy::select_batch`] call per chunk. Per-lane results are
+    /// byte-identical to [`Self::run_session_in`] calls for the same
+    /// lanes (asserted across every policy kind and batch width by
+    /// `tests/batch_soundness.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BatchFailure`] naming the offending lane. No cells are
+    /// appended on error.
+    pub fn run_batch_in(
+        &self,
+        runtime: &mut SessionRuntime,
+        asset: &VideoAsset,
+        trace: &ThroughputTrace,
+        lanes: &[(PolicyKind, PlayerConfig)],
+        out: &mut Vec<CellResult>,
+    ) -> Result<(), BatchFailure> {
+        if lanes.is_empty() {
+            return Ok(());
+        }
+        let SessionRuntime {
+            policies,
+            batch,
+            configs,
+            order,
+            flat_of,
+            groups: group_ranges,
+            results,
+            ..
+        } = runtime;
+        // Regroup the lanes by policy kind, in policy-table order:
+        // `order[p]` is the input lane at flat batch position `p`, and
+        // `flat_of[i]` the flat position of input lane `i`.
+        configs.clear();
+        order.clear();
+        flat_of.clear();
+        flat_of.resize(lanes.len(), 0);
+        group_ranges.clear();
+        for kind in PolicyKind::ALL {
+            let start = configs.len();
+            for (i, &(lane_kind, config)) in lanes.iter().enumerate() {
+                if lane_kind == kind {
+                    flat_of[i] = order.len();
+                    order.push(i);
+                    configs.push(config);
+                }
+            }
+            if configs.len() > start {
+                group_ranges.push((kind, start..configs.len()));
+                // Build the policy up front so the group loop below can
+                // borrow every slot mutably in one pass.
+                let slot = &mut policies[kind.index()];
+                if slot.is_none() {
+                    *slot = Some(self.policy(kind, trace).map_err(|error| BatchFailure {
+                        lane: order[start],
+                        error,
+                    })?);
+                }
+            }
+        }
+        // One `BatchLanes` group per kind, borrowing each policy slot
+        // mutably in table order. Rebinding happens once per batch —
+        // trace-bound controllers re-index the network here instead of
+        // once per session.
+        let mut groups: Vec<BatchLanes<'_, '_>> = Vec::with_capacity(group_ranges.len());
+        let mut next_group = 0;
+        for (idx, slot) in policies.iter_mut().enumerate() {
+            if next_group >= group_ranges.len() {
+                break;
+            }
+            let (kind, range) = &group_ranges[next_group];
+            if idx != kind.index() {
+                continue;
+            }
+            let policy = slot.as_mut().expect("policy built above").as_mut();
+            policy.rebind(trace);
+            groups.push(BatchLanes {
+                policy,
+                weights: kind.uses_weights().then_some(&asset.weights),
+                configs: &configs[range.clone()],
+            });
+            next_group += 1;
+        }
+        results.clear();
+        simulate_batch_in(
+            batch,
             &asset.source,
             &asset.encoded,
             trace,
-            policy.as_mut(),
-            player,
-            weights,
-        )?;
-        let qoe01 = self.oracle.qoe01(&asset.source, &result.render)?;
-        let cell = CellResult {
-            video: Arc::clone(&asset.name),
-            genre: asset.genre,
-            trace: trace.name_handle(),
-            trace_mean_kbps: trace.mean_kbps(),
-            policy: kind.label(),
-            qoe01,
-            avg_bitrate_kbps: result.render.avg_bitrate_kbps(),
-            rebuffer_ratio: result.render.rebuffer_ratio(),
-            delivered_bits: result.render.delivered_bits(),
-            intentional_stall_s: result
-                .render
-                .chunks()
-                .iter()
-                .map(|c| c.intentional_rebuffer_s)
-                .sum(),
-            bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
-        };
-        scratch.reclaim(result);
-        Ok(cell)
+            &mut groups,
+            results,
+        )
+        .map_err(|failure| BatchFailure {
+            lane: order[failure.lane],
+            error: failure.error.into(),
+        })?;
+        drop(groups);
+
+        // Score and emit in the caller's lane order. The identifying
+        // fields are shared across the whole batch, so the name handle is
+        // cloned (refcount bump) and the trace mean computed once. A
+        // mid-loop scoring failure rolls `out` back to its entry mark so
+        // the no-cells-on-error contract holds.
+        let trace_name = trace.name_handle();
+        let trace_mean_kbps = trace.mean_kbps();
+        let out_mark = out.len();
+        out.reserve(lanes.len());
+        for (i, &(kind, _)) in lanes.iter().enumerate() {
+            let result: &SessionResult = &results[flat_of[i]];
+            let qoe01 = match self.oracle.qoe01(&asset.source, &result.render) {
+                Ok(qoe01) => qoe01,
+                Err(e) => {
+                    out.truncate(out_mark);
+                    return Err(BatchFailure {
+                        lane: i,
+                        error: e.into(),
+                    });
+                }
+            };
+            out.push(CellResult {
+                video: Arc::clone(&asset.name),
+                genre: asset.genre,
+                trace: Arc::clone(&trace_name),
+                trace_mean_kbps,
+                policy: kind.label(),
+                qoe01,
+                avg_bitrate_kbps: result.render.avg_bitrate_kbps(),
+                rebuffer_ratio: result.render.rebuffer_ratio(),
+                delivered_bits: result.render.delivered_bits(),
+                intentional_stall_s: result
+                    .render
+                    .chunks()
+                    .iter()
+                    .map(|c| c.intentional_rebuffer_s)
+                    .sum(),
+                bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
+            });
+        }
+        for result in results.drain(..) {
+            batch.reclaim(result);
+        }
+        Ok(())
     }
 
     /// Runs the full `(video × trace × policy)` grid sequentially, in the
@@ -539,9 +667,38 @@ impl Experiment {
     }
 }
 
+/// A batch failure attributed to the lane (batch position) that caused
+/// it, so a fleet tile can map it back to the exact scenario.
+#[derive(Debug)]
+pub struct BatchFailure {
+    /// Index into the `lanes` argument of [`Experiment::run_batch_in`].
+    pub lane: usize,
+    /// The underlying failure.
+    pub error: CoreError,
+}
+
+impl std::fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch lane {}: {}", self.lane, self.error)
+    }
+}
+
+impl std::error::Error for BatchFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<BatchFailure> for CoreError {
+    fn from(failure: BatchFailure) -> Self {
+        failure.error
+    }
+}
+
 /// Reusable per-worker session state: one policy instance per
-/// [`PolicyKind`] (built lazily on first use, reset and rebound per
-/// session) plus the simulator's [`SessionScratch`] buffers.
+/// [`PolicyKind`] (built lazily on first use, rebound once per batch and
+/// reset per session) plus the batch engine's [`SessionBatch`]
+/// structure-of-arrays buffers and the lane-regrouping scratch.
 ///
 /// The policy-reuse contract — a reset-and-reused instance produces results
 /// identical to fresh per-session construction — is what makes this a pure
@@ -550,8 +707,20 @@ impl Experiment {
 pub struct SessionRuntime {
     /// Policy table indexed by [`PolicyKind::ALL`] position.
     policies: Vec<Option<Box<dyn AbrPolicy>>>,
-    /// Simulator scratch buffers, recycled across sessions.
-    scratch: SessionScratch,
+    /// The structure-of-arrays batch engine scratch.
+    batch: SessionBatch,
+    /// Flat per-lane player configs, regrouped by policy.
+    configs: Vec<PlayerConfig>,
+    /// `order[p]` = input lane at flat batch position `p`.
+    order: Vec<usize>,
+    /// `flat_of[i]` = flat batch position of input lane `i`.
+    flat_of: Vec<usize>,
+    /// Policy groups as `(kind, range into configs)`, in table order.
+    groups: Vec<(PolicyKind, Range<usize>)>,
+    /// Per-lane session results awaiting scoring, recycled per batch.
+    results: Vec<SessionResult>,
+    /// Spare cell buffer backing [`Experiment::run_session_in`].
+    cells: Vec<CellResult>,
 }
 
 impl SessionRuntime {
@@ -560,7 +729,13 @@ impl SessionRuntime {
     pub fn new() -> Self {
         Self {
             policies: (0..PolicyKind::ALL.len()).map(|_| None).collect(),
-            scratch: SessionScratch::new(),
+            batch: SessionBatch::new(),
+            configs: Vec::new(),
+            order: Vec::new(),
+            flat_of: Vec::new(),
+            groups: Vec::new(),
+            results: Vec::new(),
+            cells: Vec::new(),
         }
     }
 }

@@ -13,7 +13,9 @@
 pub mod experiment;
 pub mod pipeline;
 
-pub use experiment::{CellResult, Experiment, ExperimentConfig, PolicyKind, SessionRuntime};
+pub use experiment::{
+    BatchFailure, CellResult, Experiment, ExperimentConfig, PolicyKind, SessionRuntime,
+};
 pub use pipeline::{OnboardedVideo, Sensei};
 
 /// Errors produced by the SENSEI system layer.

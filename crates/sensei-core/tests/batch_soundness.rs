@@ -1,0 +1,200 @@
+//! The batch==scalar soundness contract the batch-first engine rests on.
+//!
+//! `Experiment::run_batch_in` runs N lanes through the structure-of-arrays
+//! session batch; that is only a pure optimization if every lane's cell is
+//! **byte-identical** to an independent scalar reference built directly on
+//! `sensei_sim::simulate_in` with a fresh policy. This asserts exactly
+//! that for every `PolicyKind` (trained RL policies and trace-bound
+//! oracles included) and for every batch width in {1, 3, 8, 64} — width 1
+//! being the degenerate scalar case `run_session_in` delegates to.
+
+use sensei_core::experiment::VideoAsset;
+use sensei_core::{CellResult, Experiment, ExperimentConfig, PolicyKind, SessionRuntime};
+use sensei_sim::{simulate_in, PlayerConfig, SessionScratch};
+use sensei_trace::ThroughputTrace;
+use std::sync::Arc;
+
+/// Quick 3-video environment with *tiny* RL training so `Pensieve` and
+/// `SenseiPensieve` are constructible (the contract is determinism, not
+/// policy quality).
+fn env_with_rl() -> Experiment {
+    let mut cfg = ExperimentConfig::quick(17);
+    cfg.train_rl = true;
+    cfg.rl_episodes = 12;
+    Experiment::build(&cfg).unwrap()
+}
+
+/// The scalar reference: a fresh policy straight from the environment,
+/// one `simulate_in` session, oracle scoring — no batch engine anywhere.
+fn scalar_reference(
+    env: &Experiment,
+    asset: &VideoAsset,
+    trace: &ThroughputTrace,
+    kind: PolicyKind,
+    player: &PlayerConfig,
+) -> CellResult {
+    let mut policy = env.policy(kind, trace).unwrap();
+    let weights = kind.uses_weights().then_some(&asset.weights);
+    let mut scratch = SessionScratch::new();
+    let result = simulate_in(
+        &mut scratch,
+        &asset.source,
+        &asset.encoded,
+        trace,
+        &mut policy,
+        player,
+        weights,
+    )
+    .unwrap();
+    CellResult {
+        video: Arc::clone(&asset.name),
+        genre: asset.genre,
+        trace: trace.name_handle(),
+        trace_mean_kbps: trace.mean_kbps(),
+        policy: kind.label(),
+        qoe01: env.oracle.qoe01(&asset.source, &result.render).unwrap(),
+        avg_bitrate_kbps: result.render.avg_bitrate_kbps(),
+        rebuffer_ratio: result.render.rebuffer_ratio(),
+        delivered_bits: result.render.delivered_bits(),
+        intentional_stall_s: result
+            .render
+            .chunks()
+            .iter()
+            .map(|c| c.intentional_rebuffer_s)
+            .sum(),
+        bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
+    }
+}
+
+/// Byte-level comparison of the float-valued cell fields — `assert_eq!`
+/// on the struct would accept `-0.0 == 0.0`; the soundness bar is bits.
+fn assert_cells_identical(got: &CellResult, want: &CellResult, what: &str) {
+    assert_eq!(got, want, "{what}");
+    assert_eq!(got.qoe01.to_bits(), want.qoe01.to_bits(), "{what} qoe bits");
+    assert_eq!(
+        got.avg_bitrate_kbps.to_bits(),
+        want.avg_bitrate_kbps.to_bits(),
+        "{what} bitrate bits"
+    );
+    assert_eq!(
+        got.rebuffer_ratio.to_bits(),
+        want.rebuffer_ratio.to_bits(),
+        "{what} rebuffer bits"
+    );
+    assert_eq!(
+        got.intentional_stall_s.to_bits(),
+        want.intentional_stall_s.to_bits(),
+        "{what} stall bits"
+    );
+}
+
+#[test]
+fn every_kind_and_width_is_byte_identical_to_simulate_in() {
+    let env = env_with_rl();
+    let players: [PlayerConfig; 3] = [
+        PlayerConfig::default(),
+        PlayerConfig {
+            max_buffer_s: 12.0,
+            ..PlayerConfig::default()
+        },
+        PlayerConfig {
+            rtt_s: 0.15,
+            ..PlayerConfig::default()
+        },
+    ];
+    // Lanes cycle kinds × players so every width exercises mixed policy
+    // groups (and, at width 64, repeated lanes of the same group).
+    let lane_specs: Vec<(PolicyKind, PlayerConfig)> = (0..64)
+        .map(|i| (PolicyKind::ALL[i % 8], players[(i / 8) % 3]))
+        .collect();
+    let asset = &env.assets[0];
+    let trace = &env.traces[2];
+    let references: Vec<CellResult> = lane_specs
+        .iter()
+        .map(|(kind, player)| scalar_reference(&env, asset, trace, *kind, player))
+        .collect();
+    for width in [1usize, 3, 8, 64] {
+        // One runtime across all sub-batches of this width, as a fleet
+        // worker would hold it.
+        let mut runtime = SessionRuntime::new();
+        let mut cells = Vec::new();
+        for chunk in lane_specs.chunks(width) {
+            env.run_batch_in(&mut runtime, asset, trace, chunk, &mut cells)
+                .unwrap();
+        }
+        assert_eq!(cells.len(), references.len());
+        for (lane, (got, want)) in cells.iter().zip(&references).enumerate() {
+            assert_cells_identical(got, want, &format!("width {width}, lane {lane}"));
+        }
+    }
+}
+
+#[test]
+fn batches_across_videos_and_traces_stay_identical() {
+    // The same runtime serves batches of different (video, trace) tiles
+    // back to back — trace-bound policies must rebind cleanly and the
+    // stateful pause budgets must reset per batch.
+    let env = Experiment::build(&ExperimentConfig::quick(17)).unwrap();
+    let kinds = [
+        PolicyKind::Bba,
+        PolicyKind::SenseiFugu,
+        PolicyKind::OracleAware,
+        PolicyKind::SenseiFuguNoPause,
+    ];
+    let lanes: Vec<(PolicyKind, PlayerConfig)> = kinds
+        .iter()
+        .map(|&k| (k, PlayerConfig::default()))
+        .collect();
+    let mut runtime = SessionRuntime::new();
+    for asset in &env.assets {
+        for trace in &env.traces[..4] {
+            let mut cells = Vec::new();
+            env.run_batch_in(&mut runtime, asset, trace, &lanes, &mut cells)
+                .unwrap();
+            for (lane, (kind, player)) in lanes.iter().enumerate() {
+                let want = scalar_reference(&env, asset, trace, *kind, player);
+                assert_cells_identical(
+                    &cells[lane],
+                    &want,
+                    &format!("({}, {}) lane {lane}", asset.name, trace.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_order_is_preserved_across_policy_regrouping() {
+    // Input lanes deliberately interleave kinds so the engine's
+    // group-then-scatter path is exercised: cells must come back in the
+    // caller's lane order, not group order.
+    let env = Experiment::build(&ExperimentConfig::quick(17)).unwrap();
+    let lanes = [
+        (PolicyKind::SenseiFugu, PlayerConfig::default()),
+        (PolicyKind::Bba, PlayerConfig::default()),
+        (
+            PolicyKind::Bba,
+            PlayerConfig {
+                max_buffer_s: 10.0,
+                ..PlayerConfig::default()
+            },
+        ),
+        (PolicyKind::Fugu, PlayerConfig::default()),
+        (PolicyKind::SenseiFugu, PlayerConfig::default()),
+    ];
+    let mut runtime = SessionRuntime::new();
+    let mut cells = Vec::new();
+    env.run_batch_in(
+        &mut runtime,
+        &env.assets[0],
+        &env.traces[0],
+        &lanes,
+        &mut cells,
+    )
+    .unwrap();
+    let labels: Vec<&str> = cells.iter().map(|c| c.policy).collect();
+    assert_eq!(labels, vec!["SENSEI", "BBA", "BBA", "Fugu", "SENSEI"]);
+    // Identical lanes produce identical cells; different players differ.
+    assert_eq!(cells[0], cells[4]);
+    assert_ne!(cells[1], cells[2]);
+}

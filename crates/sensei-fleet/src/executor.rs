@@ -1,26 +1,38 @@
-//! The std-only sharded executor.
+//! The std-only tile-scheduled executor.
 //!
-//! Workers pull scenario IDs from a shared atomic cursor (dynamic load
-//! balancing — an expensive MPC session on one worker doesn't idle the
-//! rest), simulate, and stream `(id, result)` pairs back over a bounded
-//! channel. The collector folds results into the aggregates **in canonical
-//! ID order** via a small reorder buffer, so the folded floating-point
-//! stream — and therefore every aggregate bit — is identical whether the
-//! fleet ran on 1 worker or 64.
+//! The scheduling unit is a **tile** — the contiguous scenario-ID range
+//! sharing one `(video, trace, perturbation)` triple (every player variant
+//! × policy of that cell group). Workers pull tile IDs from a shared
+//! atomic cursor (dynamic load balancing — an expensive MPC tile on one
+//! worker doesn't idle the rest), run each tile through one
+//! structure-of-arrays session batch (`Experiment::run_batch_in`), and
+//! stream `(tile, results)` back over a bounded channel. Tiling is what
+//! amortizes the per-network work: the perturbed trace is materialized
+//! once per worker (`TraceCache`), policies rebind once per tile instead
+//! of once per session, and the batch engine replaces per-session policy
+//! dispatch with one `select_batch` call per chunk.
 //!
-//! The reorder buffer holds only results that arrived ahead of the next
-//! ID to fold, and an admission window keeps it **hard-bounded**: a worker
-//! may not start a scenario more than `window` IDs ahead of the fold
-//! frontier, so even when one expensive scenario stalls the frontier while
-//! the rest of the fleet races ahead, at most `window` results are ever
-//! buffered. Collector memory is `O(window)` on top of the `O(bins)`
-//! aggregates, independent of fleet size.
+//! The collector folds results into the aggregates **in canonical
+//! scenario-ID order** via a small reorder buffer, so the folded
+//! floating-point stream — and therefore every aggregate bit — is
+//! identical whether the fleet ran on 1 worker or 64, and for any batch
+//! width (the batch engine is byte-identical to the scalar path per
+//! lane).
+//!
+//! The reorder buffer holds only tiles that arrived ahead of the next
+//! tile to fold, and an admission window keeps it **hard-bounded**: a
+//! worker may not start a tile more than `window` tiles ahead of the fold
+//! frontier, so even when one expensive tile stalls the frontier while
+//! the rest of the fleet races ahead, at most `window` tiles are ever
+//! buffered. Collector memory is `O(window × tile)` on top of the
+//! `O(bins)` aggregates, independent of fleet size.
 
 use crate::report::{FleetReport, FleetStats};
 use crate::runtime::WorkerRuntime;
-use crate::scenario::{Scenario, ScenarioMatrix};
+use crate::scenario::ScenarioMatrix;
 use crate::FleetError;
 use sensei_core::{CellResult, CoreError, Experiment, PolicyKind};
+use sensei_sim::PlayerConfig;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
@@ -30,20 +42,28 @@ use std::time::Instant;
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetConfig {
-    /// Worker threads to shard scenarios across (must be ≥ 1).
+    /// Worker threads to shard tiles across (must be ≥ 1).
     pub workers: usize,
     /// Baseline policy for the QoE-gain CDFs; defaults to the matrix's
     /// first policy.
     pub baseline: Option<PolicyKind>,
+    /// Maximum lanes per session batch — the lane-width knob. `0` (the
+    /// default) runs each tile as one full-width batch; `1` degenerates
+    /// to per-session scalar execution. Results are identical for every
+    /// width; the knob only trades batch-state footprint against
+    /// amortization.
+    pub batch_width: usize,
 }
 
 impl FleetConfig {
-    /// A config with `workers` threads and the default baseline.
+    /// A config with `workers` threads, the default baseline, and
+    /// full-tile batches.
     #[must_use]
     pub fn new(workers: usize) -> Self {
         Self {
             workers,
             baseline: None,
+            batch_width: 0,
         }
     }
 
@@ -51,6 +71,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_baseline(mut self, baseline: PolicyKind) -> Self {
         self.baseline = Some(baseline);
+        self
+    }
+
+    /// Caps session batches at `width` lanes (`0` = full tile).
+    #[must_use]
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width;
         self
     }
 }
@@ -73,6 +100,7 @@ pub struct Fleet<'a> {
     matrix: &'a ScenarioMatrix,
     workers: usize,
     baseline: PolicyKind,
+    batch_width: usize,
 }
 
 impl<'a> Fleet<'a> {
@@ -99,6 +127,7 @@ impl<'a> Fleet<'a> {
             matrix,
             workers: config.workers,
             baseline,
+            batch_width: config.batch_width,
         })
     }
 
@@ -164,54 +193,100 @@ impl<'a> Fleet<'a> {
         Ok(cells)
     }
 
-    /// Simulates one scenario against a worker's runtime. Apart from the
-    /// runtime's caches (which are result-invisible: reused policies are
-    /// reset per session and cached traces are value-identical to fresh
-    /// perturbations), this is a pure function of (experiment, matrix,
-    /// scenario) — which is what makes sharding trivially sound.
-    fn run_scenario(&self, rt: &mut WorkerRuntime, sc: &Scenario) -> Result<CellResult, CoreError> {
+    /// Simulates one tile — every `(player, policy)` lane of one
+    /// `(video, trace, perturbation)` triple — against a worker's runtime,
+    /// appending the tile's cells in canonical lane order to `cells`.
+    /// Apart from the runtime's caches (which are result-invisible:
+    /// reused policies are reset per session and cached traces are
+    /// value-identical to fresh perturbations), this is a pure function
+    /// of (experiment, matrix, tile) — which is what makes sharding
+    /// trivially sound.
+    ///
+    /// The lane list every tile shares: `(policy, player)` pairs in
+    /// canonical order (player variants outer, policies inner — the
+    /// tile's scenario IDs in sequence). Tile-invariant, so workers
+    /// build it once per run.
+    fn tile_lanes(&self) -> Vec<(PolicyKind, PlayerConfig)> {
+        let mut lanes =
+            Vec::with_capacity(self.matrix.num_players() * self.matrix.policies().len());
+        for player_idx in 0..self.matrix.num_players() {
+            let player = *self.matrix.player(self.experiment, player_idx);
+            for &policy in self.matrix.policies() {
+                lanes.push((policy, player));
+            }
+        }
+        lanes
+    }
+
+    /// Errors are attributed to the exact failing scenario ID.
+    fn run_tile(
+        &self,
+        rt: &mut WorkerRuntime,
+        tile: u64,
+        lanes: &[(PolicyKind, PlayerConfig)],
+        cells: &mut Vec<CellResult>,
+    ) -> Result<(), (u64, CoreError)> {
+        let first_id = tile * self.matrix.tile_size();
+        let sc = self.matrix.scenario(self.experiment, first_id);
         let asset = &self.experiment.assets[sc.video_idx];
         let base = &self.experiment.traces[sc.trace_idx];
         let perturbation = &self.matrix.perturbations()[sc.perturbation_idx];
         let WorkerRuntime { session, traces } = rt;
-        let trace = traces.resolve(
-            base,
-            perturbation,
-            sc.trace_idx,
-            sc.perturbation_idx,
-            sc.seed,
-        )?;
-        let player = self.matrix.player(self.experiment, sc.player_idx);
-        self.experiment
-            .run_session_in(session, asset, trace, sc.policy, player)
+        let trace = traces
+            .resolve(
+                base,
+                perturbation,
+                sc.trace_idx,
+                sc.perturbation_idx,
+                sc.seed,
+            )
+            .map_err(|e| (first_id, CoreError::from(e)))?;
+        let width = if self.batch_width == 0 {
+            lanes.len()
+        } else {
+            self.batch_width
+        };
+        for (sub, sub_lanes) in lanes.chunks(width).enumerate() {
+            self.experiment
+                .run_batch_in(session, asset, trace, sub_lanes, cells)
+                .map_err(|failure| {
+                    (
+                        first_id + (sub * width + failure.lane) as u64,
+                        failure.error,
+                    )
+                })?;
+        }
+        Ok(())
     }
 
-    /// Fans scenarios out across the workers and invokes `sink` for every
+    /// Fans tiles out across the workers and invokes `sink` for every
     /// result **in canonical scenario order** (`sink(0, …)`, `sink(1, …)`,
     /// …), regardless of completion order.
     fn execute(&self, mut sink: impl FnMut(u64, CellResult)) -> Result<(), FleetError> {
-        let total = self.num_scenarios();
-        if total == 0 {
+        if self.num_scenarios() == 0 {
             return Err(FleetError::EmptyAxis("scenarios"));
         }
-        // Admission window: workers may run at most this many scenarios
-        // ahead of the collector's fold frontier, which caps the reorder
-        // buffer (and the channel) at `window` entries even when one slow
-        // scenario stalls the frontier while the rest of the fleet races
-        // ahead. The conversion is checked: `usize` → `u64` is lossless on
-        // every supported target (≤ 64-bit), and saturating afterwards
-        // bounds even absurd worker counts instead of silently wrapping.
+        let tile_size = self.matrix.tile_size();
+        let total_tiles = self.matrix.num_tiles(self.experiment);
+        // Admission window: workers may run at most this many tiles ahead
+        // of the collector's fold frontier, which caps the reorder buffer
+        // (and the channel) at `window` tiles even when one slow tile
+        // stalls the frontier while the rest of the fleet races ahead.
+        // The conversion is checked: `usize` → `u64` is lossless on every
+        // supported target (≤ 64-bit), and saturating afterwards bounds
+        // even absurd worker counts instead of silently wrapping.
         let window = u64::try_from(self.workers)
             .unwrap_or(u64::MAX)
-            .saturating_mul(32)
-            .max(64);
+            .saturating_mul(8)
+            .max(16);
         let cursor = AtomicU64::new(0);
         let poison = AtomicBool::new(false);
         let frontier = Frontier::default();
         // Checked back-conversion for the channel bound (the window was
         // computed in u64; saturating keeps narrow targets safe).
         let channel_bound = usize::try_from(window).unwrap_or(usize::MAX);
-        let (tx, rx) = mpsc::sync_channel::<(u64, Result<CellResult, CoreError>)>(channel_bound);
+        type TileResult = Result<Vec<CellResult>, (u64, CoreError)>;
+        let (tx, rx) = mpsc::sync_channel::<(u64, TileResult)>(channel_bound);
         thread::scope(|scope| {
             for _ in 0..self.workers {
                 let tx = tx.clone();
@@ -227,22 +302,26 @@ impl<'a> Fleet<'a> {
                     // `thread::scope` then propagates the panic.
                     let _guard = PoisonOnPanic { poison, frontier };
                     // One runtime per worker for the whole run: policies,
-                    // simulator scratch, and perturbed traces are reused
-                    // across every scenario this worker executes.
+                    // batch scratch, and perturbed traces are reused
+                    // across every tile this worker executes. The lane
+                    // list is tile-invariant, so it is built once here.
                     let mut runtime = WorkerRuntime::new();
+                    let lanes = fleet.tile_lanes();
                     loop {
                         if poison.load(Ordering::Relaxed) {
                             break;
                         }
-                        let id = cursor.fetch_add(1, Ordering::Relaxed);
-                        if id >= total {
+                        let tile = cursor.fetch_add(1, Ordering::Relaxed);
+                        if tile >= total_tiles {
                             break;
                         }
-                        if !frontier.wait_until_admitted(id, window, poison) {
+                        if !frontier.wait_until_admitted(tile, window, poison) {
                             break;
                         }
-                        let scenario = fleet.matrix.scenario(fleet.experiment, id);
-                        let result = fleet.run_scenario(&mut runtime, &scenario);
+                        let mut cells = Vec::with_capacity(usize::try_from(tile_size).unwrap_or(0));
+                        let result = fleet
+                            .run_tile(&mut runtime, tile, &lanes, &mut cells)
+                            .map(|()| cells);
                         let failed = result.is_err();
                         if failed {
                             poison.store(true, Ordering::Relaxed);
@@ -250,7 +329,7 @@ impl<'a> Fleet<'a> {
                         }
                         // A send error means the collector hung up (error
                         // path); either way this worker is done.
-                        if tx.send((id, result)).is_err() || failed {
+                        if tx.send((tile, result)).is_err() || failed {
                             break;
                         }
                     }
@@ -259,27 +338,29 @@ impl<'a> Fleet<'a> {
             drop(tx);
 
             let mut next: u64 = 0;
-            let mut reorder: BTreeMap<u64, CellResult> = BTreeMap::new();
+            let mut reorder: BTreeMap<u64, Vec<CellResult>> = BTreeMap::new();
             // Lowest failing scenario ID seen. Keeping the minimum (rather
             // than whichever error arrives first) stabilizes the reported
             // scenario across interleavings of the failures that did run;
             // with several failing scenarios, poisoning can still stop a
             // lower one from running at all.
             let mut error: Option<(u64, CoreError)> = None;
-            for (id, result) in &rx {
+            for (tile, result) in &rx {
                 match result {
-                    Err(e) => {
+                    Err((id, e)) => {
                         poison.store(true, Ordering::Relaxed);
                         frontier.release_all();
                         if error.as_ref().is_none_or(|(worst, _)| id < *worst) {
                             error = Some((id, e));
                         }
                     }
-                    Ok(cell) if error.is_none() => {
-                        reorder.insert(id, cell);
+                    Ok(cells) if error.is_none() => {
+                        reorder.insert(tile, cells);
                         let before = next;
-                        while let Some(cell) = reorder.remove(&next) {
-                            sink(next, cell);
+                        while let Some(cells) = reorder.remove(&next) {
+                            for (offset, cell) in cells.into_iter().enumerate() {
+                                sink(next * tile_size + offset as u64, cell);
+                            }
                             next += 1;
                         }
                         if next != before {
@@ -300,7 +381,9 @@ impl<'a> Fleet<'a> {
             // A worker panic poisons the run without delivering an error;
             // the partial Ok below is discarded because `thread::scope`
             // re-raises the panic after joining.
-            debug_assert!(poison.load(Ordering::Relaxed) || (reorder.is_empty() && next == total));
+            debug_assert!(
+                poison.load(Ordering::Relaxed) || (reorder.is_empty() && next == total_tiles)
+            );
             Ok(())
         })
     }

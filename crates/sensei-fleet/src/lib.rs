@@ -54,7 +54,8 @@ pub mod scenario;
 pub use executor::{Fleet, FleetConfig};
 pub use families::{ScenarioFamilies, ScenarioFamiliesBuilder};
 pub use report::{
-    FleetDiff, FleetReport, FleetStats, GainCdf, Histogram, PolicyDrift, PolicyStats, Welford,
+    family_of, FamilyDrift, FamilyPolicyStats, FamilyStats, FleetDiff, FleetReport, FleetStats,
+    GainCdf, Histogram, PolicyDrift, PolicyStats, Welford,
 };
 pub use runtime::{TraceCache, WorkerRuntime};
 pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};

@@ -304,6 +304,39 @@ impl PolicyStats {
     }
 }
 
+/// Per-policy QoE aggregates conditioned on one **trace family** — the
+/// scenario-diversity counterpart of the global [`PolicyStats`]. Memory
+/// is `O(families × policies)`, so family conditioning rides along the
+/// streaming fold for free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyStats {
+    /// Family key, derived from the trace-name prefix (`hsdpa`, `fcc`,
+    /// `diurnal`, `burst`, `cell4`, …) — see [`family_of`].
+    pub family: String,
+    /// Per-policy QoE accumulators, in matrix policy order.
+    pub per_policy: Vec<FamilyPolicyStats>,
+}
+
+/// One policy's QoE accumulator within one trace family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyPolicyStats {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Sessions of this family folded in.
+    pub sessions: u64,
+    /// True-QoE accumulator over this family's sessions.
+    pub qoe: Welford,
+}
+
+/// The family key of a trace name: the prefix before the first `-`
+/// (generated traces are named `{family}-…`, and perturbation suffixes
+/// append at the end, so the prefix survives `@x…`/`+n…` decoration).
+/// Names without a `-` are their own family.
+#[must_use]
+pub fn family_of(trace_name: &str) -> &str {
+    trace_name.split('-').next().unwrap_or(trace_name)
+}
+
 /// The order-independent part of a fleet report: everything here is
 /// bit-for-bit identical for the same experiment + matrix regardless of
 /// worker count (the executor folds in canonical scenario order).
@@ -315,6 +348,9 @@ pub struct FleetStats {
     pub baseline: PolicyKind,
     /// Per-policy aggregates, in matrix policy order.
     pub per_policy: Vec<PolicyStats>,
+    /// Per-trace-family aggregates, in first-seen canonical fold order
+    /// (deterministic for any worker count, like everything else here).
+    pub per_family: Vec<FamilyStats>,
 }
 
 impl FleetStats {
@@ -326,6 +362,7 @@ impl FleetStats {
                 .iter()
                 .map(|&p| PolicyStats::new(p, p == baseline))
                 .collect(),
+            per_family: Vec::new(),
         }
     }
 
@@ -350,12 +387,43 @@ impl FleetStats {
                 }
             }
         }
+        // Family-conditional fold: every cell of the group shares the
+        // trace, so the family is keyed once off the first cell.
+        let family = family_of(&cells[0].trace);
+        let idx = match self.per_family.iter().position(|f| f.family == family) {
+            Some(idx) => idx,
+            None => {
+                self.per_family.push(FamilyStats {
+                    family: family.to_string(),
+                    per_policy: self
+                        .per_policy
+                        .iter()
+                        .map(|s| FamilyPolicyStats {
+                            policy: s.policy,
+                            sessions: 0,
+                            qoe: Welford::default(),
+                        })
+                        .collect(),
+                });
+                self.per_family.len() - 1
+            }
+        };
+        for (stats, cell) in self.per_family[idx].per_policy.iter_mut().zip(cells) {
+            stats.sessions += 1;
+            stats.qoe.push(cell.qoe01);
+        }
     }
 
     /// Aggregates for one policy.
     #[must_use]
     pub fn policy(&self, kind: PolicyKind) -> Option<&PolicyStats> {
         self.per_policy.iter().find(|s| s.policy == kind)
+    }
+
+    /// Aggregates for one trace family.
+    #[must_use]
+    pub fn family(&self, family: &str) -> Option<&FamilyStats> {
+        self.per_family.iter().find(|f| f.family == family)
     }
 }
 
@@ -418,8 +486,8 @@ impl FleetReport {
 
 /// Version tag of the persisted report format; bumped on any schema
 /// change so stale baselines fail with a clear message instead of a
-/// field-level parse error.
-const FORMAT_TAG: &str = "sensei-fleet-report/1";
+/// field-level parse error. `/2` added the per-family aggregates.
+const FORMAT_TAG: &str = "sensei-fleet-report/2";
 
 fn welford_to_json(w: &Welford) -> Json {
     obj([
@@ -520,6 +588,31 @@ impl FleetReport {
                 ])
             })
             .collect();
+        let per_family: Vec<Json> = self
+            .stats
+            .per_family
+            .iter()
+            .map(|f| {
+                obj([
+                    ("family", Json::Str(f.family.clone())),
+                    (
+                        "per_policy",
+                        Json::Arr(
+                            f.per_policy
+                                .iter()
+                                .map(|s| {
+                                    obj([
+                                        ("policy", Json::Str(s.policy.label().to_string())),
+                                        ("sessions", Json::Num(s.sessions as f64)),
+                                        ("qoe", welford_to_json(&s.qoe)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         obj([
             ("format", Json::Str(FORMAT_TAG.to_string())),
             ("workers", Json::Num(self.workers as f64)),
@@ -534,6 +627,7 @@ impl FleetReport {
                         Json::Str(self.stats.baseline.label().to_string()),
                     ),
                     ("per_policy", Json::Arr(per_policy)),
+                    ("per_family", Json::Arr(per_family)),
                 ]),
             ),
         ])
@@ -604,11 +698,41 @@ impl FleetReport {
                 "baseline `{baseline_label}` is not among the per-policy stats"
             )));
         }
+        let per_family_v = field(stats_v, "per_family", "stats")?
+            .as_arr()
+            .ok_or_else(|| FleetError::Persist("`stats.per_family` is not an array".into()))?;
+        let mut per_family = Vec::with_capacity(per_family_v.len());
+        for (i, v) in per_family_v.iter().enumerate() {
+            let ctx = format!("per_family[{i}]");
+            let family = field(v, "family", &ctx)?
+                .as_str()
+                .ok_or_else(|| {
+                    FleetError::Persist(format!("field `{ctx}.family` is not a string"))
+                })?
+                .to_string();
+            let policies_v = field(v, "per_policy", &ctx)?.as_arr().ok_or_else(|| {
+                FleetError::Persist(format!("`{ctx}.per_policy` is not an array"))
+            })?;
+            let mut stats = Vec::with_capacity(policies_v.len());
+            for (j, pv) in policies_v.iter().enumerate() {
+                let pctx = format!("{ctx}.per_policy[{j}]");
+                stats.push(FamilyPolicyStats {
+                    policy: policy_kind(pv, &pctx)?,
+                    sessions: u64_field(pv, "sessions", &pctx)?,
+                    qoe: welford_from_json(field(pv, "qoe", &pctx)?, &pctx)?,
+                });
+            }
+            per_family.push(FamilyStats {
+                family,
+                per_policy: stats,
+            });
+        }
         Ok(Self {
             stats: FleetStats {
                 sessions: u64_field(stats_v, "sessions", "stats")?,
                 baseline,
                 per_policy,
+                per_family,
             },
             workers: usize::try_from(u64_field(&doc, "workers", "report")?)
                 .map_err(|_| FleetError::Persist("worker count out of range".into()))?,
@@ -619,8 +743,10 @@ impl FleetReport {
 
     /// Compares this report's deterministic aggregates against a
     /// `baseline` report (typically a checked-in `BASELINE_fleet.json`),
-    /// pairing policies by kind. Wall-clock fields are ignored — only the
-    /// order-independent [`FleetStats`] participate.
+    /// pairing policies by kind and trace families by key. Wall-clock
+    /// fields are ignored — only the order-independent [`FleetStats`]
+    /// participate. Family pairing is what lets the diff **attribute** a
+    /// policy-level QoE-mean drift to the family that actually moved.
     #[must_use]
     pub fn diff(&self, baseline: &FleetReport) -> FleetDiff {
         let mut drifts = Vec::new();
@@ -644,16 +770,72 @@ impl FleetReport {
             .map(|s| s.policy)
             .filter(|p| baseline.stats.policy(*p).is_none())
             .collect();
+        let mut family_drifts = Vec::new();
+        let mut families_only_in_baseline = Vec::new();
+        for bf in &baseline.stats.per_family {
+            let Some(cf) = self.stats.family(&bf.family) else {
+                families_only_in_baseline.push(bf.family.clone());
+                continue;
+            };
+            for bp in &bf.per_policy {
+                if let Some(cp) = cf.per_policy.iter().find(|cp| cp.policy == bp.policy) {
+                    family_drifts.push(FamilyDrift {
+                        family: bf.family.clone(),
+                        policy: bp.policy,
+                        baseline_qoe_mean: bp.qoe.mean(),
+                        current_qoe_mean: cp.qoe.mean(),
+                        baseline_sessions: bp.sessions,
+                        current_sessions: cp.sessions,
+                    });
+                }
+            }
+        }
+        let families_only_in_current = self
+            .stats
+            .per_family
+            .iter()
+            .map(|f| f.family.clone())
+            .filter(|f| baseline.stats.family(f).is_none())
+            .collect();
         FleetDiff {
             drifts,
             only_in_baseline,
             only_in_current,
+            family_drifts,
+            families_only_in_baseline,
+            families_only_in_current,
             // A changed gain baseline re-anchors every gain CDF even when
             // the per-policy QoE means agree, so it is a structural
             // difference in its own right.
             baseline_changed: (self.stats.baseline != baseline.stats.baseline)
                 .then_some((baseline.stats.baseline, self.stats.baseline)),
         }
+    }
+}
+
+/// One policy's QoE-mean movement within one trace family — the
+/// attribution record behind a policy-level drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyDrift {
+    /// The trace family.
+    pub family: String,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Family-conditional QoE mean in the baseline report.
+    pub baseline_qoe_mean: f64,
+    /// Family-conditional QoE mean in the current report.
+    pub current_qoe_mean: f64,
+    /// Family sessions folded in the baseline report.
+    pub baseline_sessions: u64,
+    /// Family sessions folded in the current report.
+    pub current_sessions: u64,
+}
+
+impl FamilyDrift {
+    /// Signed family-conditional QoE-mean movement (current − baseline).
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.current_qoe_mean - self.baseline_qoe_mean
     }
 }
 
@@ -692,6 +874,13 @@ pub struct FleetDiff {
     pub only_in_baseline: Vec<PolicyKind>,
     /// Policies only the current report has.
     pub only_in_current: Vec<PolicyKind>,
+    /// `(family, policy)` pairs present in both reports, with their
+    /// family-conditional QoE-mean movement.
+    pub family_drifts: Vec<FamilyDrift>,
+    /// Trace families only the baseline report has.
+    pub families_only_in_baseline: Vec<String>,
+    /// Trace families only the current report has.
+    pub families_only_in_current: Vec<String>,
     /// `Some((baseline's, current's))` when the two reports anchor their
     /// gain CDFs to different baseline policies.
     pub baseline_changed: Option<(PolicyKind, PolicyKind)>,
@@ -718,18 +907,36 @@ impl FleetDiff {
             .collect()
     }
 
-    /// Whether the reports agree: same policy axes, same gain baseline,
-    /// and no drift beyond `tolerance`. This is the CI baseline gate.
+    /// Family-conditional drifts beyond `tolerance` (or with changed
+    /// session counts) — which family a policy-level drift came from.
+    /// Two families can also move in opposite directions and cancel at
+    /// the policy level, so this catches compensating drift the global
+    /// means hide.
+    #[must_use]
+    pub fn drifted_families(&self, tolerance: f64) -> Vec<&FamilyDrift> {
+        self.family_drifts
+            .iter()
+            .filter(|d| d.delta().abs() > tolerance || d.baseline_sessions != d.current_sessions)
+            .collect()
+    }
+
+    /// Whether the reports agree: same policy and family axes, same gain
+    /// baseline, and no global or family-conditional drift beyond
+    /// `tolerance`. This is the CI baseline gate.
     #[must_use]
     pub fn is_clean(&self, tolerance: f64) -> bool {
         self.only_in_baseline.is_empty()
             && self.only_in_current.is_empty()
+            && self.families_only_in_baseline.is_empty()
+            && self.families_only_in_current.is_empty()
             && self.baseline_changed.is_none()
             && self.drifted(tolerance).is_empty()
+            && self.drifted_families(tolerance).is_empty()
     }
 
     /// A human-readable account of every difference (empty string when
-    /// the diff is clean at `tolerance`).
+    /// the diff is clean at `tolerance`), attributing policy-level drift
+    /// to the trace families that moved.
     #[must_use]
     pub fn summary(&self, tolerance: f64) -> String {
         use std::fmt::Write as _;
@@ -739,6 +946,12 @@ impl FleetDiff {
         }
         for p in &self.only_in_current {
             let _ = writeln!(out, "policy {} missing from the baseline", p.label());
+        }
+        for f in &self.families_only_in_baseline {
+            let _ = writeln!(out, "trace family `{f}` missing from the current report");
+        }
+        for f in &self.families_only_in_current {
+            let _ = writeln!(out, "trace family `{f}` missing from the baseline");
         }
         if let Some((was, now)) = self.baseline_changed {
             let _ = writeln!(
@@ -752,6 +965,19 @@ impl FleetDiff {
             let _ = writeln!(
                 out,
                 "policy {}: QoE mean {:.6} -> {:.6} (Δ {:+.6}), sessions {} -> {}",
+                d.policy.label(),
+                d.baseline_qoe_mean,
+                d.current_qoe_mean,
+                d.delta(),
+                d.baseline_sessions,
+                d.current_sessions
+            );
+        }
+        for d in self.drifted_families(tolerance) {
+            let _ = writeln!(
+                out,
+                "  └ family `{}` moved {}: QoE mean {:.6} -> {:.6} (Δ {:+.6}), sessions {} -> {}",
+                d.family,
                 d.policy.label(),
                 d.baseline_qoe_mean,
                 d.current_qoe_mean,
@@ -946,7 +1172,7 @@ mod tests {
         ));
         // Unknown format versions fail with a version message, not a
         // field-level parse error.
-        let bad_format = text.replace("sensei-fleet-report/1", "sensei-fleet-report/999");
+        let bad_format = text.replace(FORMAT_TAG, "sensei-fleet-report/999");
         match FleetReport::from_json(&bad_format) {
             Err(FleetError::Persist(msg)) => {
                 assert!(msg.contains("format"), "got: {msg}");
@@ -1009,6 +1235,88 @@ mod tests {
         assert!(diff
             .summary(f64::INFINITY)
             .contains("gain baseline changed"));
+    }
+
+    #[test]
+    fn family_conditional_aggregates_fold_and_attribute_drift() {
+        let mk = |policy: &'static str, trace: &str, qoe01: f64| CellResult {
+            video: "v".into(),
+            genre: "Sports",
+            trace: trace.into(),
+            trace_mean_kbps: 1000.0,
+            policy,
+            qoe01,
+            avg_bitrate_kbps: 1500.0,
+            rebuffer_ratio: 0.05,
+            delivered_bits: 1e8,
+            intentional_stall_s: 0.0,
+            bitrate_switches: 3,
+        };
+        let build = |hsdpa_fugu: f64, diurnal_fugu: f64| {
+            let mut stats = FleetStats::new(&[PolicyKind::Bba, PolicyKind::Fugu], PolicyKind::Bba);
+            stats.fold_cell(&[
+                mk("BBA", "hsdpa-700k-s1", 0.5),
+                mk("Fugu", "hsdpa-700k-s1", hsdpa_fugu),
+            ]);
+            stats.fold_cell(&[
+                mk("BBA", "diurnal-003-900k@x0.80", 0.4),
+                mk("Fugu", "diurnal-003-900k@x0.80", diurnal_fugu),
+            ]);
+            FleetReport {
+                stats,
+                workers: 1,
+                wall_time_s: 1.0,
+                sessions_per_sec: 4.0,
+            }
+        };
+        let baseline = build(0.6, 0.5);
+        // Families keyed by trace-name prefix, perturbation suffixes and
+        // all, in first-seen fold order.
+        assert_eq!(baseline.stats.per_family.len(), 2);
+        assert_eq!(baseline.stats.per_family[0].family, "hsdpa");
+        assert_eq!(baseline.stats.per_family[1].family, "diurnal");
+        let hsdpa = baseline.stats.family("hsdpa").unwrap();
+        assert_eq!(hsdpa.per_policy[1].sessions, 1);
+        assert!((hsdpa.per_policy[1].qoe.mean() - 0.6).abs() < 1e-12);
+        // Round trip carries the family aggregates bit for bit.
+        let back = FleetReport::from_json(&baseline.to_json()).unwrap();
+        assert_eq!(back.stats, baseline.stats);
+        // Only the diurnal family moves: the policy-level Fugu mean
+        // drifts, and the diff attributes it to `diurnal` while `hsdpa`
+        // stays quiet.
+        let current = build(0.6, 0.3);
+        let diff = current.diff(&baseline);
+        assert!(!diff.is_clean(0.01));
+        let moved = diff.drifted_families(0.01);
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].family, "diurnal");
+        assert_eq!(moved[0].policy, PolicyKind::Fugu);
+        assert!(moved[0].delta() < 0.0);
+        let text = diff.summary(0.01);
+        assert!(text.contains("family `diurnal` moved Fugu"), "{text}");
+        assert!(!text.contains("family `hsdpa`"), "{text}");
+        // Compensating family drift is caught even when the global means
+        // agree: +0.1 on hsdpa, −0.1 on diurnal cancels exactly.
+        let compensating = build(0.7, 0.4);
+        let diff = compensating.diff(&baseline);
+        assert!(diff.drifted(0.01).is_empty(), "global means cancel");
+        assert_eq!(diff.drifted_families(0.01).len(), 2);
+        assert!(!diff.is_clean(0.01));
+        // A family present on one side only is structural.
+        let mut reshaped = FleetReport::from_json(&baseline.to_json()).unwrap();
+        reshaped.stats.per_family.pop();
+        let diff = reshaped.diff(&baseline);
+        assert_eq!(diff.families_only_in_baseline, vec!["diurnal".to_string()]);
+        assert!(!diff.is_clean(f64::INFINITY));
+        assert!(diff.summary(0.0).contains("trace family `diurnal` missing"));
+    }
+
+    #[test]
+    fn family_keys_strip_at_the_first_dash() {
+        assert_eq!(family_of("hsdpa-700k-s12"), "hsdpa");
+        assert_eq!(family_of("cell4-003-900k"), "cell4");
+        assert_eq!(family_of("diurnal-003-900k@x0.80+n200"), "diurnal");
+        assert_eq!(family_of("t"), "t");
     }
 
     #[test]

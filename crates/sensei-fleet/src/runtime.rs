@@ -4,18 +4,24 @@
 //! `Fleet::execute` gives every worker thread one [`WorkerRuntime`] for the
 //! whole run. Policies and simulator buffers are reused through the
 //! embedded [`SessionRuntime`]; perturbed traces are the fleet-specific
-//! part, handled by a two-tier cache:
+//! part, handled by one materialize-once cache:
 //!
 //! * **Deterministic perturbations** (bandwidth scaling, no jitter) do not
-//!   depend on the cell seed, so the perturbed trace is materialized once
-//!   per `(trace, perturbation)` pair and shared by every scenario the
-//!   worker runs against it.
-//! * **Jittered perturbations** are a pure function of the cell seed and
-//!   must be regenerated per cell — but into a single scratch trace whose
-//!   sample buffer and interned name are recycled, so regeneration costs
-//!   the RNG draws and nothing else. Consecutive scenarios of the same
-//!   cell (the policy axis is innermost) reuse the scratch without
-//!   regenerating at all.
+//!   depend on any seed, so the perturbed trace is materialized once per
+//!   `(trace, perturbation)` pair and shared by every scenario the worker
+//!   runs against it.
+//! * **Jittered perturbations** are a pure function of their seed — and
+//!   since the matrix derives that seed from the tile (see
+//!   `Scenario::seed`), a jittered network is materialized **once per
+//!   tile** and shared by every lane (player variant × policy) replaying
+//!   it, with each pair's slot holding one trace whose sample buffer and
+//!   interned name are recycled across regenerations. The pre-batch
+//!   fleet regenerated the jitter stream per *cell*, which profiling
+//!   showed was the single largest cost of a cheap-policy fleet run
+//!   (~24 µs of a ~31 µs BBA session on the 600-second traces); now the
+//!   cost is one regeneration per tile's worth of sessions, and memory
+//!   stays bounded at one trace per jittered pair however many videos
+//!   the corpus has.
 //!
 //! Caching never changes results: cached and freshly-applied perturbations
 //! are value-identical (asserted by the tests below), and which worker's
@@ -64,10 +70,14 @@ pub struct TraceCache {
     /// Interned names of jittered perturbations (seed-independent even
     /// when the samples are not).
     jitter_names: HashMap<PairKey, Arc<str>>,
-    /// The cell key the jitter scratch currently holds.
-    jitter_key: Option<(usize, usize, u64)>,
-    /// The reusable jittered scratch trace.
-    jitter: Option<ThroughputTrace>,
+    /// Jittered perturbations: one slot per pair holding the most
+    /// recently requested seed's trace. Within a tile every lane shares
+    /// one seed, so a slot serves the whole tile from one regeneration;
+    /// when the next tile brings a new seed the slot regenerates **into
+    /// the same recycled sample buffer** (and re-attaches the interned
+    /// name), so memory stays hard-bounded at one trace per jittered
+    /// pair no matter how many videos or seeds a run sweeps.
+    jittered: HashMap<PairKey, (u64, ThroughputTrace)>,
 }
 
 impl TraceCache {
@@ -77,15 +87,14 @@ impl TraceCache {
         Self {
             deterministic: HashMap::new(),
             jitter_names: HashMap::new(),
-            jitter_key: None,
-            jitter: None,
+            jittered: HashMap::new(),
         }
     }
 
     /// Resolves the perturbed trace for one scenario, value-identical to
-    /// `perturbation.apply(base, seed)` but served from the cache when the
-    /// perturbation is deterministic (or the jitter scratch already holds
-    /// this cell's trace).
+    /// `perturbation.apply(base, seed)` but served from the cache when
+    /// the pair's slot already holds this seed's trace (the whole-tile
+    /// case), and regenerated into the slot's recycled buffer otherwise.
     ///
     /// # Errors
     ///
@@ -99,6 +108,7 @@ impl TraceCache {
         perturbation_idx: usize,
         seed: u64,
     ) -> Result<&'a ThroughputTrace, TraceError> {
+        use std::collections::hash_map::Entry;
         if perturbation.is_identity() {
             return Ok(base);
         }
@@ -106,29 +116,34 @@ impl TraceCache {
         if perturbation.jitter_std_kbps == 0.0 {
             // Seed-independent: materialize once (the seed passed to
             // `apply` is unused without jitter), reuse forever.
-            use std::collections::hash_map::Entry;
             return Ok(match self.deterministic.entry(pair) {
                 Entry::Occupied(e) => e.into_mut(),
                 Entry::Vacant(v) => v.insert(perturbation.apply(base, seed)?.into_owned()),
             });
         }
-        let key = (trace_idx, perturbation_idx, seed);
-        if self.jitter_key == Some(key) {
-            return Ok(self.jitter.as_ref().expect("key implies scratch"));
-        }
-        self.jitter_key = None;
-        // The perturbed name depends on the pair but not the seed, so it is
-        // interned once and re-attached to the scratch by handle.
+        // The perturbed name depends on the pair but not the seed, so it
+        // is interned once and re-attached by handle on regeneration.
         let name = Arc::clone(self.jitter_names.entry(pair).or_insert_with(|| {
             Arc::from(base.perturbed_name(perturbation.scale, perturbation.jitter_std_kbps))
         }));
-        // Regenerate through the one shared sample path
+        // Fast path: the slot already holds this seed's trace (every lane
+        // of a tile, and every sub-batch within it, shares one seed).
+        let hit = self
+            .jittered
+            .get(&pair)
+            .is_some_and(|(cached_seed, _)| *cached_seed == seed);
+        if hit {
+            return Ok(&self.jittered.get(&pair).expect("checked above").1);
+        }
+        // Regeneration goes through the one shared sample path
         // (`ThroughputTrace::perturbed_into` — the same code
-        // `TracePerturbation::apply` runs), into the recycled buffer.
+        // `TracePerturbation::apply` runs), so cached and fresh traces
+        // can never drift; the evicted trace's sample buffer is recycled
+        // into the new one.
         let buf = self
-            .jitter
-            .take()
-            .map_or_else(Vec::new, ThroughputTrace::into_samples);
+            .jittered
+            .remove(&pair)
+            .map_or_else(Vec::new, |(_, trace)| trace.into_samples());
         let trace = base.perturbed_into(
             perturbation.scale,
             perturbation.jitter_std_kbps,
@@ -136,9 +151,7 @@ impl TraceCache {
             name,
             buf,
         )?;
-        self.jitter = Some(trace);
-        self.jitter_key = Some(key);
-        Ok(self.jitter.as_ref().expect("just stored"))
+        Ok(&self.jittered.entry(pair).or_insert((seed, trace)).1)
     }
 }
 
@@ -210,7 +223,7 @@ mod tests {
     }
 
     #[test]
-    fn jitter_scratch_is_reused_for_consecutive_same_cell_scenarios() {
+    fn jittered_slot_serves_a_tile_and_recycles_across_tiles() {
         let base = base();
         let p = TracePerturbation::jittered(300.0);
         let mut cache = TraceCache::new();
@@ -219,20 +232,34 @@ mod tests {
             .unwrap()
             .samples()
             .as_ptr();
-        // Same cell again (the policy axis walks the same cell repeatedly):
-        // no regeneration, the very same scratch is handed back.
+        // The same network again (every lane and sub-batch of a tile
+        // shares one seed): no regeneration, the cached trace itself is
+        // handed back.
         let again_ptr = cache
             .resolve(&base, &p, 0, 0, 5)
             .unwrap()
             .samples()
             .as_ptr();
         assert!(std::ptr::eq(first_ptr, again_ptr));
-        // A different cell regenerates, but into the same buffer.
+        // The next tile's seed regenerates — into the very same recycled
+        // buffer, so the cache's footprint stays one trace per pair.
         let other_ptr = cache
             .resolve(&base, &p, 0, 0, 6)
             .unwrap()
             .samples()
             .as_ptr();
         assert!(std::ptr::eq(first_ptr, other_ptr));
+        // A different pair gets its own slot; the first pair's slot and
+        // seed are untouched by it.
+        let pair_b_ptr = cache
+            .resolve(&base, &p, 0, 1, 7)
+            .unwrap()
+            .samples()
+            .as_ptr();
+        assert!(!std::ptr::eq(first_ptr, pair_b_ptr));
+        // Regenerated values always equal a fresh apply, wherever the
+        // slot has been in between.
+        let back = cache.resolve(&base, &p, 0, 0, 5).unwrap().clone();
+        assert_eq!(back, p.apply(&base, 5).unwrap().into_owned());
     }
 }

@@ -4,9 +4,9 @@
 //! trace, a network perturbation applied to that trace, a player
 //! configuration, and a policy. The matrix enumerates the full cross
 //! product in one canonical order and assigns every scenario a stable ID
-//! (its position) plus a per-cell RNG seed derived from the master seed —
-//! so any scenario can be regenerated in isolation, on any worker, in any
-//! order, and always yields the same session.
+//! (its position) plus a per-tile network RNG seed derived from the
+//! master seed — so any scenario can be regenerated in isolation, on any
+//! worker, in any order, and always yields the same session.
 
 use crate::{splitmix64, FleetError};
 use sensei_core::{Experiment, PolicyKind};
@@ -24,8 +24,8 @@ pub struct TracePerturbation {
     pub scale: f64,
     /// Standard deviation of the added zero-mean Gaussian noise in kbps
     /// (0.0 = no jitter). The noise stream is drawn from the scenario's
-    /// cell seed, so it is reproducible and shared by all policies
-    /// competing on the same cell.
+    /// network seed ([`Scenario::seed`]), so it is reproducible and
+    /// shared by every lane of the tile replaying it.
     pub jitter_std_kbps: f64,
 }
 
@@ -120,9 +120,16 @@ pub struct Scenario {
     pub player_idx: usize,
     /// The policy to run.
     pub policy: PolicyKind,
-    /// RNG seed for this scenario's *cell* — shared by every policy
-    /// competing on the same (video, trace, perturbation, player) cell so
-    /// they face the identical perturbed network.
+    /// RNG seed of this scenario's perturbed **network** — a pure
+    /// function of `(master seed, video, trace, perturbation)`, i.e. of
+    /// the tile. Every lane of a tile (all policies × player variants)
+    /// replays the identical samples, so within-cell comparisons and
+    /// gain CDFs are paired on the same network and a worker's trace
+    /// cache materializes the network **once per tile** instead of once
+    /// per session. Distinct videos draw *independent* jitter
+    /// realizations, so fleet aggregates average over one network draw
+    /// per tile rather than thousands of correlated replays of a single
+    /// realization.
     pub seed: u64,
 }
 
@@ -242,7 +249,6 @@ impl ScenarioMatrix {
         let mut idx = id;
         let policy_idx = (idx % self.policies.len() as u64) as usize;
         idx /= self.policies.len() as u64;
-        let cell_id = idx;
         let player_idx = (idx % self.num_players() as u64) as usize;
         idx /= self.num_players() as u64;
         let perturbation_idx = (idx % self.perturbations.len() as u64) as usize;
@@ -257,16 +263,36 @@ impl ScenarioMatrix {
             perturbation_idx,
             player_idx,
             policy: self.policies[policy_idx],
-            seed: self.cell_seed(cell_id),
+            seed: self.network_seed(video_idx, trace_idx, perturbation_idx),
         }
     }
 
-    /// The RNG seed of cell `cell_id`, derived from the master seed by
-    /// two SplitMix64 rounds. Stable across worker counts and execution
-    /// order by construction.
+    /// The RNG seed of the `(video, trace, perturbation)` tile's network,
+    /// derived from the master seed by SplitMix64 rounds over the tile
+    /// coordinate. Stable across worker counts, execution order, and the
+    /// player/policy axes by construction: adding players or policies
+    /// never changes which network a scenario replays.
     #[must_use]
-    pub fn cell_seed(&self, cell_id: u64) -> u64 {
-        splitmix64(self.master_seed ^ splitmix64(cell_id))
+    pub fn network_seed(&self, video_idx: usize, trace_idx: usize, perturbation_idx: usize) -> u64 {
+        let pair = ((trace_idx as u64) << 32) | perturbation_idx as u64;
+        splitmix64(self.master_seed ^ splitmix64(pair) ^ splitmix64(!(video_idx as u64)))
+    }
+
+    /// Scenarios per **tile** — the contiguous ID range sharing one
+    /// `(video, trace, perturbation)` triple (all player variants ×
+    /// policies). Tiles are the executor's scheduling unit: one tile runs
+    /// through one structure-of-arrays session batch.
+    #[must_use]
+    pub fn tile_size(&self) -> u64 {
+        self.num_players() as u64 * self.policies.len() as u64
+    }
+
+    /// Total tiles when run against `experiment`.
+    #[must_use]
+    pub fn num_tiles(&self, experiment: &Experiment) -> u64 {
+        experiment.assets.len() as u64
+            * experiment.traces.len() as u64
+            * self.perturbations.len() as u64
     }
 }
 
@@ -449,9 +475,28 @@ mod tests {
             (b.video_idx, b.trace_idx, b.perturbation_idx, b.player_idx)
         );
         assert_eq!(a.seed, b.seed);
-        // The next cell gets a different seed.
+        // The network seed is a pure function of the tile (video, trace,
+        // perturbation): player variants share it, a different
+        // perturbation or video does not.
         let c = matrix.scenario(&env, 2);
-        assert_ne!(a.seed, c.seed);
+        assert_eq!(a.seed, c.seed, "player variants share the network");
+        let other_pert = matrix.scenario(&env, 4);
+        assert_eq!(other_pert.perturbation_idx, 1);
+        assert_ne!(a.seed, other_pert.seed);
+        let other_video = matrix.scenario(&env, total / 3);
+        assert_eq!(other_video.video_idx, 1);
+        assert_eq!(
+            (other_video.trace_idx, other_video.perturbation_idx),
+            (0, 0)
+        );
+        assert_ne!(
+            a.seed, other_video.seed,
+            "videos draw independent network realizations"
+        );
+        // Tile accounting: one tile spans players × policies.
+        assert_eq!(matrix.tile_size(), 4);
+        assert_eq!(matrix.num_tiles(&env), 3 * 10 * 2);
+        assert_eq!(matrix.num_tiles(&env) * matrix.tile_size(), total);
         // Every ID decodes to in-range coordinates and the last scenario
         // hits the last coordinate of every axis.
         let last = matrix.scenario(&env, total - 1);
@@ -463,7 +508,7 @@ mod tests {
     }
 
     #[test]
-    fn cell_seeds_depend_on_master_seed_only() {
+    fn network_seeds_depend_on_master_seed_and_tile_only() {
         let m1 = ScenarioMatrix::builder()
             .policies([PolicyKind::Bba])
             .master_seed(1)
@@ -479,8 +524,13 @@ mod tests {
             .master_seed(2)
             .build()
             .unwrap();
-        assert_eq!(m1.cell_seed(17), m2.cell_seed(17));
-        assert_ne!(m1.cell_seed(17), m3.cell_seed(17));
+        assert_eq!(m1.network_seed(0, 3, 1), m2.network_seed(0, 3, 1));
+        assert_ne!(m1.network_seed(0, 3, 1), m3.network_seed(0, 3, 1));
+        // Distinct tiles draw distinct streams (the pair coordinate is
+        // collision-free below 2^32 axis lengths).
+        assert_ne!(m1.network_seed(0, 3, 1), m1.network_seed(0, 1, 3));
+        assert_ne!(m1.network_seed(0, 0, 0), m1.network_seed(0, 0, 1));
+        assert_ne!(m1.network_seed(0, 0, 0), m1.network_seed(1, 0, 0));
     }
 
     #[test]

@@ -69,6 +69,38 @@ fn aggregates_are_identical_across_1_2_and_8_workers() {
 }
 
 #[test]
+fn aggregates_are_identical_for_every_batch_width_and_worker_count() {
+    // The tile executor runs each (video, trace, perturbation) tile
+    // through one SoA session batch; the lane-width knob splits tiles
+    // into sub-batches. Neither the width (including 1 = the scalar
+    // path, and 3 = a split straddling a tile's 4 lanes) nor the worker
+    // count may move a single aggregate bit.
+    let env = quick_experiment(11);
+    let matrix = mixed_matrix(0xF1EE7);
+    let reference = Fleet::new(&env, &matrix, FleetConfig::new(1).with_batch_width(1))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(reference.stats.sessions, 80);
+    for workers in [1usize, 2, 8] {
+        for width in [1usize, 2, 3, 0] {
+            let report = Fleet::new(
+                &env,
+                &matrix,
+                FleetConfig::new(workers).with_batch_width(width),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(
+                reference.stats, report.stats,
+                "width {width} on {workers} workers diverged from the scalar path"
+            );
+        }
+    }
+}
+
+#[test]
 fn different_master_seeds_change_perturbed_scenarios() {
     let env = quick_experiment(11);
     // Jitter-only matrices: the seed drives the noise stream.

@@ -20,9 +20,11 @@
 //! throughput history, and — for SENSEI variants — the sensitivity weights.
 //! They never see the latent per-chunk sensitivity of the source video.
 
+pub mod batch;
 pub mod policy;
 pub mod session;
 
+pub use batch::{simulate_batch_in, BatchLanes, BatchStates, LaneFailure, SessionBatch};
 pub use policy::{AbrPolicy, Decision, PlayerState, SessionContext};
 pub use session::{simulate, simulate_in, PlayerConfig, SessionResult, SessionScratch};
 

@@ -118,6 +118,45 @@ pub trait AbrPolicy {
     /// trace need this; the default is a no-op because ordinary policies
     /// observe the network solely through [`PlayerState`].
     fn rebind(&mut self, _trace: &ThroughputTrace) {}
+
+    /// Prepares the policy to serve `lanes` concurrent sessions of one
+    /// [`crate::batch::simulate_batch_in`] batch. Called once per batch,
+    /// before the first [`Self::select_batch`].
+    ///
+    /// The default resets the instance once, which is correct for
+    /// policies whose `decide` is a pure function of `(state, ctx)` — a
+    /// policy with **per-session mutable state** (e.g. a pause budget)
+    /// must override this together with [`Self::select_batch`] to keep
+    /// one state slot per lane; otherwise the lanes would bleed into each
+    /// other.
+    fn begin_batch(&mut self, lanes: usize) {
+        let _ = lanes;
+        self.reset();
+    }
+
+    /// Chooses every lane's decision for the current chunk of a batch —
+    /// `out[i]` for lane `i` of `states`. Called once per chunk step with
+    /// all lanes of this policy's group (the lane order is stable across
+    /// the whole batch).
+    ///
+    /// The default is the scalar loop over [`Self::decide`], so every
+    /// policy is batch-correct out of the box. Overrides exist for two
+    /// reasons: to cut per-lane dispatch (BBA maps the whole lane-buffer
+    /// slice through its threshold rule in one loop) or to keep
+    /// per-session mutable state per lane (SENSEI-Fugu's pause ledger).
+    /// The MPC family deliberately keeps the default — its batching win
+    /// lives in the prefix-sharing plan search inside `decide`, not in
+    /// the dispatch layer. No override may change a single result bit.
+    fn select_batch(
+        &mut self,
+        states: &crate::batch::BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
+            *slot = self.decide(&states.state(i), ctx);
+        }
+    }
 }
 
 /// Boxed policies are policies, so experiment harnesses can hold
@@ -138,6 +177,19 @@ impl<P: AbrPolicy + ?Sized> AbrPolicy for Box<P> {
 
     fn rebind(&mut self, trace: &ThroughputTrace) {
         (**self).rebind(trace);
+    }
+
+    fn begin_batch(&mut self, lanes: usize) {
+        (**self).begin_batch(lanes);
+    }
+
+    fn select_batch(
+        &mut self,
+        states: &crate::batch::BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        (**self).select_batch(states, ctx, out);
     }
 }
 

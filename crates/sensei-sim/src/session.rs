@@ -83,26 +83,29 @@ pub struct SessionResult {
 }
 
 /// Internal playback bookkeeping. The stall ledger is borrowed from the
-/// session scratch so it is recycled across sessions.
-struct Playback<'a> {
+/// session scratch (or from one lane's slice of a batch's flat ledger) so
+/// it is recycled across sessions. Shared verbatim by the scalar loop and
+/// the batch engine, which is what keeps their per-lane arithmetic
+/// byte-identical.
+pub(crate) struct Playback<'a> {
     /// Media seconds played so far.
-    m: f64,
+    pub(crate) m: f64,
     /// Media seconds downloaded so far (multiple of the chunk duration).
-    downloaded_end: f64,
+    pub(crate) downloaded_end: f64,
     /// Intentional pause waiting to be taken at the next chunk boundary.
-    pending_pause: f64,
+    pub(crate) pending_pause: f64,
     /// Per-chunk (forced, intentional) stall seconds.
-    stalls: &'a mut Vec<(f64, f64)>,
+    pub(crate) stalls: &'a mut [(f64, f64)],
     /// Chunk duration.
-    d: f64,
+    pub(crate) d: f64,
     /// Total media duration.
-    total: f64,
+    pub(crate) total: f64,
 }
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 
 impl Playback<'_> {
-    fn buffer(&self) -> f64 {
+    pub(crate) fn buffer(&self) -> f64 {
         (self.downloaded_end - self.m).max(0.0)
     }
 
@@ -125,7 +128,7 @@ impl Playback<'_> {
     /// at boundaries and recording forced stalls when the buffer is empty.
     /// Returns the wall time actually consumed (less than `dt` only when
     /// the video finishes).
-    fn advance(&mut self, mut dt: f64) -> f64 {
+    pub(crate) fn advance(&mut self, mut dt: f64) -> f64 {
         let mut used = 0.0;
         while dt > EPS {
             if self.finished() {

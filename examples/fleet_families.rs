@@ -94,6 +94,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = fleet.run()?;
     print!("{}", report.summary());
+    // Family-conditional aggregates: the baseline carries one entry per
+    // family spec, so drift can be attributed to the family that moved.
+    for family in &report.stats.per_family {
+        for stats in &family.per_policy {
+            println!(
+                "  family {:<10} {:<16} {:>5} sessions  mean QoE {:.3}",
+                family.family,
+                stats.policy.label(),
+                stats.sessions,
+                stats.qoe.mean()
+            );
+        }
+    }
 
     if !quick {
         return Ok(());
