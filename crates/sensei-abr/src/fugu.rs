@@ -10,15 +10,62 @@
 //!
 //! This module implements exactly that: exhaustive enumeration of bitrate
 //! plans over the horizon, a per-scenario buffer walk, and the canonical
-//! KSQI chunk quality.
+//! KSQI chunk quality. Three structural optimizations keep the enumeration
+//! fast without changing a single result bit (asserted against a flat
+//! reference odometer in this module's tests):
+//!
+//! 1. **Prefix sharing** — plans are enumerated as a depth-first tree so
+//!    every shared prefix is scored once (an ~h-fold cut).
+//! 2. **Hoisted tables** — the per-(chunk, level, scenario) download time
+//!    `rtt + size/rate` and the per-(chunk, level) size/vq lookups are
+//!    state-independent within one decision, so they are computed once
+//!    into reusable scratch instead of once per tree node.
+//! 3. **Exact branch-and-bound with guided order** — subtrees are
+//!    explored most-promising-first and skipped when a floating-point-
+//!    monotone upper bound on every leaf they contain shows they cannot
+//!    change the result. The update rule tracks exactly the pair the
+//!    lexicographic reference returns — the maximum score and the
+//!    smallest first action attaining it — so neither the visit order
+//!    nor the pruning can move a single result bit.
 
 use crate::predictor::ThroughputPredictor;
 use sensei_qoe::Ksqi;
-use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 
 /// The paper's planning horizon ("We pick h = 5 since we observe that QoE
 /// gains flatten beyond a horizon of 4 chunks").
 pub const DEFAULT_HORIZON: usize = 5;
+
+/// Reusable planning scratch: one allocation per policy instance instead
+/// of several per decision. All tables are flat row-major arrays sized at
+/// the start of each plan search.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanScratch {
+    /// `(h + 1) × scenarios` rows of running walk state, indexed by depth.
+    stack: Vec<ScenarioWalk>,
+    /// Per-decision scenario `(probability, kbps)` pairs.
+    rates: Vec<(f64, f64)>,
+    /// `dt[depth·L·S + level·S + si]`: download time of `(chunk, level)`
+    /// under scenario `si` — state-independent within one decision.
+    dt: Vec<f64>,
+    /// `sizes[depth·L + level]`: chunk size in bits.
+    sizes: Vec<f64>,
+    /// `vqs[depth·L + level]`: visual quality.
+    vqs: Vec<f64>,
+    /// `umax[depth·S + si]`: upper bound on the weighted quality any level
+    /// can contribute at `depth` under scenario `si` (branch-and-bound).
+    umax: Vec<f64>,
+    /// `caps[depth]`: upper bound on any walk's buffer entering `depth`.
+    caps: Vec<f64>,
+    /// `ord[depth·L + k]`: the levels of `depth` in descending
+    /// estimated-score order — the exploration order of the pruned
+    /// search. Any order yields identical results (see
+    /// [`PlanSearch::descend`]); a good first guess raises `best_q`
+    /// early so later subtrees prune at the root.
+    ord: Vec<usize>,
+    /// Per-level expected score accumulator used to build `ord`.
+    scores: Vec<f64>,
+}
 
 /// The Fugu MPC policy.
 #[derive(Debug, Clone)]
@@ -33,6 +80,7 @@ pub struct Fugu {
     /// because real raters judge sessions by their worst moment; planning
     /// risk-neutrally against a mean-additive model stalls too often.
     risk_aversion: f64,
+    scratch: PlanScratch,
 }
 
 impl Fugu {
@@ -45,6 +93,7 @@ impl Fugu {
             rtt_s: 0.08,
             max_buffer_s: 24.0,
             risk_aversion: 3.0,
+            scratch: PlanScratch::default(),
         }
     }
 
@@ -94,6 +143,37 @@ impl Fugu {
         self
     }
 
+    /// The effective horizon at `next_chunk` (truncated at the video end).
+    fn effective_horizon(&self, next_chunk: usize, ctx: &SessionContext<'_>) -> usize {
+        self.horizon.min(ctx.num_chunks() - next_chunk)
+    }
+
+    /// Fills the per-(depth, level) size/vq lookup tables for the horizon
+    /// starting at `next_chunk`. These are pure manifest lookups shared by
+    /// every lane of a batch at the same chunk step, so the batched entry
+    /// point fills them once per chunk instead of once per lane.
+    pub(crate) fn fill_chunk_tables(
+        &mut self,
+        next_chunk: usize,
+        h: usize,
+        ctx: &SessionContext<'_>,
+    ) {
+        let n_levels = ctx.num_levels();
+        self.scratch.sizes.clear();
+        self.scratch.vqs.clear();
+        for depth in 0..h {
+            let chunk = next_chunk + depth;
+            for level in 0..n_levels {
+                self.scratch.sizes.push(
+                    ctx.encoded
+                        .size_bits(chunk, level)
+                        .expect("plan stays in range"),
+                );
+                self.scratch.vqs.push(ctx.vq[chunk][level]);
+            }
+        }
+    }
+
     /// Enumerates all plans over the effective horizon; returns the best
     /// plan's first action and its expected quality.
     ///
@@ -103,48 +183,170 @@ impl Fugu {
     /// prefix's buffer walk, so each prefix is scored **once** instead of
     /// once per completion — `Σ_j levels^j ≈ levels^h · levels/(levels−1)`
     /// chunk evaluations instead of `levels^h · h`, an ~`h`-fold cut at
-    /// the paper's horizon. Leaves are visited in exactly the odometer's
-    /// lexicographic order and every per-chunk operation is performed in
-    /// the same sequence, so the winning plan, its score, and every
-    /// tie-break are bit-identical to the flat enumeration (asserted
-    /// against a reference odometer in this module's tests).
+    /// the paper's horizon. Subtrees are explored in a guided order and
+    /// skipped under the exact bound of [`PlanSearch::descend`], whose
+    /// update rule reproduces the flat odometer's winner, score, and
+    /// tie-breaks bit for bit (asserted against a reference odometer in
+    /// this module's tests).
     pub(crate) fn best_plan(
-        &self,
+        &mut self,
         state: &PlayerState<'_>,
         ctx: &SessionContext<'_>,
         weights: Option<&[f64]>,
     ) -> (usize, f64) {
-        let n_levels = ctx.num_levels();
-        let remaining = ctx.num_chunks() - state.next_chunk;
-        let h = self.horizon.min(remaining);
+        let h = self.effective_horizon(state.next_chunk, ctx);
         if h == 0 {
             return (0, 0.0);
         }
-        let scenario_rates = self.predictor.scenario_rates(state);
+        self.fill_chunk_tables(state.next_chunk, h, ctx);
+        self.prepare_rates(state, ctx, h);
+        self.plan_prepared(state, ctx, weights, h)
+    }
+
+    /// Fills the scenario `(probability, kbps)` pairs and the
+    /// per-(chunk, level, scenario) download-time table for one decision.
+    /// Both depend on the throughput history but **not** on the buffer,
+    /// so SENSEI-Fugu's pause candidates — which perturb only the buffer
+    /// — share one fill across all candidate searches.
+    pub(crate) fn prepare_rates(
+        &mut self,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+        h: usize,
+    ) {
+        let n_levels = ctx.num_levels();
+        let PlanScratch {
+            rates, dt, sizes, ..
+        } = &mut self.scratch;
+        self.predictor.scenario_rates_into(state, rates);
+        // Download time is a pure function of (chunk, level, scenario)
+        // within one decision — hoist it out of the tree walk. The
+        // expression is the exact one the walk used to evaluate per node.
+        dt.clear();
+        for depth in 0..h {
+            for level in 0..n_levels {
+                let size = sizes[depth * n_levels + level];
+                for &(_, rate_kbps) in rates.iter() {
+                    dt.push(self.rtt_s + size / (rate_kbps * 1000.0));
+                }
+            }
+        }
+    }
+
+    /// The plan search proper, assuming [`Self::fill_chunk_tables`] and
+    /// [`Self::prepare_rates`] have run for `(state.next_chunk, h)`.
+    pub(crate) fn plan_prepared(
+        &mut self,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+        weights: Option<&[f64]>,
+        h: usize,
+    ) -> (usize, f64) {
+        let n_levels = ctx.num_levels();
+        let d = ctx.chunk_duration_s;
+        let PlanScratch {
+            stack,
+            rates,
+            dt,
+            sizes: _,
+            vqs,
+            umax,
+            caps,
+            ord,
+            scores,
+        } = &mut self.scratch;
+        let s = rates.len();
+        // Branch-and-bound is sound only when every bound step is
+        // floating-point monotone: nonnegative plan weights, scenario
+        // probabilities, and QoE penalties. Anything else disables
+        // pruning (full enumeration) rather than risking a changed bit.
+        let (_, b, c, _) = self.qoe.coefficients();
+        let prunable = b >= 0.0
+            && c >= 0.0
+            && state.buffer_s >= 0.0
+            && weights.is_none_or(|w| w.iter().all(|&x| x >= 0.0))
+            && rates.iter().all(|r| r.0 >= 0.0);
+        umax.clear();
+        caps.clear();
+        ord.clear();
+        if prunable {
+            // `caps[j]` dominates every buffer value entering depth `j`:
+            // the walk step is `buf' = min(max(buf − dt, 0) + d, B)` with
+            // `dt ≥ 0`, and every operation in `min(buf + d, B)` is
+            // FP-monotone, so the recurrence bounds all plans at once.
+            // The root cap is the caller's buffer itself (pause
+            // candidates may push it past the clamp). A buffer upper
+            // bound gives a stall *lower* bound, hence a per-(depth,
+            // scenario) quality upper bound.
+            caps.push(state.buffer_s);
+            for depth in 1..h {
+                caps.push((caps[depth - 1] + d).min(self.max_buffer_s));
+            }
+            for depth in 0..h {
+                let cap = caps[depth];
+                scores.clear();
+                scores.resize(n_levels, 0.0);
+                for si in 0..s {
+                    let p = rates[si].0;
+                    let mut best = f64::NEG_INFINITY;
+                    for level in 0..n_levels {
+                        let stall_lb = (dt[(depth * n_levels + level) * s + si] - cap).max(0.0);
+                        let q = self.qoe.chunk_quality(
+                            vqs[depth * n_levels + level],
+                            stall_lb * self.risk_aversion,
+                            0.0,
+                            d,
+                        );
+                        let term = weights.map_or(q, |w| w[depth] * q);
+                        scores[level] += p * term;
+                        if term > best {
+                            best = term;
+                        }
+                    }
+                    umax.push(best);
+                }
+                // Guided order: most promising level (by expected
+                // stall-bounded score) first. Purely a search-speed
+                // heuristic — the update rule in `descend` makes the
+                // search result order-invariant.
+                let base = ord.len();
+                ord.extend(0..n_levels);
+                ord[base..].sort_by(|&a, &b| {
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                });
+            }
+        }
         let prev = state
             .last_level
             .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
         // One per-scenario running state per tree depth: row 0 is the
         // pre-plan state, row j+1 the state after the length-(j+1) prefix.
+        stack.clear();
+        stack.resize(
+            (h + 1) * s,
+            ScenarioWalk {
+                buf: state.buffer_s,
+                prev,
+                total: 0.0,
+            },
+        );
         let mut search = PlanSearch {
-            rtt_s: self.rtt_s,
-            max_buffer_s: self.max_buffer_s,
             risk_aversion: self.risk_aversion,
+            max_buffer_s: self.max_buffer_s,
             qoe: &self.qoe,
-            ctx,
+            chunk_duration_s: d,
             weights,
-            next_chunk: state.next_chunk,
             h,
             n_levels,
-            rates: &scenario_rates,
-            stack: vec![
-                ScenarioWalk {
-                    buf: state.buffer_s,
-                    prev,
-                    total: 0.0,
-                };
-                (h + 1) * scenario_rates.len()
-            ],
+            rates,
+            dt,
+            vqs,
+            umax,
+            ord,
+            prunable,
+            stack,
             best_q: f64::NEG_INFINITY,
             best_plan0: 0,
         };
@@ -164,41 +366,37 @@ struct ScenarioWalk {
 }
 
 /// Depth-first plan enumeration state (see [`Fugu::best_plan`]).
-struct PlanSearch<'a, 'b> {
-    rtt_s: f64,
-    max_buffer_s: f64,
+struct PlanSearch<'a> {
     risk_aversion: f64,
+    max_buffer_s: f64,
     qoe: &'a Ksqi,
-    ctx: &'a SessionContext<'b>,
+    chunk_duration_s: f64,
     weights: Option<&'a [f64]>,
-    next_chunk: usize,
     h: usize,
     n_levels: usize,
     rates: &'a [(f64, f64)],
+    dt: &'a [f64],
+    vqs: &'a [f64],
+    umax: &'a [f64],
+    ord: &'a [usize],
+    prunable: bool,
     /// `(h + 1) × scenarios` rows of running state, indexed by depth.
-    stack: Vec<ScenarioWalk>,
+    stack: &'a mut [ScenarioWalk],
     best_q: f64,
     best_plan0: usize,
 }
 
-impl PlanSearch<'_, '_> {
+impl PlanSearch<'_> {
     /// Extends every scenario's walk at `depth` by `level`, writing the
     /// child row; identical arithmetic (and order) to one iteration of
     /// the flat plan scorer's buffer walk.
     fn step(&mut self, depth: usize, level: usize) {
         let s = self.rates.len();
-        let d = self.ctx.chunk_duration_s;
-        let chunk = self.next_chunk + depth;
-        let size = self
-            .ctx
-            .encoded
-            .size_bits(chunk, level)
-            .expect("plan stays in range");
-        let vq = self.ctx.vq[chunk][level];
+        let d = self.chunk_duration_s;
+        let vq = self.vqs[depth * self.n_levels + level];
         for si in 0..s {
             let parent = self.stack[depth * s + si];
-            let rate_kbps = self.rates[si].1;
-            let dt = self.rtt_s + size / (rate_kbps * 1000.0);
+            let dt = self.dt[(depth * self.n_levels + level) * s + si];
             let stall = (dt - parent.buf).max(0.0);
             let mut buf = (parent.buf - dt).max(0.0) + d;
             buf = buf.min(self.max_buffer_s);
@@ -219,9 +417,52 @@ impl PlanSearch<'_, '_> {
 
     /// Recursively enumerates levels at `depth`; `plan0` is the root
     /// level of the current subtree (the candidate first action).
+    ///
+    /// **Why any exploration order is exact.** A leaf's computed score
+    /// depends only on its plan, and the only observables of the search
+    /// are the best score and the winner's *first* action. The flat
+    /// lexicographic reference with its strictly-greater update returns
+    /// exactly `(max leaf score, min plan0 among max-attaining leaves)`
+    /// — the root level is the odometer's most significant digit, so
+    /// "first leaf attaining the max" and "smallest first action
+    /// attaining the max" coincide. The update rule below maintains that
+    /// pair directly (`>` wins outright, `==` wins only with a smaller
+    /// `plan0`), which frees the search to visit subtrees in the guided
+    /// `ord` order without touching a single result bit.
+    ///
+    /// **Why pruning is exact.** A subtree is skipped only when an upper
+    /// bound on every leaf under it shows the subtree cannot change that
+    /// pair: strictly below `best_q`, nothing inside can win or tie;
+    /// equal to `best_q`, a tie inside matters only if it lowers the
+    /// winning `plan0`. The bound extends each scenario's running total
+    /// with the per-depth `umax` terms **through the same left-to-right
+    /// fold the leaf reduction performs**; every operation in the chain
+    /// (add, multiply by a nonnegative factor, `max`) is monotone under
+    /// IEEE-754 round-to-nearest, so the bound dominates every leaf's
+    /// computed value *as floating point*, not just in exact arithmetic.
     fn descend(&mut self, depth: usize, plan0: usize) {
         let s = self.rates.len();
-        for level in 0..self.n_levels {
+        if self.prunable && depth > 0 {
+            let mut ub = 0.0;
+            for si in 0..s {
+                let mut bnd = self.stack[depth * s + si].total;
+                for j in depth..self.h {
+                    bnd += self.umax[j * s + si];
+                }
+                ub += self.rates[si].0 * bnd;
+            }
+            if ub < self.best_q || (ub == self.best_q && plan0 >= self.best_plan0) {
+                return;
+            }
+        }
+        for k in 0..self.n_levels {
+            // `ord` is only filled when pruning is active; the unpruned
+            // fallback keeps the reference's lexicographic order.
+            let level = if self.prunable {
+                self.ord[depth * self.n_levels + k]
+            } else {
+                k
+            };
             let plan0 = if depth == 0 { level } else { plan0 };
             self.step(depth, level);
             if depth + 1 == self.h {
@@ -232,7 +473,7 @@ impl PlanSearch<'_, '_> {
                 for si in 0..s {
                     q += self.rates[si].0 * self.stack[(depth + 1) * s + si].total;
                 }
-                if q > self.best_q {
+                if q > self.best_q || (q == self.best_q && plan0 < self.best_plan0) {
                     self.best_q = q;
                     self.best_plan0 = plan0;
                 }
@@ -256,6 +497,32 @@ impl AbrPolicy for Fugu {
 
     fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
         Decision::level(self.best_plan(state, ctx, None).0)
+    }
+
+    /// Plans every lane of the batch in one pass. All lanes of a batch sit
+    /// at the same chunk step, so the per-(chunk, level) size/vq manifest
+    /// tables are filled once for the whole tile instead of once per lane;
+    /// the per-lane search then runs over the same prepared tables the
+    /// scalar path uses, so decisions are bit-identical to [`Self::decide`].
+    fn select_batch(
+        &mut self,
+        states: &BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        let h = self.effective_horizon(states.next_chunk(), ctx);
+        if h == 0 {
+            for slot in out.iter_mut().take(states.len()) {
+                *slot = Decision::level(0);
+            }
+            return;
+        }
+        self.fill_chunk_tables(states.next_chunk(), h, ctx);
+        for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
+            let state = states.state(i);
+            self.prepare_rates(&state, ctx, h);
+            *slot = Decision::level(self.plan_prepared(&state, ctx, None, h).0);
+        }
     }
 }
 
@@ -359,9 +626,10 @@ mod tests {
     }
 
     /// The pre-refactor flat enumeration, kept as the reference the
-    /// prefix-sharing DFS must reproduce bit for bit: every plan scored
-    /// from scratch by an independent buffer walk per scenario, plans
-    /// visited in odometer (lexicographic) order.
+    /// prefix-sharing, table-hoisting, branch-and-bound DFS must reproduce
+    /// bit for bit: every plan scored from scratch by an independent
+    /// buffer walk per scenario, plans visited in odometer (lexicographic)
+    /// order, no pruning anywhere.
     fn reference_best_plan(
         fugu: &Fugu,
         state: &PlayerState<'_>,
@@ -435,9 +703,17 @@ mod tests {
             weights: None,
             chunk_duration_s: src.chunk_duration_s(),
         };
-        let fugu = Fugu::new();
-        let weight_rows: [Option<Vec<f64>>; 2] =
-            [None, Some(vec![1.4, 0.6, 1.0, 2.0, 0.8, 1.1, 0.9])];
+        let mut fugu = Fugu::new();
+        // Weight rows exercise every search mode: no weights (plain Fugu),
+        // nonnegative weights (SENSEI-Fugu, pruning active including zero
+        // weights), and a negative weight that must disable pruning and
+        // fall back to the full enumeration.
+        let weight_rows: [Option<Vec<f64>>; 4] = [
+            None,
+            Some(vec![1.4, 0.6, 1.0, 2.0, 0.8, 1.1, 0.9]),
+            Some(vec![0.0, 1.5, 0.0, 2.0, 1.0, 0.3, 0.7]),
+            Some(vec![-0.5, 1.0, 0.8, 1.2, 0.4, 1.0, 1.0]),
+        ];
         // A spread of buffer levels, histories, and positions — including
         // the truncated-horizon video tail and near-tie states.
         let histories: [&[f64]; 3] = [
@@ -471,6 +747,40 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_decisions_is_stateless() {
+        // One long-lived instance planning many unrelated states must
+        // produce exactly what a fresh instance produces per state: the
+        // scratch tables are per-decision, never carried over.
+        use sensei_sim::SessionContext;
+        let src = source();
+        let enc = encoded(&src);
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: enc.vq_table(),
+            weights: None,
+            chunk_duration_s: src.chunk_duration_s(),
+        };
+        let mut warm = Fugu::new();
+        for next_chunk in 0..src.num_chunks() {
+            for buffer_s in [0.0, 6.5, 19.0] {
+                let state = PlayerState {
+                    next_chunk,
+                    buffer_s,
+                    last_level: Some(1),
+                    throughput_history_kbps: &[900.0, 1100.0, 1000.0],
+                    download_time_history_s: &[1.0; 3],
+                    elapsed_s: 12.0,
+                    playing: true,
+                };
+                let warm_plan = warm.best_plan(&state, &ctx, None);
+                let cold_plan = Fugu::new().best_plan(&state, &ctx, None);
+                assert_eq!(warm_plan.0, cold_plan.0);
+                assert_eq!(warm_plan.1.to_bits(), cold_plan.1.to_bits());
             }
         }
     }

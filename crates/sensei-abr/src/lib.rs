@@ -21,8 +21,12 @@
 //!   reweighted (§5.2).
 //! * [`offline`] — the idealistic §2.4 controllers that know the entire
 //!   throughput trace, used to bound the potential gains (Fig. 6).
+//! * [`das_ip`] — DAS-IP (Singh & Kumar, arXiv:1612.05864): a per-level
+//!   index policy that replaces the MPC horizon enumeration with an
+//!   `O(levels)` argmax, the fleet-scale cost point of the family.
 
 pub mod bba;
+pub mod das_ip;
 pub mod fugu;
 pub mod offline;
 pub mod pensieve;
@@ -31,6 +35,7 @@ pub mod sensei_fugu;
 pub mod sensei_pensieve;
 
 pub use bba::Bba;
+pub use das_ip::DasIp;
 pub use fugu::Fugu;
 pub use offline::OracleMpc;
 pub use pensieve::{Pensieve, PensieveConfig};

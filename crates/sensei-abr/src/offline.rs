@@ -9,10 +9,121 @@
 //! substitution. The sensitivity-aware variant weights chunk quality and
 //! may schedule intentional rebuffering; the unaware variant optimizes the
 //! same objective with uniform weights.
+//!
+//! ## Planning cost, and where it goes
+//!
+//! The horizon enumeration is the fleet's throughput cliff: `levels^h`
+//! leaves per decision, each leaf historically re-walking the trace. Three
+//! structural moves cut it without changing one result bit (asserted
+//! against a flat reference odometer in this module's tests):
+//!
+//! 1. **Prefix sharing** — plans enumerate as a depth-first tree, so a
+//!    shared prefix is walked once (inherited from the earlier refactor).
+//! 2. **Download-time memoization** — the trace walk's step
+//!    `rtt + download_time(t + rtt, size)` is a pure function of
+//!    `(t, chunk, level)` for a fixed trace, so results are cached in a
+//!    per-instance table keyed by the *exact bits* of `t`. Pause
+//!    candidates share the entire wall-clock tree (a pause shifts buffer,
+//!    not wall clock), lanes of a tile replay the same network, and the
+//!    chosen subtree recurs across chunk steps — all hits. A hit returns
+//!    exactly what recomputation would, so caching is bit-invisible.
+//! 3. **Exact branch-and-bound with guided order** — subtrees are
+//!    explored most-promising-first and skipped when a floating-point-
+//!    monotone no-stall upper bound shows they cannot change the
+//!    decision. The winner update tracks exactly the tuple the flat
+//!    reference returns — the maximum score, the earliest pause
+//!    candidate attaining it, and the smallest first action within that
+//!    candidate — so neither the visit order nor the pruning can move a
+//!    result bit.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 use sensei_qoe::Ksqi;
-use sensei_sim::{AbrPolicy, Decision, PlayerState, SessionContext};
+use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 use sensei_trace::{CumulativeTrace, ThroughputTrace};
+
+/// Memo entries above this count trigger a wholesale clear (the table is a
+/// pure cache, so clearing at any point is bit-invisible). Sized so one
+/// decision's worst-case key set (~`levels^h` wall-clock nodes) fits with
+/// two orders of magnitude to spare.
+const MEMO_CAP: usize = 1 << 18;
+
+/// Download-time memo: `(t.to_bits(), chunk·256 + level) → dt`.
+type DtMemo = HashMap<(u64, u64), f64, FxBuildHasher>;
+
+/// A tiny multiply-xor hasher for the memo's integer keys. `SipHash`'s
+/// DoS resistance buys nothing against our own plan enumeration and costs
+/// ~2× on the hot path; no external crates, so hand-rolled.
+#[derive(Debug, Clone, Copy, Default)]
+struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// See [`FxBuildHasher`].
+#[derive(Debug)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = self.0.rotate_left(26);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
+    }
+}
+
+/// Reusable planning scratch: allocated once per policy instance and
+/// recycled across decisions, lanes, and (for the memo) whole batches.
+#[derive(Debug, Clone, Default)]
+struct OracleScratch {
+    /// `h + 1` rows of running walk state, indexed by depth.
+    stack: Vec<OracleWalk>,
+    /// The horizon's chunk weights (uniform for the unaware variant).
+    weights: Vec<f64>,
+    /// `sizes[depth·L + level]`: chunk size in bits.
+    sizes: Vec<f64>,
+    /// `vqs[depth·L + level]`: visual quality.
+    vqs: Vec<f64>,
+    /// `umax[depth]`: no-stall upper bound on the weighted quality any
+    /// level can contribute at `depth` (branch-and-bound).
+    umax: Vec<f64>,
+    /// Whether the bound in `umax` is floating-point monotone (all
+    /// weights and QoE penalties nonnegative); pruning is disabled
+    /// otherwise.
+    prunable: bool,
+    /// `ord[depth·L + k]`: the levels of `depth` in descending no-stall
+    /// score order — the exploration order of the pruned search. Any
+    /// order yields identical results (see [`OracleSearch::descend`]);
+    /// leading with the bound's own argmax makes a feasible no-stall
+    /// plan prune everything else near the root.
+    ord: Vec<usize>,
+    /// Per-level score accumulator used to build `ord`.
+    scores: Vec<f64>,
+    /// The download-time memo (see module docs).
+    memo: DtMemo,
+}
 
 /// Oracle-throughput receding-horizon controller.
 #[derive(Debug, Clone)]
@@ -32,6 +143,7 @@ pub struct OracleMpc {
     /// the same miscalibration [`crate::Fugu`] corrects.
     risk_aversion: f64,
     name: String,
+    scratch: OracleScratch,
 }
 
 impl OracleMpc {
@@ -47,6 +159,7 @@ impl OracleMpc {
             sensitivity_aware: true,
             risk_aversion: 3.0,
             name: "Oracle(aware)".to_string(),
+            scratch: OracleScratch::default(),
         }
     }
 
@@ -61,126 +174,100 @@ impl OracleMpc {
         }
     }
 
-    /// Depth-first enumeration of every length-`h` plan under one pause
-    /// candidate, with exact-throughput walks shared across plan
-    /// prefixes — the oracle-side counterpart of [`crate::Fugu`]'s
-    /// prefix-sharing search (leaves visited in the flat enumeration's
-    /// lexicographic order, per-chunk arithmetic in the same sequence, so
-    /// scores and tie-breaks are bit-identical to scoring each plan from
-    /// scratch). Updates `(best_q, best)` in place.
-    #[allow(clippy::too_many_arguments)]
-    fn search_plans(
-        &self,
-        depth: usize,
-        h: usize,
-        stack: &mut [OracleWalk],
-        pause: f64,
-        pause_cost: f64,
-        state: &PlayerState<'_>,
-        ctx: &SessionContext<'_>,
-        weights: &[f64],
-        best_q: &mut f64,
-        best: &mut Decision,
-        plan0: usize,
-    ) {
-        let d = ctx.chunk_duration_s;
-        let n_levels = ctx.num_levels();
-        let chunk = state.next_chunk + depth;
-        for level in 0..n_levels {
-            let plan0 = if depth == 0 { level } else { plan0 };
-            let parent = stack[depth];
-            let size = ctx
-                .encoded
-                .size_bits(chunk, level)
-                .expect("plan stays in range");
-            let dt = self.rtt_s + self.cum.download_time(parent.t + self.rtt_s, size);
-            let stall = (dt - parent.buf).max(0.0);
-            let mut buf = (parent.buf - dt).max(0.0) + d;
-            buf = buf.min(self.max_buffer_s);
-            let vq = ctx.vq[chunk][level];
-            let switch = match parent.prev {
-                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
-                _ => 0.0,
-            };
-            stack[depth + 1] = OracleWalk {
-                t: parent.t + dt,
-                buf,
-                prev: Some((vq, level)),
-                total: parent.total
-                    + weights[depth]
-                        * self
-                            .qoe
-                            .chunk_quality(vq, stall * self.risk_aversion, switch, d),
-            };
-            if depth + 1 == h {
-                let q = stack[depth + 1].total - pause_cost;
-                if q > *best_q {
-                    *best_q = q;
-                    *best = Decision {
-                        level: plan0,
-                        pause_s: pause,
-                    };
-                }
-            } else {
-                self.search_plans(
-                    depth + 1,
-                    h,
-                    stack,
-                    pause,
-                    pause_cost,
-                    state,
-                    ctx,
-                    weights,
-                    best_q,
-                    best,
-                    plan0,
-                );
-            }
-        }
-    }
-}
-
-/// Running state of one exact-throughput plan prefix: wall clock, buffer,
-/// previous `(vq, level)`, and accumulated weighted quality.
-#[derive(Debug, Clone, Copy)]
-struct OracleWalk {
-    t: f64,
-    buf: f64,
-    prev: Option<(f64, usize)>,
-    total: f64,
-}
-
-impl AbrPolicy for OracleMpc {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Oracles are constructed around a specific trace, so reusing one
-    /// instance across sessions requires re-indexing the new network. The
-    /// cumulative index rebuilds into its existing buffers, keeping the
-    /// per-session cost allocation-free.
-    fn rebind(&mut self, trace: &ThroughputTrace) {
-        self.cum.rebind(trace);
-    }
-
-    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
-        let remaining = ctx.num_chunks() - state.next_chunk;
+    /// Fills every per-decision table that depends only on the chunk
+    /// position — the horizon's weight window, the per-(depth, level)
+    /// size/vq manifest lookups, and the branch-and-bound quality caps.
+    /// All lanes of a batch sit at the same chunk step, so the batched
+    /// entry point runs this once per chunk instead of once per lane.
+    /// Returns the effective horizon (0 at the video end).
+    fn prepare(&mut self, next_chunk: usize, ctx: &SessionContext<'_>) -> usize {
+        let remaining = ctx.num_chunks() - next_chunk;
         let h = self.horizon.min(remaining);
         if h == 0 {
-            return Decision::level(0);
+            return 0;
         }
-        let weights: Vec<f64> = if self.sensitivity_aware {
-            match ctx.weights {
-                Some(w) => {
-                    let mut v = w.window(state.next_chunk, h).to_vec();
-                    v.resize(h, 1.0);
-                    v
-                }
-                None => vec![1.0; h],
+        if self.scratch.memo.len() > MEMO_CAP {
+            self.scratch.memo.clear();
+        }
+        let weights = &mut self.scratch.weights;
+        weights.clear();
+        if self.sensitivity_aware {
+            if let Some(w) = ctx.weights {
+                weights.extend_from_slice(w.window(next_chunk, h));
             }
-        } else {
-            vec![1.0; h]
-        };
+        }
+        weights.resize(h, 1.0);
+        let n_levels = ctx.num_levels();
+        self.scratch.sizes.clear();
+        self.scratch.vqs.clear();
+        for depth in 0..h {
+            let chunk = next_chunk + depth;
+            for level in 0..n_levels {
+                self.scratch.sizes.push(
+                    ctx.encoded
+                        .size_bits(chunk, level)
+                        .expect("plan stays in range"),
+                );
+                self.scratch.vqs.push(ctx.vq[chunk][level]);
+            }
+        }
+        // The bound is sound only when every bound step is FP-monotone:
+        // nonnegative weights and nonnegative stall/switch penalties.
+        // A fitted KSQI could in principle have negative penalties, in
+        // which case pruning is simply disabled (full enumeration).
+        let (_, b, c, _) = self.qoe.coefficients();
+        self.scratch.prunable = b >= 0.0 && c >= 0.0 && weights.iter().all(|&w| w >= 0.0);
+        self.scratch.umax.clear();
+        self.scratch.ord.clear();
+        if self.scratch.prunable {
+            let d = ctx.chunk_duration_s;
+            let OracleScratch {
+                weights,
+                vqs,
+                umax,
+                ord,
+                scores,
+                ..
+            } = &mut self.scratch;
+            for depth in 0..h {
+                scores.clear();
+                let mut best = f64::NEG_INFINITY;
+                for level in 0..n_levels {
+                    // No stall, no switch: with nonnegative penalties this
+                    // dominates the quality any walk can realize here.
+                    let q = self
+                        .qoe
+                        .chunk_quality(vqs[depth * n_levels + level], 0.0, 0.0, d);
+                    let term = weights[depth] * q;
+                    scores.push(term);
+                    if term > best {
+                        best = term;
+                    }
+                }
+                umax.push(best);
+                // Guided order: highest no-stall score first. Purely a
+                // search-speed heuristic — the update rule in `descend`
+                // makes the search result order-invariant.
+                let base = ord.len();
+                ord.extend(0..n_levels);
+                ord[base..].sort_by(|&a, &b| {
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                });
+            }
+        }
+        h
+    }
+
+    /// The per-lane decision, assuming [`Self::prepare`] has run for
+    /// `(state.next_chunk, h)`.
+    fn decide_prepared(
+        &mut self,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+        h: usize,
+    ) -> Decision {
         let playhead_w = if self.sensitivity_aware {
             ctx.weights
                 .map(|w| {
@@ -198,50 +285,282 @@ impl AbrPolicy for OracleMpc {
         } else {
             &[0.0]
         };
-
-        let mut best = Decision::level(0);
-        let mut best_q = f64::NEG_INFINITY;
         let prev = state
             .last_level
             .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
-        let mut stack = vec![
+        let OracleScratch {
+            stack,
+            weights,
+            sizes,
+            vqs,
+            umax,
+            prunable,
+            ord,
+            scores: _,
+            memo,
+        } = &mut self.scratch;
+        stack.clear();
+        stack.resize(
+            h + 1,
             OracleWalk {
                 t: 0.0,
                 buf: 0.0,
                 prev: None,
                 total: 0.0,
-            };
-            h + 1
-        ];
-        for &pause in pauses {
+            },
+        );
+        let mut search = OracleSearch {
+            cum: &self.cum,
+            qoe: &self.qoe,
+            rtt_s: self.rtt_s,
+            max_buffer_s: self.max_buffer_s,
+            risk_aversion: self.risk_aversion,
+            d: ctx.chunk_duration_s,
+            next_chunk: state.next_chunk,
+            h,
+            n_levels: ctx.num_levels(),
+            weights,
+            sizes,
+            vqs,
+            umax,
+            ord,
+            prunable: *prunable,
+            stack,
+            memo,
+            pause: 0.0,
+            pause_cost: 0.0,
+            pause_idx: 0,
+            best_pause_idx: 0,
+            best_q: f64::NEG_INFINITY,
+            best: Decision::level(0),
+        };
+        for (pause_idx, &pause) in pauses.iter().enumerate() {
             // Charged at the same risk multiplier the planner applies to
             // predicted stalls, so relocating a stall is never spuriously
             // profitable (mirrors SENSEI-Fugu's accounting).
-            let pause_cost = playhead_w
+            search.pause = pause;
+            search.pause_idx = pause_idx;
+            search.pause_cost = playhead_w
                 * stall_penalty
                 * self.risk_aversion
                 * (pause / ctx.chunk_duration_s).clamp(0.0, 1.0);
-            stack[0] = OracleWalk {
+            search.stack[0] = OracleWalk {
                 t: state.elapsed_s,
                 buf: state.buffer_s + pause,
                 prev,
                 total: 0.0,
             };
-            self.search_plans(
-                0,
-                h,
-                &mut stack,
-                pause,
-                pause_cost,
-                state,
-                ctx,
-                &weights,
-                &mut best_q,
-                &mut best,
-                0,
-            );
+            search.descend(0, 0);
         }
-        best
+        search.best
+    }
+}
+
+/// Running state of one exact-throughput plan prefix: wall clock, buffer,
+/// previous `(vq, level)`, and accumulated weighted quality.
+#[derive(Debug, Clone, Copy)]
+struct OracleWalk {
+    t: f64,
+    buf: f64,
+    prev: Option<(f64, usize)>,
+    total: f64,
+}
+
+/// Depth-first enumeration of every length-`h` plan under one pause
+/// candidate, with exact-throughput walks shared across plan prefixes —
+/// the oracle-side counterpart of [`crate::Fugu`]'s prefix-sharing search.
+/// Subtrees are visited in the guided `ord` order; the update and pruning
+/// rules in [`Self::descend`] keep the decision bit-identical to scoring
+/// each `(pause, plan)` pair from scratch in the flat reference order.
+struct OracleSearch<'a> {
+    cum: &'a CumulativeTrace,
+    qoe: &'a Ksqi,
+    rtt_s: f64,
+    max_buffer_s: f64,
+    risk_aversion: f64,
+    d: f64,
+    next_chunk: usize,
+    h: usize,
+    n_levels: usize,
+    weights: &'a [f64],
+    sizes: &'a [f64],
+    vqs: &'a [f64],
+    umax: &'a [f64],
+    ord: &'a [usize],
+    prunable: bool,
+    stack: &'a mut [OracleWalk],
+    memo: &'a mut DtMemo,
+    pause: f64,
+    pause_cost: f64,
+    /// Index of the pause candidate currently being searched (candidates
+    /// run in declaration order).
+    pause_idx: usize,
+    /// Index of the pause candidate that produced `best`.
+    best_pause_idx: usize,
+    best_q: f64,
+    best: Decision,
+}
+
+impl OracleSearch<'_> {
+    /// Recursively enumerates levels at `depth`, updating `(best_q, best)`
+    /// on leaves; `plan0` is the candidate first action of this subtree.
+    ///
+    /// **Why any exploration order is exact.** A leaf's computed score
+    /// depends only on its `(pause, plan)` pair, and the only observables
+    /// are the best score and the winner's `(pause, first action)`. The
+    /// flat reference — pauses in declaration order, plans lexicographic,
+    /// strictly-greater updates — returns exactly the maximum score, the
+    /// earliest pause candidate attaining it, and the smallest first
+    /// action within that candidate (the root level is the odometer's
+    /// most significant digit). The update rule below maintains that
+    /// tuple directly: `>` wins outright, `==` wins only inside the
+    /// best's own pause candidate with a smaller `plan0` (candidates run
+    /// in order, so a tie from a *later* candidate never wins). That
+    /// frees the search to visit subtrees in the guided `ord` order.
+    ///
+    /// **Why pruning is exact.** A subtree is skipped only when the
+    /// no-stall bound shows it cannot change that tuple: strictly below
+    /// `best_q` nothing inside can win or tie; equal to `best_q`, a tie
+    /// inside matters only if it could lower the winning `plan0` within
+    /// the best's own pause candidate. The bound extends the node's
+    /// running total with the per-depth `umax` caps through the same
+    /// left-to-right fold (and final pause-cost subtraction) the leaf
+    /// computation performs; each operation is monotone under IEEE-754
+    /// round-to-nearest, so the bound dominates every leaf's *computed*
+    /// value as floating point.
+    fn descend(&mut self, depth: usize, plan0: usize) {
+        if self.prunable && depth > 0 {
+            let mut bnd = self.stack[depth].total;
+            for j in depth..self.h {
+                bnd += self.umax[j];
+            }
+            let ub = bnd - self.pause_cost;
+            let tie_can_improve = self.pause_idx == self.best_pause_idx && plan0 < self.best.level;
+            if ub < self.best_q || (ub == self.best_q && !tie_can_improve) {
+                return;
+            }
+        }
+        let chunk = self.next_chunk + depth;
+        for k in 0..self.n_levels {
+            // `ord` is only filled when pruning is active; the unpruned
+            // fallback keeps the reference's lexicographic order.
+            let level = if self.prunable {
+                self.ord[depth * self.n_levels + k]
+            } else {
+                k
+            };
+            let plan0 = if depth == 0 { level } else { plan0 };
+            let parent = self.stack[depth];
+            let size = self.sizes[depth * self.n_levels + level];
+            // The walk step is a pure function of (t, chunk, level) for a
+            // fixed trace: memo hits return the exact bits recomputation
+            // would produce. Pause candidates and sibling lanes share
+            // wall-clock trees, so hit rates are high (see module docs).
+            let key = (parent.t.to_bits(), ((chunk as u64) << 8) | level as u64);
+            let dt = match self.memo.get(&key) {
+                Some(&dt) => dt,
+                None => {
+                    let dt = self.rtt_s + self.cum.download_time(parent.t + self.rtt_s, size);
+                    self.memo.insert(key, dt);
+                    dt
+                }
+            };
+            let stall = (dt - parent.buf).max(0.0);
+            let mut buf = (parent.buf - dt).max(0.0) + self.d;
+            buf = buf.min(self.max_buffer_s);
+            let vq = self.vqs[depth * self.n_levels + level];
+            let switch = match parent.prev {
+                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                _ => 0.0,
+            };
+            self.stack[depth + 1] = OracleWalk {
+                t: parent.t + dt,
+                buf,
+                prev: Some((vq, level)),
+                total: parent.total
+                    + self.weights[depth]
+                        * self
+                            .qoe
+                            .chunk_quality(vq, stall * self.risk_aversion, switch, self.d),
+            };
+            if depth + 1 == self.h {
+                let q = self.stack[depth + 1].total - self.pause_cost;
+                if q > self.best_q
+                    || (q == self.best_q
+                        && self.pause_idx == self.best_pause_idx
+                        && plan0 < self.best.level)
+                {
+                    self.best_q = q;
+                    self.best_pause_idx = self.pause_idx;
+                    self.best = Decision {
+                        level: plan0,
+                        pause_s: self.pause,
+                    };
+                }
+            } else {
+                self.descend(depth + 1, plan0);
+            }
+        }
+    }
+}
+
+impl AbrPolicy for OracleMpc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Oracles are constructed around a specific trace, so reusing one
+    /// instance across sessions requires re-indexing the new network. The
+    /// cumulative index rebuilds into its existing buffers, keeping the
+    /// per-session cost allocation-free — and the download-time memo is
+    /// invalidated, because its entries are only valid for the trace they
+    /// were computed against.
+    fn rebind(&mut self, trace: &ThroughputTrace) {
+        self.cum.rebind(trace);
+        self.scratch.memo.clear();
+    }
+
+    fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
+        let h = self.prepare(state.next_chunk, ctx);
+        if h == 0 {
+            return Decision::level(0);
+        }
+        self.decide_prepared(state, ctx, h)
+    }
+
+    /// Recycles the memo at the batch boundary: entries from the previous
+    /// batch's trace (already cleared by `rebind`) or from far-away chunk
+    /// positions rarely hit again, and a bounded table keeps lookups hot.
+    fn begin_batch(&mut self, lanes: usize) {
+        let _ = lanes;
+        self.reset();
+        self.scratch.memo.clear();
+    }
+
+    /// Plans every lane of the batch in one pass: the horizon weight
+    /// window, manifest tables, and bound caps are prepared once per
+    /// chunk step (they depend only on the shared chunk position), and
+    /// every lane's search then runs over the same prepared tables the
+    /// scalar path uses — plus a download-time memo that lets lanes reuse
+    /// each other's trace walks. Decisions are bit-identical to
+    /// [`Self::decide`] per lane.
+    fn select_batch(
+        &mut self,
+        states: &BatchStates<'_>,
+        ctx: &SessionContext<'_>,
+        out: &mut [Decision],
+    ) {
+        let h = self.prepare(states.next_chunk(), ctx);
+        if h == 0 {
+            for slot in out.iter_mut().take(states.len()) {
+                *slot = Decision::level(0);
+            }
+            return;
+        }
+        for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
+            let state = states.state(i);
+            *slot = self.decide_prepared(&state, ctx, h);
+        }
     }
 }
 
@@ -338,5 +657,225 @@ mod tests {
             .map(|c| c.intentional_rebuffer_s)
             .sum();
         assert_eq!(intentional, 0.0);
+    }
+
+    /// The pre-optimization semantics, restated as a flat reference: every
+    /// `(pause, plan)` pair scored by an independent exact-throughput walk
+    /// (fresh trace integration per plan, no prefix sharing, no memo, no
+    /// pruning), pauses in declaration order, plans in odometer
+    /// (lexicographic) order, strictly-greater winner updates. The
+    /// memoized branch-and-bound search must reproduce its decisions —
+    /// level, pause, and score provenance — exactly.
+    fn reference_decide(
+        mpc: &OracleMpc,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+    ) -> Decision {
+        let remaining = ctx.num_chunks() - state.next_chunk;
+        let h = mpc.horizon.min(remaining);
+        if h == 0 {
+            return Decision::level(0);
+        }
+        let weights: Vec<f64> = if mpc.sensitivity_aware {
+            match ctx.weights {
+                Some(w) => {
+                    let mut v = w.window(state.next_chunk, h).to_vec();
+                    v.resize(h, 1.0);
+                    v
+                }
+                None => vec![1.0; h],
+            }
+        } else {
+            vec![1.0; h]
+        };
+        let playhead_w = if mpc.sensitivity_aware {
+            ctx.weights
+                .map(|w| {
+                    let buffered = (state.buffer_s / ctx.chunk_duration_s).ceil() as usize;
+                    let playhead = state.next_chunk.saturating_sub(buffered);
+                    w.get(playhead.min(w.len() - 1)).unwrap_or(1.0)
+                })
+                .unwrap_or(1.0)
+        } else {
+            1.0
+        };
+        let (_, stall_penalty, _, _) = mpc.qoe.coefficients();
+        let pauses: &[f64] = if mpc.allow_pause && state.playing {
+            &[0.0, 1.0, 2.0]
+        } else {
+            &[0.0]
+        };
+        let n_levels = ctx.num_levels();
+        let d = ctx.chunk_duration_s;
+        let mut best = Decision::level(0);
+        let mut best_q = f64::NEG_INFINITY;
+        for &pause in pauses {
+            let pause_cost =
+                playhead_w * stall_penalty * mpc.risk_aversion * (pause / d).clamp(0.0, 1.0);
+            let mut plan = vec![0usize; h];
+            'plans: loop {
+                // Score this plan from scratch.
+                let mut t = state.elapsed_s;
+                let mut buf = state.buffer_s + pause;
+                let mut prev = state
+                    .last_level
+                    .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+                let mut total = 0.0;
+                for (j, &level) in plan.iter().enumerate() {
+                    let chunk = state.next_chunk + j;
+                    let size = ctx.encoded.size_bits(chunk, level).unwrap();
+                    let dt = mpc.rtt_s + mpc.cum.download_time(t + mpc.rtt_s, size);
+                    let stall = (dt - buf).max(0.0);
+                    buf = (buf - dt).max(0.0) + d;
+                    buf = buf.min(mpc.max_buffer_s);
+                    let vq = ctx.vq[chunk][level];
+                    let switch = match prev {
+                        Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                        _ => 0.0,
+                    };
+                    prev = Some((vq, level));
+                    total += weights[j]
+                        * mpc
+                            .qoe
+                            .chunk_quality(vq, stall * mpc.risk_aversion, switch, d);
+                    t += dt;
+                }
+                let q = total - pause_cost;
+                if q > best_q {
+                    best_q = q;
+                    best = Decision {
+                        level: plan[0],
+                        pause_s: pause,
+                    };
+                }
+                // Odometer increment (lexicographic plan order); a full
+                // wrap ends this pause candidate's enumeration.
+                let mut pos = h;
+                loop {
+                    if pos == 0 {
+                        break 'plans;
+                    }
+                    pos -= 1;
+                    plan[pos] += 1;
+                    if plan[pos] < n_levels {
+                        break;
+                    }
+                    plan[pos] = 0;
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn memoized_search_matches_the_flat_reference() {
+        let src = source();
+        let enc = encoded(&src);
+        let weights = SensitivityWeights::ground_truth(&src);
+        let trace = sensei_trace::generate::hsdpa_like(1400.0, 600, 23);
+        // Horizon 4 keeps the 3 · levels^h · h reference walks tractable
+        // in debug builds; the search structure (prefix sharing, memo,
+        // bound, pause loop) is identical at every horizon, and the full
+        // default horizon is additionally spot-checked below.
+        let mut configs = [OracleMpc::aware(&trace), OracleMpc::unaware(&trace)];
+        for mpc in &mut configs {
+            mpc.horizon = 4;
+            let ctx = SessionContext {
+                encoded: &enc,
+                vq: enc.vq_table(),
+                weights: mpc.sensitivity_aware.then_some(&weights),
+                chunk_duration_s: src.chunk_duration_s(),
+            };
+            for next_chunk in [0, 2, 7, src.num_chunks() - 2, src.num_chunks() - 1] {
+                for buffer_s in [0.5, 4.0, 12.5, 23.5] {
+                    for elapsed_s in [0.0, 37.25, 188.0] {
+                        let state = PlayerState {
+                            next_chunk,
+                            buffer_s,
+                            last_level: Some(2),
+                            throughput_history_kbps: &[1000.0; 4],
+                            download_time_history_s: &[1.0; 4],
+                            elapsed_s,
+                            playing: true,
+                        };
+                        let fast = mpc.decide(&state, &ctx);
+                        let slow = reference_decide(mpc, &state, &ctx);
+                        assert_eq!(
+                            fast.level, slow.level,
+                            "{} level at chunk {next_chunk}, buf {buffer_s}, t {elapsed_s}",
+                            mpc.name
+                        );
+                        assert_eq!(
+                            fast.pause_s.to_bits(),
+                            slow.pause_s.to_bits(),
+                            "{} pause at chunk {next_chunk}, buf {buffer_s}, t {elapsed_s}",
+                            mpc.name
+                        );
+                    }
+                }
+            }
+        }
+        // Full default horizon, one representative mid-session state per
+        // variant (the reference enumerates 3 · 5^6 plans here — costly,
+        // so just one state each).
+        for mpc in &mut [OracleMpc::aware(&trace), OracleMpc::unaware(&trace)] {
+            let ctx = SessionContext {
+                encoded: &enc,
+                vq: enc.vq_table(),
+                weights: mpc.sensitivity_aware.then_some(&weights),
+                chunk_duration_s: src.chunk_duration_s(),
+            };
+            let state = PlayerState {
+                next_chunk: 6,
+                buffer_s: 9.0,
+                last_level: Some(1),
+                throughput_history_kbps: &[1200.0; 5],
+                download_time_history_s: &[1.0; 5],
+                elapsed_s: 51.5,
+                playing: true,
+            };
+            let fast = mpc.decide(&state, &ctx);
+            let slow = reference_decide(mpc, &state, &ctx);
+            assert_eq!((fast.level, fast.pause_s), (slow.level, slow.pause_s));
+        }
+    }
+
+    #[test]
+    fn warm_memo_matches_cold_instance_bit_for_bit() {
+        // One long-lived instance whose memo fills up across many
+        // decisions must decide exactly like a fresh instance per state:
+        // memo hits are bit-invisible.
+        let src = source();
+        let enc = encoded(&src);
+        let weights = SensitivityWeights::ground_truth(&src);
+        let trace = sensei_trace::generate::hsdpa_like(1100.0, 600, 7);
+        let mut warm = OracleMpc::aware(&trace);
+        let ctx = SessionContext {
+            encoded: &enc,
+            vq: enc.vq_table(),
+            weights: Some(&weights),
+            chunk_duration_s: src.chunk_duration_s(),
+        };
+        for next_chunk in 0..src.num_chunks() {
+            for (buffer_s, elapsed_s) in [(1.0, 10.0), (8.0, 77.7), (20.0, 140.0)] {
+                let state = PlayerState {
+                    next_chunk,
+                    buffer_s,
+                    last_level: Some(3),
+                    throughput_history_kbps: &[900.0; 3],
+                    download_time_history_s: &[1.0; 3],
+                    elapsed_s,
+                    playing: true,
+                };
+                let warm_d = warm.decide(&state, &ctx);
+                let cold_d = OracleMpc::aware(&trace).decide(&state, &ctx);
+                assert_eq!(warm_d.level, cold_d.level);
+                assert_eq!(warm_d.pause_s.to_bits(), cold_d.pause_s.to_bits());
+            }
+        }
+        assert!(
+            !warm.scratch.memo.is_empty(),
+            "the memo should actually be exercised"
+        );
     }
 }

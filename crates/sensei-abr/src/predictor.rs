@@ -67,11 +67,24 @@ impl ThroughputPredictor {
 
     /// The scenario set as `(probability, kbps)` pairs.
     pub fn scenario_rates(&self, state: &PlayerState<'_>) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        self.scenario_rates_into(state, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::scenario_rates`]: fills `out`
+    /// in place so MPC controllers can keep one rates buffer per policy
+    /// instance instead of allocating a `Vec` per decision. The scenario
+    /// `(probability, factor)` pairs are per-policy constants; only the
+    /// harmonic-mean point estimate is per-decision.
+    pub fn scenario_rates_into(&self, state: &PlayerState<'_>, out: &mut Vec<(f64, f64)>) {
         let point = self.predict_kbps(state);
-        self.scenarios
-            .iter()
-            .map(|s| (s.probability, (point * s.factor).max(1.0)))
-            .collect()
+        out.clear();
+        out.extend(
+            self.scenarios
+                .iter()
+                .map(|s| (s.probability, (point * s.factor).max(1.0))),
+        );
     }
 }
 

@@ -33,6 +33,9 @@ pub struct SenseiFugu {
     /// budget is **per-session** state, so each lane keeps its own spend
     /// (see [`AbrPolicy::select_batch`] below).
     lane_pause_spent_s: Vec<f64>,
+    /// Horizon weight scratch, refilled per decision — one long-lived
+    /// buffer instead of a `Vec` allocation per decision.
+    weights_scratch: Vec<f64>,
 }
 
 impl SenseiFugu {
@@ -49,6 +52,7 @@ impl SenseiFugu {
             allow_pause: true,
             pause_spent_s: 0.0,
             lane_pause_spent_s: Vec::new(),
+            weights_scratch: Vec::new(),
         }
     }
 
@@ -83,18 +87,17 @@ impl SenseiFugu {
         self
     }
 
-    /// Weight vector covering the horizon starting at `next_chunk`; falls
-    /// back to uniform when the manifest carried no weights.
-    fn horizon_weights(state: &PlayerState<'_>, ctx: &SessionContext<'_>, h: usize) -> Vec<f64> {
-        match ctx.weights {
-            Some(w) => {
-                let window = w.window(state.next_chunk, h);
-                let mut out = window.to_vec();
-                out.resize(h, 1.0);
-                out
-            }
-            None => vec![1.0; h],
+    /// Fills the scratch weight vector covering the horizon starting at
+    /// `next_chunk`; falls back to uniform when the manifest carried no
+    /// weights. Lane-invariant within a batch tile, so the batched path
+    /// fills it once per chunk step.
+    fn fill_horizon_weights(&mut self, next_chunk: usize, ctx: &SessionContext<'_>, h: usize) {
+        self.weights_scratch.clear();
+        if let Some(w) = ctx.weights {
+            self.weights_scratch
+                .extend_from_slice(w.window(next_chunk, h));
         }
+        self.weights_scratch.resize(h, 1.0);
     }
 
     /// Weight of the chunk currently at the playhead (where an intentional
@@ -133,19 +136,31 @@ impl AbrPolicy for SenseiFugu {
         self.lane_pause_spent_s.resize(lanes, 0.0);
     }
 
-    /// Swaps each lane's pause ledger into the scalar slot around
-    /// [`Self::decide`], so every lane sees exactly the budget state a
-    /// dedicated per-session instance would — byte-identical decisions to
-    /// the scalar path.
+    /// Plans every lane of the batch over shared per-tile tables, swapping
+    /// each lane's pause ledger into the scalar slot so every lane sees
+    /// exactly the budget state a dedicated per-session instance would.
+    /// All lanes of a batch sit at the same chunk step, so the manifest
+    /// size/vq tables and the horizon weight window are filled once for
+    /// the whole tile — byte-identical decisions to the scalar path.
     fn select_batch(
         &mut self,
         states: &BatchStates<'_>,
         ctx: &SessionContext<'_>,
         out: &mut [Decision],
     ) {
+        let remaining = ctx.num_chunks() - states.next_chunk();
+        let h = crate::fugu::DEFAULT_HORIZON.min(remaining);
+        if h == 0 {
+            for slot in out.iter_mut().take(states.len()) {
+                *slot = Decision::level(0);
+            }
+            return;
+        }
+        self.inner.fill_chunk_tables(states.next_chunk(), h, ctx);
+        self.fill_horizon_weights(states.next_chunk(), ctx, h);
         for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
             self.pause_spent_s = self.lane_pause_spent_s[i];
-            *slot = self.decide(&states.state(i), ctx);
+            *slot = self.decide_prepared(&states.state(i), ctx, h);
             self.lane_pause_spent_s[i] = self.pause_spent_s;
         }
     }
@@ -156,7 +171,25 @@ impl AbrPolicy for SenseiFugu {
         if h == 0 {
             return Decision::level(0);
         }
-        let weights = Self::horizon_weights(state, ctx, h);
+        self.inner.fill_chunk_tables(state.next_chunk, h, ctx);
+        self.fill_horizon_weights(state.next_chunk, ctx, h);
+        self.decide_prepared(state, ctx, h)
+    }
+}
+
+impl SenseiFugu {
+    /// One decision over prepared tables: assumes the inner MPC's chunk
+    /// tables and the horizon weight window are filled for
+    /// `(state.next_chunk, h)`. The scenario rates and download times are
+    /// filled here once and shared by every pause candidate — a candidate
+    /// perturbs only the buffer, which neither table reads.
+    fn decide_prepared(
+        &mut self,
+        state: &PlayerState<'_>,
+        ctx: &SessionContext<'_>,
+        h: usize,
+    ) -> Decision {
+        self.inner.prepare_rates(state, ctx, h);
         let playhead_w = Self::playhead_weight(state, ctx);
         let (_, stall_penalty, _, _) = self.qoe.coefficients();
         let budget = Self::PAUSE_BUDGET_FRACTION * ctx.num_chunks() as f64 * ctx.chunk_duration_s;
@@ -192,7 +225,9 @@ impl AbrPolicy for SenseiFugu {
             // Hysteresis: an intentional stall must buy a clear planned
             // improvement, not a prediction-noise-sized one.
             let margin = if pause > 0.0 { 0.05 } else { 0.0 };
-            let (level, plan_q) = self.inner.best_plan(&paused_state, ctx, Some(&weights));
+            let (level, plan_q) =
+                self.inner
+                    .plan_prepared(&paused_state, ctx, Some(&self.weights_scratch), h);
             let q = plan_q - pause_cost - margin;
             if q > best_q {
                 best_q = q;

@@ -6,7 +6,9 @@
 //! true-QoE oracle — the simulated stand-in for "real user ratings".
 
 use crate::CoreError;
-use sensei_abr::{Bba, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve};
+use sensei_abr::{
+    Bba, DasIp, Fugu, OracleMpc, Pensieve, PensieveConfig, SenseiFugu, SenseiPensieve,
+};
 use sensei_crowd::{TrueQoe, WeightProfiler};
 use sensei_sim::{
     simulate_batch_in, AbrPolicy, BatchLanes, PlayerConfig, SessionBatch, SessionResult,
@@ -120,6 +122,11 @@ pub enum PolicyKind {
     OracleAware,
     /// Idealistic full-trace-knowledge controller, sensitivity-unaware.
     OracleUnaware,
+    /// DAS-IP index policy (Singh & Kumar, arXiv:1612.05864): `O(levels)`
+    /// per decision instead of a horizon enumeration — the MPC family's
+    /// fleet-scale cost point. Appended after the original eight so the
+    /// table indices of persisted reports stay stable.
+    DasIp,
 }
 
 impl PolicyKind {
@@ -134,6 +141,7 @@ impl PolicyKind {
             PolicyKind::SenseiPensieve => "SENSEI-Pensieve",
             PolicyKind::OracleAware => "Dynamic-sensitivity-aware ABR",
             PolicyKind::OracleUnaware => "Dynamic-sensitivity-unaware ABR",
+            PolicyKind::DasIp => "DAS-IP",
         }
     }
 
@@ -150,7 +158,7 @@ impl PolicyKind {
 
     /// Every policy kind, in declaration order — the index space of
     /// [`SessionRuntime`]'s policy table.
-    pub const ALL: [PolicyKind; 8] = [
+    pub const ALL: [PolicyKind; 9] = [
         PolicyKind::Bba,
         PolicyKind::Fugu,
         PolicyKind::Pensieve,
@@ -159,6 +167,7 @@ impl PolicyKind {
         PolicyKind::SenseiPensieve,
         PolicyKind::OracleAware,
         PolicyKind::OracleUnaware,
+        PolicyKind::DasIp,
     ];
 
     /// Stable position in [`Self::ALL`].
@@ -408,6 +417,7 @@ impl Experiment {
             }
             PolicyKind::OracleAware => Box::new(OracleMpc::aware(trace)),
             PolicyKind::OracleUnaware => Box::new(OracleMpc::unaware(trace)),
+            PolicyKind::DasIp => Box::new(DasIp::new()),
         })
     }
 

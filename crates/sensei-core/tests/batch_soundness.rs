@@ -103,9 +103,12 @@ fn every_kind_and_width_is_byte_identical_to_simulate_in() {
         },
     ];
     // Lanes cycle kinds × players so every width exercises mixed policy
-    // groups (and, at width 64, repeated lanes of the same group).
+    // groups (and, at width 64, repeated lanes of the same group). Every
+    // kind in `ALL` — including the batched MPC family and DAS-IP — gets
+    // at least one lane per player variant.
+    let n_kinds = PolicyKind::ALL.len();
     let lane_specs: Vec<(PolicyKind, PlayerConfig)> = (0..64)
-        .map(|i| (PolicyKind::ALL[i % 8], players[(i / 8) % 3]))
+        .map(|i| (PolicyKind::ALL[i % n_kinds], players[(i / n_kinds) % 3]))
         .collect();
     let asset = &env.assets[0];
     let trace = &env.traces[2];

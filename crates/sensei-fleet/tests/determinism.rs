@@ -136,7 +136,12 @@ fn different_master_seeds_change_perturbed_scenarios() {
 #[test]
 fn single_worker_grid_fleet_matches_run_grid() {
     let env = quick_experiment(7);
-    let kinds = [PolicyKind::Bba, PolicyKind::Fugu, PolicyKind::SenseiFugu];
+    let kinds = [
+        PolicyKind::Bba,
+        PolicyKind::Fugu,
+        PolicyKind::SenseiFugu,
+        PolicyKind::DasIp,
+    ];
     let sequential = env.run_grid(&kinds).unwrap();
     let matrix = ScenarioMatrix::grid(&kinds).unwrap();
     let fleet_cells = Fleet::new(&env, &matrix, FleetConfig::new(1))

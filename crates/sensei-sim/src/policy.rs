@@ -140,13 +140,15 @@ pub trait AbrPolicy {
     /// the whole batch).
     ///
     /// The default is the scalar loop over [`Self::decide`], so every
-    /// policy is batch-correct out of the box. Overrides exist for two
+    /// policy is batch-correct out of the box. Overrides exist for three
     /// reasons: to cut per-lane dispatch (BBA maps the whole lane-buffer
-    /// slice through its threshold rule in one loop) or to keep
-    /// per-session mutable state per lane (SENSEI-Fugu's pause ledger).
-    /// The MPC family deliberately keeps the default — its batching win
-    /// lives in the prefix-sharing plan search inside `decide`, not in
-    /// the dispatch layer. No override may change a single result bit.
+    /// slice through its threshold rule in one loop), to keep per-session
+    /// mutable state per lane (SENSEI-Fugu's pause ledger), or to hoist
+    /// lane-invariant planning work out of the lane loop — every lane of
+    /// a batch sits at the same chunk of the same video, so the MPC
+    /// family prepares its manifest tables, horizon weight window, and
+    /// search bounds once per chunk step and shares a download-time memo
+    /// across lanes. No override may change a single result bit.
     fn select_batch(
         &mut self,
         states: &crate::batch::BatchStates<'_>,
