@@ -31,6 +31,7 @@
 use crate::predictor::ThroughputPredictor;
 use sensei_qoe::Ksqi;
 use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
+use sensei_telemetry as telemetry;
 
 /// The paper's planning horizon ("We pick h = 5 since we observe that QoE
 /// gains flatten beyond a horizon of 4 chunks").
@@ -349,8 +350,12 @@ impl Fugu {
             stack,
             best_q: f64::NEG_INFINITY,
             best_plan0: 0,
+            nodes: 0,
+            pruned: 0,
         };
         search.descend(0, 0);
+        telemetry::count(telemetry::Counter::PlanNodes, search.nodes);
+        telemetry::count(telemetry::Counter::PlanPrunes, search.pruned);
         (search.best_plan0, search.best_q)
     }
 }
@@ -384,6 +389,11 @@ struct PlanSearch<'a> {
     stack: &'a mut [ScenarioWalk],
     best_q: f64,
     best_plan0: usize,
+    /// Telemetry tallies, flushed once per decision: `(depth, level)`
+    /// expansions and bound-pruned subtrees. Plain local adds keep the
+    /// hot loop free of thread-local traffic.
+    nodes: u64,
+    pruned: u64,
 }
 
 impl PlanSearch<'_> {
@@ -452,10 +462,12 @@ impl PlanSearch<'_> {
                 ub += self.rates[si].0 * bnd;
             }
             if ub < self.best_q || (ub == self.best_q && plan0 >= self.best_plan0) {
+                self.pruned += 1;
                 return;
             }
         }
         for k in 0..self.n_levels {
+            self.nodes += 1;
             // `ord` is only filled when pruning is active; the unpruned
             // fallback keeps the reference's lexicographic order.
             let level = if self.prunable {

@@ -41,6 +41,7 @@ use std::hash::{BuildHasher, Hasher};
 
 use sensei_qoe::Ksqi;
 use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
+use sensei_telemetry as telemetry;
 use sensei_trace::{CumulativeTrace, ThroughputTrace};
 
 /// Memo entries above this count trigger a wholesale clear (the table is a
@@ -333,6 +334,10 @@ impl OracleMpc {
             best_pause_idx: 0,
             best_q: f64::NEG_INFINITY,
             best: Decision::level(0),
+            nodes: 0,
+            pruned: 0,
+            memo_lookups: 0,
+            memo_hits: 0,
         };
         for (pause_idx, &pause) in pauses.iter().enumerate() {
             // Charged at the same risk multiplier the planner applies to
@@ -352,6 +357,10 @@ impl OracleMpc {
             };
             search.descend(0, 0);
         }
+        telemetry::count(telemetry::Counter::PlanNodes, search.nodes);
+        telemetry::count(telemetry::Counter::PlanPrunes, search.pruned);
+        telemetry::count(telemetry::Counter::DtMemoLookups, search.memo_lookups);
+        telemetry::count(telemetry::Counter::DtMemoHits, search.memo_hits);
         search.best
     }
 }
@@ -399,6 +408,13 @@ struct OracleSearch<'a> {
     best_pause_idx: usize,
     best_q: f64,
     best: Decision,
+    /// Telemetry tallies, flushed once per decision: `(depth, level)`
+    /// expansions, bound-pruned subtrees, and download-time memo traffic.
+    /// Plain local adds keep the hot loop free of thread-local traffic.
+    nodes: u64,
+    pruned: u64,
+    memo_lookups: u64,
+    memo_hits: u64,
 }
 
 impl OracleSearch<'_> {
@@ -437,11 +453,13 @@ impl OracleSearch<'_> {
             let ub = bnd - self.pause_cost;
             let tie_can_improve = self.pause_idx == self.best_pause_idx && plan0 < self.best.level;
             if ub < self.best_q || (ub == self.best_q && !tie_can_improve) {
+                self.pruned += 1;
                 return;
             }
         }
         let chunk = self.next_chunk + depth;
         for k in 0..self.n_levels {
+            self.nodes += 1;
             // `ord` is only filled when pruning is active; the unpruned
             // fallback keeps the reference's lexicographic order.
             let level = if self.prunable {
@@ -457,8 +475,12 @@ impl OracleSearch<'_> {
             // would produce. Pause candidates and sibling lanes share
             // wall-clock trees, so hit rates are high (see module docs).
             let key = (parent.t.to_bits(), ((chunk as u64) << 8) | level as u64);
+            self.memo_lookups += 1;
             let dt = match self.memo.get(&key) {
-                Some(&dt) => dt,
+                Some(&dt) => {
+                    self.memo_hits += 1;
+                    dt
+                }
                 None => {
                     let dt = self.rtt_s + self.cum.download_time(parent.t + self.rtt_s, size);
                     self.memo.insert(key, dt);

@@ -59,9 +59,12 @@ fn iso_date_today() -> String {
 }
 
 /// One measurement entry (used both for the latest `runs` and the
-/// appended `trajectory`).
+/// appended `trajectory`). Runs with telemetry on carry a phase/planner
+/// breakdown so the trajectory records not just *how fast* but *where
+/// the time went* — note no nested `date` keys (CI counts them to check
+/// trajectory growth).
 fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
-    obj([
+    let mut fields = vec![
         ("name", Json::Str(name.to_string())),
         ("date", Json::Str(date.to_string())),
         ("quick", Json::Bool(quick)),
@@ -69,7 +72,43 @@ fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
         ("workers", Json::Num(report.workers as f64)),
         ("wall_time_s", Json::Num(report.wall_time_s)),
         ("sessions_per_sec", Json::Num(report.sessions_per_sec)),
-    ])
+        (
+            "phases",
+            obj([
+                ("setup_s", Json::Num(report.phases.setup_s)),
+                ("execute_s", Json::Num(report.phases.execute_s)),
+                ("collect_s", Json::Num(report.phases.collect_s)),
+            ]),
+        ),
+    ];
+    if let Some(t) = &report.telemetry {
+        use sensei_fleet::telemetry::Phase;
+        fields.push((
+            "profile",
+            obj([
+                (
+                    "admission_wait_s",
+                    Json::Num(t.phase_secs(Phase::TileAdmissionWait)),
+                ),
+                (
+                    "network_materialize_s",
+                    Json::Num(t.phase_secs(Phase::NetworkMaterialize)),
+                ),
+                (
+                    "lane_simulate_s",
+                    Json::Num(t.phase_secs(Phase::LaneSimulate)),
+                ),
+                ("score_s", Json::Num(t.phase_secs(Phase::Score))),
+                (
+                    "plan_nodes",
+                    Json::Num(t.counter(sensei_fleet::telemetry::Counter::PlanNodes) as f64),
+                ),
+                ("prune_rate", Json::Num(t.prune_rate())),
+                ("memo_hit_rate", Json::Num(t.memo_hit_rate())),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 /// Prior trajectory entries from an existing `BENCH_fleet.json`: the
@@ -209,7 +248,12 @@ fn main() {
         .master_seed(2021)
         .build()
         .expect("valid matrix");
-    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    let fleet = Fleet::new(
+        &env,
+        &matrix,
+        FleetConfig::new(workers).with_telemetry(true),
+    )
+    .expect("valid fleet");
     let total = fleet.num_scenarios();
     assert!(
         quick || total >= 10_000,
@@ -260,7 +304,12 @@ fn main() {
         .master_seed(2021)
         .build()
         .expect("valid matrix");
-    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    let fleet = Fleet::new(
+        &env,
+        &matrix,
+        FleetConfig::new(workers).with_telemetry(true),
+    )
+    .expect("valid fleet");
     println!(
         "[mixed] {} sessions on {workers} workers...",
         fleet.num_scenarios()
@@ -320,7 +369,12 @@ fn main() {
         .master_seed(2021)
         .build()
         .expect("valid matrix");
-    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    let fleet = Fleet::new(
+        &env,
+        &matrix,
+        FleetConfig::new(workers).with_telemetry(true),
+    )
+    .expect("valid fleet");
     println!(
         "[mpc] {} sessions on {workers} workers...",
         fleet.num_scenarios()
@@ -386,7 +440,12 @@ fn main() {
     let proc_env = families
         .into_experiment(&proc_config)
         .expect("families onboard");
-    let fleet = Fleet::new(&proc_env, &matrix, FleetConfig::new(workers)).expect("valid fleet");
+    let fleet = Fleet::new(
+        &proc_env,
+        &matrix,
+        FleetConfig::new(workers).with_telemetry(true),
+    )
+    .expect("valid fleet");
     println!(
         "[procedural] {} sessions ({corpus_size} videos x {trace_count} family traces) on {workers} workers...",
         fleet.num_scenarios()

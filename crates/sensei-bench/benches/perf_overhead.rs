@@ -3,7 +3,15 @@
 //! here we measure decision cost directly: SENSEI-Fugu must stay within
 //! the same order of magnitude as Fugu, and both far below the 4-second
 //! chunk budget.
-use criterion::{criterion_group, criterion_main, Criterion};
+//!
+//! The same budget-discipline question applies to our own measurement
+//! layer, so this bench also measures the fleet telemetry overhead:
+//! a BBA-only scale-shaped fleet run with telemetry on vs. off
+//! (interleaved repeats, best-of-N), printing the wall-clock delta
+//! against the <2% acceptance target and asserting the aggregates stay
+//! bit-identical either way. Timing on shared CI hardware is noisy, so
+//! the target only hard-fails under `SENSEI_OVERHEAD_STRICT=1`.
+use criterion::{criterion_group, Criterion};
 use sensei_abr::{Bba, Fugu, SenseiFugu};
 use sensei_sim::{simulate, AbrPolicy, PlayerConfig, PlayerState, SessionContext};
 use sensei_video::content::{Genre, SceneKind, SceneSpec};
@@ -106,5 +114,74 @@ fn bench_session(c: &mut Criterion) {
     });
 }
 
+/// Telemetry overhead on the throughput-critical path: the fleet's
+/// cheap-policy scale shape, where per-session work is smallest and any
+/// fixed recording cost looms largest.
+fn fleet_overhead() {
+    use sensei_core::{Experiment, ExperimentConfig, PolicyKind};
+    use sensei_fleet::{Fleet, FleetConfig, ScenarioMatrix, TracePerturbation};
+    use std::time::Instant;
+
+    let env = Experiment::build(&ExperimentConfig::quick(2026)).unwrap();
+    let matrix = ScenarioMatrix::builder()
+        .policies([PolicyKind::Bba])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation::jittered(200.0),
+        ])
+        .master_seed(0x0BEE)
+        .build()
+        .unwrap();
+    let time_run = |telemetry: bool| {
+        let fleet =
+            Fleet::new(&env, &matrix, FleetConfig::new(2).with_telemetry(telemetry)).unwrap();
+        let started = Instant::now();
+        let report = fleet.run().unwrap();
+        (started.elapsed().as_secs_f64(), report)
+    };
+    // Interleaved best-of-N: alternating on/off runs share whatever
+    // thermal and cache state the machine is in, and the minimum is the
+    // least-noise estimate of each mode's true cost.
+    const REPEATS: usize = 5;
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    let (mut stats_off, mut stats_on) = (None, None);
+    for _ in 0..REPEATS {
+        let (wall, report) = time_run(false);
+        best_off = best_off.min(wall);
+        stats_off.get_or_insert(report.stats);
+        let (wall, report) = time_run(true);
+        best_on = best_on.min(wall);
+        stats_on.get_or_insert(report.telemetry.map(|t| (t.summary(), report.stats)));
+    }
+    // The hard contract first: recording must not move one result bit.
+    let (summary, stats_on) = stats_on
+        .flatten()
+        .expect("telemetry run produced a snapshot");
+    assert_eq!(
+        stats_off.expect("plain run produced stats"),
+        stats_on,
+        "telemetry changed the fleet aggregates"
+    );
+    let delta = (best_on - best_off) / best_off;
+    println!("\n== fleet telemetry overhead (BBA scale shape, best of {REPEATS}) ==");
+    println!("telemetry off: {:.4} s", best_off);
+    println!("telemetry on:  {:.4} s", best_on);
+    println!("delta: {:+.2}% (target < 2%)", delta * 100.0);
+    print!("{summary}");
+    let strict = std::env::var("SENSEI_OVERHEAD_STRICT").is_ok_and(|v| !v.is_empty() && v != "0");
+    if delta >= 0.02 {
+        let msg = format!(
+            "telemetry overhead {:.2}% exceeds the 2% target",
+            delta * 100.0
+        );
+        assert!(!strict, "{msg}");
+        println!("WARN: {msg} (non-strict run; set SENSEI_OVERHEAD_STRICT=1 to fail)");
+    }
+}
+
 criterion_group!(benches, bench_decisions, bench_session);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    fleet_overhead();
+}

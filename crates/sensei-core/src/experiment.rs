@@ -13,6 +13,7 @@ use sensei_crowd::{TrueQoe, WeightProfiler};
 use sensei_sim::{
     simulate_batch_in, AbrPolicy, BatchLanes, PlayerConfig, SessionBatch, SessionResult,
 };
+use sensei_telemetry as telemetry;
 use sensei_trace::{generate, ThroughputTrace};
 use sensei_video::{
     corpus, BitrateLadder, CorpusEntry, EncodedVideo, SensitivityWeights, SourceVideo,
@@ -576,6 +577,7 @@ impl Experiment {
             }
             let policy = slot.as_mut().expect("policy built above").as_mut();
             policy.rebind(trace);
+            telemetry::count(telemetry::Counter::PolicyRebinds, 1);
             groups.push(BatchLanes {
                 policy,
                 weights: kind.uses_weights().then_some(&asset.weights),
@@ -584,18 +586,21 @@ impl Experiment {
             next_group += 1;
         }
         results.clear();
-        simulate_batch_in(
-            batch,
-            &asset.source,
-            &asset.encoded,
-            trace,
-            &mut groups,
-            results,
-        )
-        .map_err(|failure| BatchFailure {
-            lane: order[failure.lane],
-            error: failure.error.into(),
-        })?;
+        {
+            let _span = telemetry::span(telemetry::Phase::LaneSimulate);
+            simulate_batch_in(
+                batch,
+                &asset.source,
+                &asset.encoded,
+                trace,
+                &mut groups,
+                results,
+            )
+            .map_err(|failure| BatchFailure {
+                lane: order[failure.lane],
+                error: failure.error.into(),
+            })?;
+        }
         drop(groups);
 
         // Score and emit in the caller's lane order. The identifying
@@ -607,6 +612,7 @@ impl Experiment {
         let trace_mean_kbps = trace.mean_kbps();
         let out_mark = out.len();
         out.reserve(lanes.len());
+        let score_span = telemetry::span(telemetry::Phase::Score);
         for (i, &(kind, _)) in lanes.iter().enumerate() {
             let result: &SessionResult = &results[flat_of[i]];
             let qoe01 = match self.oracle.qoe01(&asset.source, &result.render) {
@@ -638,9 +644,13 @@ impl Experiment {
                 bitrate_switches: result.levels.windows(2).filter(|w| w[0] != w[1]).count(),
             });
         }
+        drop(score_span);
         for result in results.drain(..) {
             batch.reclaim(result);
         }
+        telemetry::count(telemetry::Counter::Batches, 1);
+        telemetry::count(telemetry::Counter::Sessions, lanes.len() as u64);
+        telemetry::observe(telemetry::Hist::LanesPerBatch, lanes.len() as u64);
         Ok(())
     }
 

@@ -27,17 +27,19 @@
 //! buffered. Collector memory is `O(window × tile)` on top of the
 //! `O(bins)` aggregates, independent of fleet size.
 
-use crate::report::{FleetReport, FleetStats};
+use crate::report::{FleetReport, FleetStats, RunPhases};
 use crate::runtime::WorkerRuntime;
 use crate::scenario::ScenarioMatrix;
 use crate::FleetError;
 use sensei_core::{CellResult, CoreError, Experiment, PolicyKind};
 use sensei_sim::PlayerConfig;
+use sensei_telemetry as telemetry;
+use sensei_telemetry::{TelemetryShard, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +55,16 @@ pub struct FleetConfig {
     /// width; the knob only trades batch-state footprint against
     /// amortization.
     pub batch_width: usize,
+    /// Collect per-worker telemetry shards (counters, phase timers,
+    /// histograms) and attach the merged [`TelemetrySnapshot`] to the
+    /// report. Recording is simulation-invisible: aggregates are
+    /// bit-identical with this on or off (test-enforced). Also
+    /// switchable per run via `SENSEI_FLEET_TELEMETRY=1`.
+    pub telemetry: bool,
+    /// Emit a live `\r`-rewritten progress line on stderr (tiles done,
+    /// sessions/s, ETA), driven by the collector's fold frontier. Also
+    /// switchable per run via `SENSEI_FLEET_PROGRESS=1`.
+    pub progress: bool,
 }
 
 impl FleetConfig {
@@ -64,6 +76,8 @@ impl FleetConfig {
             workers,
             baseline: None,
             batch_width: 0,
+            telemetry: false,
+            progress: false,
         }
     }
 
@@ -80,6 +94,26 @@ impl FleetConfig {
         self.batch_width = width;
         self
     }
+
+    /// Turns telemetry collection on or off.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Turns the live stderr progress line on or off.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+}
+
+/// Whether an environment flag is set to a truthy value (anything but
+/// empty or `0`).
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 impl Default for FleetConfig {
@@ -101,6 +135,8 @@ pub struct Fleet<'a> {
     workers: usize,
     baseline: PolicyKind,
     batch_width: usize,
+    telemetry: bool,
+    progress: bool,
 }
 
 impl<'a> Fleet<'a> {
@@ -128,6 +164,11 @@ impl<'a> Fleet<'a> {
             workers: config.workers,
             baseline,
             batch_width: config.batch_width,
+            // Environment flags OR into the config so any fleet entry
+            // point (examples, benches, downstream binaries) can be
+            // observed without a code change.
+            telemetry: config.telemetry || env_flag("SENSEI_FLEET_TELEMETRY"),
+            progress: config.progress || env_flag("SENSEI_FLEET_PROGRESS"),
         })
     }
 
@@ -151,7 +192,8 @@ impl<'a> Fleet<'a> {
         let mut stats = FleetStats::new(self.matrix.policies(), self.baseline);
         let mut cell: Vec<CellResult> = Vec::with_capacity(policies);
         let started = Instant::now();
-        self.execute(|_, result| {
+        let mut phases = RunPhases::default();
+        let telemetry = self.execute(&mut phases, |_, result| {
             cell.push(result);
             // Policy is the innermost axis, so `policies` consecutive
             // results in canonical order form exactly one cell.
@@ -167,6 +209,8 @@ impl<'a> Fleet<'a> {
             workers: self.workers,
             wall_time_s,
             sessions_per_sec: sessions as f64 / wall_time_s.max(1e-9),
+            phases,
+            telemetry,
         })
     }
 
@@ -189,7 +233,7 @@ impl<'a> Fleet<'a> {
         let hint =
             usize::try_from(self.num_scenarios()).map_or(MAX_PREALLOC, |n| n.min(MAX_PREALLOC));
         let mut cells = Vec::with_capacity(hint);
-        self.execute(|_, result| cells.push(result))?;
+        self.execute(&mut RunPhases::default(), |_, result| cells.push(result))?;
         Ok(cells)
     }
 
@@ -232,15 +276,18 @@ impl<'a> Fleet<'a> {
         let base = &self.experiment.traces[sc.trace_idx];
         let perturbation = &self.matrix.perturbations()[sc.perturbation_idx];
         let WorkerRuntime { session, traces } = rt;
-        let trace = traces
-            .resolve(
-                base,
-                perturbation,
-                sc.trace_idx,
-                sc.perturbation_idx,
-                sc.seed,
-            )
-            .map_err(|e| (first_id, CoreError::from(e)))?;
+        let trace = {
+            let _span = telemetry::span(telemetry::Phase::NetworkMaterialize);
+            traces
+                .resolve(
+                    base,
+                    perturbation,
+                    sc.trace_idx,
+                    sc.perturbation_idx,
+                    sc.seed,
+                )
+                .map_err(|e| (first_id, CoreError::from(e)))?
+        };
         let width = if self.batch_width == 0 {
             lanes.len()
         } else {
@@ -262,7 +309,16 @@ impl<'a> Fleet<'a> {
     /// Fans tiles out across the workers and invokes `sink` for every
     /// result **in canonical scenario order** (`sink(0, …)`, `sink(1, …)`,
     /// …), regardless of completion order.
-    fn execute(&self, mut sink: impl FnMut(u64, CellResult)) -> Result<(), FleetError> {
+    ///
+    /// Records the setup / execute / collect wall-time split into
+    /// `phases` (always, with plain `Instant` reads), and returns the
+    /// merged telemetry snapshot when the fleet has telemetry on.
+    fn execute(
+        &self,
+        phases: &mut RunPhases,
+        mut sink: impl FnMut(u64, CellResult),
+    ) -> Result<Option<TelemetrySnapshot>, FleetError> {
+        let entry = Instant::now();
         if self.num_scenarios() == 0 {
             return Err(FleetError::EmptyAxis("scenarios"));
         }
@@ -287,12 +343,31 @@ impl<'a> Fleet<'a> {
         let channel_bound = usize::try_from(window).unwrap_or(usize::MAX);
         type TileResult = Result<Vec<CellResult>, (u64, CoreError)>;
         let (tx, rx) = mpsc::sync_channel::<(u64, TileResult)>(channel_bound);
-        thread::scope(|scope| {
+        // Harvested per-worker telemetry shards (pushed once per worker
+        // at exit; merge order is irrelevant — the merge-law tests pin
+        // that down).
+        let shards: Mutex<Vec<TelemetryShard>> = Mutex::new(Vec::new());
+        let mut progress = self
+            .progress
+            .then(|| ProgressMeter::new(total_tiles, tile_size));
+        // Collector fold time, accumulated with plain `Instant` reads so
+        // the phase split is available even with telemetry off.
+        let mut collect_ns: u64 = 0;
+        phases.setup_s = entry.elapsed().as_secs_f64();
+        let scope_started = Instant::now();
+        // The main thread doubles as the collector inside the scope, so
+        // its shard (recv-wait and fold spans) is begun here and
+        // harvested right after the scope joins.
+        if self.telemetry {
+            telemetry::begin();
+        }
+        let scope_result = thread::scope(|scope| {
             for _ in 0..self.workers {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let poison = &poison;
                 let frontier = &frontier;
+                let shards = &shards;
                 let fleet = *self;
                 scope.spawn(move || {
                     // If this worker panics (a bug deep in a policy or the
@@ -307,6 +382,9 @@ impl<'a> Fleet<'a> {
                     // list is tile-invariant, so it is built once here.
                     let mut runtime = WorkerRuntime::new();
                     let lanes = fleet.tile_lanes();
+                    if fleet.telemetry {
+                        telemetry::begin();
+                    }
                     loop {
                         if poison.load(Ordering::Relaxed) {
                             break;
@@ -315,10 +393,15 @@ impl<'a> Fleet<'a> {
                         if tile >= total_tiles {
                             break;
                         }
-                        if !frontier.wait_until_admitted(tile, window, poison) {
+                        let admitted = {
+                            let _span = telemetry::span(telemetry::Phase::TileAdmissionWait);
+                            frontier.wait_until_admitted(tile, window, poison)
+                        };
+                        if !admitted {
                             break;
                         }
                         let mut cells = Vec::with_capacity(usize::try_from(tile_size).unwrap_or(0));
+                        let tile_started = telemetry::stopwatch();
                         let result = fleet
                             .run_tile(&mut runtime, tile, &lanes, &mut cells)
                             .map(|()| cells);
@@ -326,12 +409,22 @@ impl<'a> Fleet<'a> {
                         if failed {
                             poison.store(true, Ordering::Relaxed);
                             frontier.release_all();
+                        } else {
+                            telemetry::count(telemetry::Counter::Tiles, 1);
+                            if let Some(started) = tile_started {
+                                let ns =
+                                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                                telemetry::observe(telemetry::Hist::TileNanos, ns);
+                            }
                         }
                         // A send error means the collector hung up (error
                         // path); either way this worker is done.
                         if tx.send((tile, result)).is_err() || failed {
                             break;
                         }
+                    }
+                    if fleet.telemetry {
+                        shards.lock().expect("shard lock").push(telemetry::end());
                     }
                 });
             }
@@ -345,7 +438,12 @@ impl<'a> Fleet<'a> {
             // with several failing scenarios, poisoning can still stop a
             // lower one from running at all.
             let mut error: Option<(u64, CoreError)> = None;
-            for (tile, result) in &rx {
+            loop {
+                let received = {
+                    let _span = telemetry::span(telemetry::Phase::CollectRecvWait);
+                    rx.recv()
+                };
+                let Ok((tile, result)) = received else { break };
                 match result {
                     Err((id, e)) => {
                         poison.store(true, Ordering::Relaxed);
@@ -355,6 +453,7 @@ impl<'a> Fleet<'a> {
                         }
                     }
                     Ok(cells) if error.is_none() => {
+                        let fold_started = Instant::now();
                         reorder.insert(tile, cells);
                         let before = next;
                         while let Some(cells) = reorder.remove(&next) {
@@ -365,12 +464,24 @@ impl<'a> Fleet<'a> {
                         }
                         if next != before {
                             frontier.advance_to(next);
+                            if let Some(meter) = progress.as_mut() {
+                                meter.tick(next);
+                            }
                         }
+                        // One reading serves both the always-on phase
+                        // split and the telemetry fold span.
+                        let ns =
+                            u64::try_from(fold_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        collect_ns = collect_ns.saturating_add(ns);
+                        telemetry::record_phase_ns(telemetry::Phase::CollectFold, ns);
                     }
                     // Error path: keep draining so no worker blocks on the
                     // bounded channel; successful results are discarded.
                     Ok(_) => {}
                 }
+            }
+            if let Some(meter) = progress.as_mut() {
+                meter.finish(next);
             }
             if let Some((id, e)) = error {
                 return Err(FleetError::Scenario {
@@ -385,7 +496,88 @@ impl<'a> Fleet<'a> {
                 poison.load(Ordering::Relaxed) || (reorder.is_empty() && next == total_tiles)
             );
             Ok(())
-        })
+        });
+        let scope_s = scope_started.elapsed().as_secs_f64();
+        phases.collect_s = collect_ns as f64 * 1e-9;
+        phases.execute_s = (scope_s - phases.collect_s).max(0.0);
+        // Harvest and merge before propagating any scenario error, so
+        // the main thread's recording flag never leaks past this call.
+        let snapshot = if self.telemetry {
+            let mut merged = telemetry::end();
+            for shard in shards.into_inner().expect("shard lock") {
+                merged.merge(&shard);
+            }
+            Some(TelemetrySnapshot::from_shard(merged))
+        } else {
+            None
+        };
+        scope_result?;
+        Ok(snapshot)
+    }
+}
+
+/// The `SENSEI_FLEET_PROGRESS=1` live progress line: a `\r`-rewritten
+/// stderr status driven by the collector's fold frontier, throttled so a
+/// fast quick-run does not flood the terminal. Session counts are derived
+/// from folded tiles (`tiles × tile_size`), so the line needs no extra
+/// coordination with the workers.
+struct ProgressMeter {
+    started: Instant,
+    last_print: Option<Instant>,
+    printed: bool,
+    total_tiles: u64,
+    tile_size: u64,
+}
+
+impl ProgressMeter {
+    /// Minimum interval between reprints.
+    const THROTTLE: Duration = Duration::from_millis(200);
+
+    fn new(total_tiles: u64, tile_size: u64) -> Self {
+        Self {
+            started: Instant::now(),
+            last_print: None,
+            printed: false,
+            total_tiles,
+            tile_size,
+        }
+    }
+
+    /// Reports a new fold frontier (tiles folded so far).
+    fn tick(&mut self, tiles_done: u64) {
+        let now = Instant::now();
+        let due = self
+            .last_print
+            .is_none_or(|last| now.duration_since(last) >= Self::THROTTLE);
+        if due {
+            self.last_print = Some(now);
+            self.print(tiles_done, now);
+        }
+    }
+
+    /// Prints the final state and releases the line with a newline.
+    fn finish(&mut self, tiles_done: u64) {
+        self.print(tiles_done, Instant::now());
+        if self.printed {
+            eprintln!();
+        }
+    }
+
+    fn print(&mut self, tiles_done: u64, now: Instant) {
+        self.printed = true;
+        let elapsed = now.duration_since(self.started).as_secs_f64().max(1e-9);
+        let sessions = tiles_done.saturating_mul(self.tile_size);
+        let rate = sessions as f64 / elapsed;
+        let eta = if tiles_done == 0 {
+            "?".to_string()
+        } else {
+            let remaining = self.total_tiles.saturating_sub(tiles_done) as f64;
+            format!("{:.0}s", elapsed / tiles_done as f64 * remaining)
+        };
+        eprint!(
+            "\r[fleet] tiles {tiles_done}/{} | {sessions} sessions | {rate:.0}/s | ETA {eta}",
+            self.total_tiles
+        );
     }
 }
 

@@ -55,10 +55,15 @@ pub use executor::{Fleet, FleetConfig};
 pub use families::{ScenarioFamilies, ScenarioFamiliesBuilder};
 pub use report::{
     family_of, FamilyDrift, FamilyPolicyStats, FamilyStats, FleetDiff, FleetReport, FleetStats,
-    GainCdf, Histogram, PolicyDrift, PolicyStats, Welford,
+    GainCdf, Histogram, PolicyDrift, PolicyStats, RunPhases, Welford,
 };
 pub use runtime::{TraceCache, WorkerRuntime};
 pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};
+// Re-exported so fleet consumers (benches, integration tests, downstream
+// binaries) can name the metric catalog and snapshot types without
+// depending on the telemetry crate directly.
+pub use sensei_telemetry as telemetry;
+pub use sensei_telemetry::{TelemetryShard, TelemetrySnapshot};
 
 use sensei_core::CoreError;
 

@@ -10,6 +10,7 @@
 use crate::json::{self, obj, Json};
 use crate::FleetError;
 use sensei_core::{CellResult, PolicyKind};
+use sensei_telemetry::{Counter, Hist, Phase, TelemetryShard, TelemetrySnapshot};
 
 /// Welford online mean/variance accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -427,6 +428,22 @@ impl FleetStats {
     }
 }
 
+/// Coarse wall-clock breakdown of one fleet run, recorded by plain
+/// `Instant` reads whether or not full telemetry is on: `setup_s` is the
+/// executor's pre-scope work (matrix checks, channel construction),
+/// `collect_s` the collector's in-order fold (reorder buffer + aggregate
+/// folding), and `execute_s` the rest of the worker scope — the
+/// simulation itself. The three sum to approximately `wall_time_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunPhases {
+    /// Seconds spent before the worker scope started.
+    pub setup_s: f64,
+    /// Seconds of worker-scope wall time not spent folding.
+    pub execute_s: f64,
+    /// Seconds the collector spent folding results in canonical order.
+    pub collect_s: f64,
+}
+
 /// Outcome of a fleet run: the deterministic aggregates plus (wall-clock,
 /// execution-dependent) throughput figures.
 #[derive(Debug, Clone)]
@@ -439,6 +456,13 @@ pub struct FleetReport {
     pub wall_time_s: f64,
     /// Sessions per second of wall-clock time.
     pub sessions_per_sec: f64,
+    /// Setup / execute / collect wall-time split (always recorded).
+    pub phases: RunPhases,
+    /// Merged telemetry shards, when the run had telemetry enabled.
+    /// Serialized in the optional `telemetry` JSON section, which
+    /// [`Self::diff`] ignores — only [`FleetStats`] participate in
+    /// baseline comparisons.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl FleetReport {
@@ -451,6 +475,11 @@ impl FleetReport {
             out,
             "{} sessions | {} workers | {:.1} s | {:.0} sessions/s",
             self.stats.sessions, self.workers, self.wall_time_s, self.sessions_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "phases: setup {:.3} s | execute {:.3} s | collect {:.3} s",
+            self.phases.setup_s, self.phases.execute_s, self.phases.collect_s
         );
         let _ = writeln!(
             out,
@@ -556,6 +585,87 @@ fn hist_from_json(v: &Json, ctx: &str) -> Result<Histogram, FleetError> {
     Ok(Histogram::from_parts(lo, hi, counts))
 }
 
+fn telemetry_to_json(t: &TelemetrySnapshot) -> Json {
+    obj([
+        (
+            "counters",
+            obj(Counter::ALL.map(|c| (c.name(), Json::Num(t.counter(c) as f64)))),
+        ),
+        (
+            "phases",
+            obj(Phase::ALL.map(|p| {
+                (
+                    p.name(),
+                    obj([
+                        ("calls", Json::Num(t.shard.phase_calls(p) as f64)),
+                        ("ns", Json::Num(t.shard.phase_ns(p) as f64)),
+                    ]),
+                )
+            })),
+        ),
+        (
+            "hists",
+            obj(Hist::ALL.map(|h| {
+                (
+                    h.name(),
+                    Json::Arr(
+                        t.shard
+                            .hist(h)
+                            .iter()
+                            .map(|&c| Json::Num(c as f64))
+                            .collect(),
+                    ),
+                )
+            })),
+        ),
+    ])
+}
+
+/// Parses a `telemetry` section written by [`telemetry_to_json`]. Names
+/// absent from the document default to zero and unknown names are
+/// ignored, so the section survives catalog growth in either direction.
+fn telemetry_from_json(v: &Json) -> Result<TelemetrySnapshot, FleetError> {
+    let mut shard = TelemetryShard::new();
+    let counters = field(v, "counters", "telemetry")?;
+    for c in Counter::ALL {
+        if let Some(n) = counters.get(c.name()) {
+            shard.counters[c as usize] = n.as_u64().ok_or_else(|| {
+                FleetError::Persist(format!("`telemetry.counters.{}` is not a count", c.name()))
+            })?;
+        }
+    }
+    let phases = field(v, "phases", "telemetry")?;
+    for p in Phase::ALL {
+        if let Some(entry) = phases.get(p.name()) {
+            let ctx = format!("telemetry.phases.{}", p.name());
+            shard.phase_calls[p as usize] = u64_field(entry, "calls", &ctx)?;
+            shard.phase_ns[p as usize] = u64_field(entry, "ns", &ctx)?;
+        }
+    }
+    let hists = field(v, "hists", "telemetry")?;
+    for h in Hist::ALL {
+        if let Some(bins) = hists.get(h.name()) {
+            let ctx = format!("telemetry.hists.{}", h.name());
+            let bins = bins
+                .as_arr()
+                .ok_or_else(|| FleetError::Persist(format!("`{ctx}` is not an array")))?;
+            if bins.len() != Hist::BINS {
+                return Err(FleetError::Persist(format!(
+                    "`{ctx}` has {} bins (this build expects {})",
+                    bins.len(),
+                    Hist::BINS
+                )));
+            }
+            for (slot, bin) in shard.hists[h as usize].iter_mut().zip(bins) {
+                *slot = bin
+                    .as_u64()
+                    .ok_or_else(|| FleetError::Persist(format!("`{ctx}` entry is not a count")))?;
+            }
+        }
+    }
+    Ok(TelemetrySnapshot::from_shard(shard))
+}
+
 impl FleetReport {
     /// Serializes the report — aggregates and throughput figures — to the
     /// persistence JSON format (`BASELINE_fleet.json`). Floats are written
@@ -618,6 +728,20 @@ impl FleetReport {
             ("workers", Json::Num(self.workers as f64)),
             ("wall_time_s", Json::Num(self.wall_time_s)),
             ("sessions_per_sec", Json::Num(self.sessions_per_sec)),
+            (
+                "phases",
+                obj([
+                    ("setup_s", Json::Num(self.phases.setup_s)),
+                    ("execute_s", Json::Num(self.phases.execute_s)),
+                    ("collect_s", Json::Num(self.phases.collect_s)),
+                ]),
+            ),
+            (
+                "telemetry",
+                self.telemetry
+                    .as_ref()
+                    .map_or(Json::Null, telemetry_to_json),
+            ),
             (
                 "stats",
                 obj([
@@ -738,6 +862,20 @@ impl FleetReport {
                 .map_err(|_| FleetError::Persist("worker count out of range".into()))?,
             wall_time_s: num_field(&doc, "wall_time_s", "report")?,
             sessions_per_sec: num_field(&doc, "sessions_per_sec", "report")?,
+            // Additive `/2` sections: reports persisted before the phase
+            // split and telemetry existed simply lack them.
+            phases: match doc.get("phases") {
+                Some(v) => RunPhases {
+                    setup_s: num_field(v, "setup_s", "phases")?,
+                    execute_s: num_field(v, "execute_s", "phases")?,
+                    collect_s: num_field(v, "collect_s", "phases")?,
+                },
+                None => RunPhases::default(),
+            },
+            telemetry: match doc.get("telemetry") {
+                Some(v) if !v.is_null() => Some(telemetry_from_json(v)?),
+                _ => None,
+            },
         })
     }
 
@@ -1125,11 +1263,23 @@ mod tests {
         stats.fold_cell(&[mk("BBA", 0.51, 0.02), mk("SENSEI", 0.63, 0.01)]);
         stats.fold_cell(&[mk("BBA", 0.47, 0.06), mk("SENSEI", 0.44, 0.09)]);
         stats.fold_cell(&[mk("BBA", 1.0 / 3.0, 0.0), mk("SENSEI", 0.1 / 0.3, 0.0)]);
+        let mut shard = TelemetryShard::new();
+        shard.counters[Counter::Sessions as usize] = 6;
+        shard.counters[Counter::Tiles as usize] = 3;
+        shard.phase_calls[Phase::LaneSimulate as usize] = 3;
+        shard.phase_ns[Phase::LaneSimulate as usize] = 123_456;
+        shard.hists[Hist::LanesPerBatch as usize][1] = 3;
         FleetReport {
             stats,
             workers: 4,
             wall_time_s: 1.5,
             sessions_per_sec: 4.0,
+            phases: RunPhases {
+                setup_s: 0.25,
+                execute_s: 1.0,
+                collect_s: 0.25,
+            },
+            telemetry: Some(TelemetrySnapshot::from_shard(shard)),
         }
     }
 
@@ -1267,6 +1417,8 @@ mod tests {
                 workers: 1,
                 wall_time_s: 1.0,
                 sessions_per_sec: 4.0,
+                phases: RunPhases::default(),
+                telemetry: None,
             }
         };
         let baseline = build(0.6, 0.5);

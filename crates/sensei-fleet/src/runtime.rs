@@ -29,6 +29,7 @@
 
 use crate::scenario::TracePerturbation;
 use sensei_core::SessionRuntime;
+use sensei_telemetry as telemetry;
 use sensei_trace::{ThroughputTrace, TraceError};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -117,8 +118,14 @@ impl TraceCache {
             // Seed-independent: materialize once (the seed passed to
             // `apply` is unused without jitter), reuse forever.
             return Ok(match self.deterministic.entry(pair) {
-                Entry::Occupied(e) => e.into_mut(),
-                Entry::Vacant(v) => v.insert(perturbation.apply(base, seed)?.into_owned()),
+                Entry::Occupied(e) => {
+                    telemetry::count(telemetry::Counter::TraceCacheHits, 1);
+                    e.into_mut()
+                }
+                Entry::Vacant(v) => {
+                    telemetry::count(telemetry::Counter::TraceMaterializations, 1);
+                    v.insert(perturbation.apply(base, seed)?.into_owned())
+                }
             });
         }
         // The perturbed name depends on the pair but not the seed, so it
@@ -133,8 +140,10 @@ impl TraceCache {
             .get(&pair)
             .is_some_and(|(cached_seed, _)| *cached_seed == seed);
         if hit {
+            telemetry::count(telemetry::Counter::TraceCacheHits, 1);
             return Ok(&self.jittered.get(&pair).expect("checked above").1);
         }
+        telemetry::count(telemetry::Counter::TraceMaterializations, 1);
         // Regeneration goes through the one shared sample path
         // (`ThroughputTrace::perturbed_into` — the same code
         // `TracePerturbation::apply` runs), so cached and fresh traces

@@ -15,6 +15,12 @@
 //! SENSEI_FLEET_QUICK=1 cargo run --release --example fleet_families  # CI gate
 //! SENSEI_FLEET_WRITE_BASELINE=1 cargo run --release --example fleet_families  # refresh baseline
 //! ```
+//!
+//! Observability hooks: `SENSEI_FLEET_TELEMETRY=1` / `SENSEI_FLEET_PROGRESS=1`
+//! enable the fleet's metric shards and live progress line (handled inside
+//! `Fleet::new`), and `SENSEI_FLEET_REPORT_OUT=<path>` writes the full run
+//! report — telemetry section included — for machine consumption (the CI
+//! telemetry assertions parse it).
 
 use sensei_core::experiment::{ExperimentConfig, PolicyKind};
 use sensei_fleet::{Fleet, FleetConfig, FleetReport, ScenarioFamilies, TracePerturbation};
@@ -92,8 +98,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         matrix.num_cells(&env),
         matrix.policies().len(),
     );
-    let report = fleet.run()?;
+    let mut report = fleet.run()?;
     print!("{}", report.summary());
+    if let Some(snapshot) = &report.telemetry {
+        print!("{}", snapshot.summary());
+    }
+    // Machine-readable report drop for CI: the full JSON, telemetry
+    // section and all, at whatever path the caller asks for.
+    if let Ok(out_path) = std::env::var("SENSEI_FLEET_REPORT_OUT") {
+        if !out_path.is_empty() {
+            std::fs::write(&out_path, report.to_json())?;
+            println!("[report] wrote {out_path}");
+        }
+    }
     // Family-conditional aggregates: the baseline carries one entry per
     // family spec, so drift can be attributed to the family that moved.
     for family in &report.stats.per_family {
@@ -121,6 +138,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("determinism check: 2-worker and 1-worker aggregates identical");
 
     if write_baseline {
+        // The baseline captures only the deterministic aggregates the
+        // diff gate reads; a telemetry section (run-dependent timings)
+        // would just churn the checked-in file.
+        report.telemetry = None;
         std::fs::write(BASELINE_PATH, report.to_json())?;
         println!("[baseline] wrote {BASELINE_PATH}");
         return Ok(());

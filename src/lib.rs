@@ -62,6 +62,7 @@ pub use sensei_fleet as fleet;
 pub use sensei_ml as ml;
 pub use sensei_qoe as qoe;
 pub use sensei_sim as sim;
+pub use sensei_telemetry as telemetry;
 pub use sensei_trace as trace;
 pub use sensei_video as video;
 
