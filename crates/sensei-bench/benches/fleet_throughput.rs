@@ -1,10 +1,13 @@
 //! Fleet throughput: the perf baseline for the sharded simulation engine.
 //!
-//! Four runs:
+//! Five runs:
 //!
 //! 1. **Scale** — ≥10,000 BBA sessions across a perturbed scenario space
 //!    (bandwidth scaling × Gaussian jitter × player variants), reporting
-//!    sessions/sec. This is the number future PRs must beat.
+//!    sessions/sec. This is the number future PRs must beat. A
+//!    **worker sweep** then reruns the same shape at 1/2/4/8 workers
+//!    (aggregates asserted bit-identical) so the speedup curve of the
+//!    merge-based collector is tracked per date, not just claimed.
 //! 2. **Mixed line-up** — a mid-sized run with the MPC policies so the
 //!    streaming gain-CDF path is exercised and reported too.
 //! 3. **MPC** — the planner-bound run: every MPC-family policy (Fugu,
@@ -86,10 +89,8 @@ fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
         fields.push((
             "profile",
             obj([
-                (
-                    "admission_wait_s",
-                    Json::Num(t.phase_secs(Phase::TileAdmissionWait)),
-                ),
+                ("shard_fold_s", Json::Num(t.phase_secs(Phase::ShardFold))),
+                ("final_merge_s", Json::Num(t.phase_secs(Phase::FinalMerge))),
                 (
                     "network_materialize_s",
                     Json::Num(t.phase_secs(Phase::NetworkMaterialize)),
@@ -266,6 +267,35 @@ fn main() {
         "measured: {:.0} sessions/sec ({} sessions in {:.1}s)",
         scale_report.sessions_per_sec, scale_report.stats.sessions, scale_report.wall_time_s
     );
+
+    // --- Run 1b: worker-scaling sweep on the scale shape. --------------
+    // The merge-based collector's reason to exist: with per-cell sends
+    // gone, adding workers must not grow collection time (`collect_s` is
+    // `workers` fixed-shape merges, independent of session count). Each
+    // count reruns the scale matrix (telemetry off — raw throughput),
+    // asserts the aggregates are bit-identical to the run above, and the
+    // sweep lands in the trajectory as one `scale_workers` entry so the
+    // speedup curve is tracked per date, not just claimed.
+    let mut worker_sweep = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let fleet = Fleet::new(&env, &matrix, FleetConfig::new(n)).expect("valid fleet");
+        let report = fleet.run().expect("fleet run completes");
+        assert!(
+            report.stats == scale_report.stats,
+            "aggregates must be bit-identical at {n} workers"
+        );
+        println!(
+            "[scale-workers] {n} workers: {:.0} sessions/sec \
+             (wall {:.2}s, collect {:.4}s)",
+            report.sessions_per_sec, report.wall_time_s, report.phases.collect_s
+        );
+        worker_sweep.push(obj([
+            ("workers", Json::Num(n as f64)),
+            ("sessions_per_sec", Json::Num(report.sessions_per_sec)),
+            ("wall_time_s", Json::Num(report.wall_time_s)),
+            ("collect_s", Json::Num(report.phases.collect_s)),
+        ]));
+    }
 
     // --- Run 2: mixed policy line-up, gain CDF vs BBA. -----------------
     // Kept policy-comparable with the pre-batched-planner baseline (BBA +
@@ -475,10 +505,20 @@ fn main() {
     // same-day re-run *replaces* its key (local iteration stays
     // idempotent) while distinct days append — which is what preserves
     // the cross-PR trajectory across re-measurements.
-    let entries: Vec<Json> = latest
+    let mut entries: Vec<Json> = latest
         .iter()
         .map(|(name, report)| run_json(name, &date, quick, report))
         .collect();
+    // The worker sweep is one entry (same (name, date, quick) keying);
+    // its per-count measurements nest under `worker_sweep` with no
+    // nested `date` keys, so CI's trajectory-growth count stays exact.
+    entries.push(obj([
+        ("name", Json::Str("scale_workers".to_string())),
+        ("date", Json::Str(date.clone())),
+        ("quick", Json::Bool(quick)),
+        ("sessions", Json::Num(scale_report.stats.sessions as f64)),
+        ("worker_sweep", Json::Arr(worker_sweep)),
+    ]));
     let key = |e: &Json| {
         (
             e.get("name").and_then(Json::as_str).map(str::to_string),

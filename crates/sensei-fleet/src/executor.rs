@@ -6,38 +6,41 @@
 //! atomic cursor (dynamic load balancing — an expensive MPC tile on one
 //! worker doesn't idle the rest), run each tile through one
 //! structure-of-arrays session batch (`Experiment::run_batch_in`), and
-//! stream `(tile, results)` back over a bounded channel. Tiling is what
+//! **fold the tile's cells into a shard-local partial on the spot**
+//! ([`TileStats`] → worker-local [`FleetStats`]). Tiling is what
 //! amortizes the per-network work: the perturbed trace is materialized
 //! once per worker (`TraceCache`), policies rebind once per tile instead
 //! of once per session, and the batch engine replaces per-session policy
 //! dispatch with one `select_batch` call per chunk.
 //!
-//! The collector folds results into the aggregates **in canonical
-//! scenario-ID order** via a small reorder buffer, so the folded
-//! floating-point stream — and therefore every aggregate bit — is
-//! identical whether the fleet ran on 1 worker or 64, and for any batch
-//! width (the batch engine is byte-identical to the scalar path per
-//! lane).
+//! Collection is merge-based, not stream-based. The deterministic result
+//! is *defined* as the reduction of per-tile partials in canonical tile
+//! order, and every accumulator merges as an exact integer sum — so the
+//! reduction is associative and commutative and can be evaluated in any
+//! grouping. Each worker keeps one shard-local partial, the channel
+//! carries only tile-completion ticks (progress + error attribution),
+//! and the collector merges the O(workers) fixed-shape partials after
+//! the scope joins. No per-cell sends, no reorder buffer, no admission
+//! window: collector time is independent of session count, and nothing
+//! serializes the workers.
 //!
-//! The reorder buffer holds only tiles that arrived ahead of the next
-//! tile to fold, and an admission window keeps it **hard-bounded**: a
-//! worker may not start a tile more than `window` tiles ahead of the fold
-//! frontier, so even when one expensive tile stalls the frontier while
-//! the rest of the fleet races ahead, at most `window` tiles are ever
-//! buffered. Collector memory is `O(window × tile)` on top of the
-//! `O(bins)` aggregates, independent of fleet size.
+//! The same merge law spans processes: [`FleetConfig::with_shard`]
+//! restricts a run to one of `n` contiguous tile slices (from
+//! [`ShardPlan`]), the partial report carries a [`ShardSlice`] stamp,
+//! and [`crate::merge_reports`] combines the N partials bit-identically
+//! to the single-process run.
 
-use crate::report::{FleetReport, FleetStats, RunPhases};
+use crate::report::{FleetReport, FleetStats, RunPhases, ShardSlice, TileStats};
 use crate::runtime::WorkerRuntime;
-use crate::scenario::ScenarioMatrix;
+use crate::scenario::{ScenarioMatrix, ShardPlan};
 use crate::FleetError;
 use sensei_core::{CellResult, CoreError, Experiment, PolicyKind};
 use sensei_sim::PlayerConfig;
 use sensei_telemetry as telemetry;
 use sensei_telemetry::{TelemetryShard, TelemetrySnapshot};
-use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -55,6 +58,12 @@ pub struct FleetConfig {
     /// width; the knob only trades batch-state footprint against
     /// amortization.
     pub batch_width: usize,
+    /// Run only this `(index, count)` process shard — the `index`-th of
+    /// `count` contiguous tile slices from [`ShardPlan`] — and stamp the
+    /// report with the covered [`ShardSlice`]. `None` (the default) runs
+    /// the whole matrix. The `count` partial reports merge
+    /// bit-identically to the unsharded run via [`crate::merge_reports`].
+    pub shard: Option<(u64, u64)>,
     /// Collect per-worker telemetry shards (counters, phase timers,
     /// histograms) and attach the merged [`TelemetrySnapshot`] to the
     /// report. Recording is simulation-invisible: aggregates are
@@ -62,7 +71,7 @@ pub struct FleetConfig {
     /// switchable per run via `SENSEI_FLEET_TELEMETRY=1`.
     pub telemetry: bool,
     /// Emit a live `\r`-rewritten progress line on stderr (tiles done,
-    /// sessions/s, ETA), driven by the collector's fold frontier. Also
+    /// sessions/s, ETA), driven by the tile-completion ticks. Also
     /// switchable per run via `SENSEI_FLEET_PROGRESS=1`.
     pub progress: bool,
 }
@@ -76,6 +85,7 @@ impl FleetConfig {
             workers,
             baseline: None,
             batch_width: 0,
+            shard: None,
             telemetry: false,
             progress: false,
         }
@@ -92,6 +102,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_batch_width(mut self, width: usize) -> Self {
         self.batch_width = width;
+        self
+    }
+
+    /// Restricts the run to shard `index` of `count` contiguous tile
+    /// slices.
+    #[must_use]
+    pub fn with_shard(mut self, index: u64, count: u64) -> Self {
+        self.shard = Some((index, count));
         self
     }
 
@@ -135,6 +153,7 @@ pub struct Fleet<'a> {
     workers: usize,
     baseline: PolicyKind,
     batch_width: usize,
+    shard: Option<(u64, u64)>,
     telemetry: bool,
     progress: bool,
 }
@@ -144,8 +163,9 @@ impl<'a> Fleet<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error when the config asks for zero workers or names a
-    /// baseline policy outside the matrix.
+    /// Returns an error when the config asks for zero workers, names a
+    /// baseline policy outside the matrix, or carries an out-of-range
+    /// shard split.
     pub fn new(
         experiment: &'a Experiment,
         matrix: &'a ScenarioMatrix,
@@ -158,12 +178,23 @@ impl<'a> Fleet<'a> {
         if !matrix.policies().contains(&baseline) {
             return Err(FleetError::BaselineNotInMatrix(baseline));
         }
+        if let Some((index, count)) = config.shard {
+            if count == 0 {
+                return Err(FleetError::Shard("shard count must be at least 1".into()));
+            }
+            if index >= count {
+                return Err(FleetError::Shard(format!(
+                    "shard index {index} out of range for {count} shards"
+                )));
+            }
+        }
         Ok(Self {
             experiment,
             matrix,
             workers: config.workers,
             baseline,
             batch_width: config.batch_width,
+            shard: config.shard,
             // Environment flags OR into the config so any fleet entry
             // point (examples, benches, downstream binaries) can be
             // observed without a code change.
@@ -172,15 +203,39 @@ impl<'a> Fleet<'a> {
         })
     }
 
-    /// Total scenarios this fleet will run.
+    /// Total scenarios in the whole (unsharded) matrix.
     #[must_use]
     pub fn num_scenarios(&self) -> u64 {
         self.matrix.num_scenarios(self.experiment)
     }
 
-    /// Runs the whole matrix and streams every session into the
-    /// `O(bins)`-memory aggregates. This is the fleet-scale entry point:
-    /// per-session results are folded and dropped, never collected.
+    /// The tile range this run covers — the whole matrix, or this
+    /// shard's contiguous slice of it — plus the [`ShardSlice`] stamp
+    /// for partial reports.
+    fn tile_range(&self) -> (Range<u64>, Option<ShardSlice>) {
+        let total_tiles = self.matrix.num_tiles(self.experiment);
+        match self.shard {
+            None => (0..total_tiles, None),
+            Some((index, count)) => {
+                let plan = ShardPlan::new(total_tiles, count)
+                    .expect("shard count was validated at construction");
+                let range = plan.range(index);
+                let slice = ShardSlice {
+                    index,
+                    count,
+                    tile_lo: range.start,
+                    tile_hi: range.end,
+                    total_tiles,
+                };
+                (range, Some(slice))
+            }
+        }
+    }
+
+    /// Runs the matrix (or this fleet's shard of it) and streams every
+    /// session into the `O(bins)`-memory aggregates. This is the
+    /// fleet-scale entry point: per-session results are folded into
+    /// shard-local partials where they are produced, never collected.
     ///
     /// # Errors
     ///
@@ -188,20 +243,9 @@ impl<'a> Fleet<'a> {
     /// its stable ID (re-runnable in isolation via
     /// [`ScenarioMatrix::scenario`]).
     pub fn run(&self) -> Result<FleetReport, FleetError> {
-        let policies = self.matrix.policies().len();
-        let mut stats = FleetStats::new(self.matrix.policies(), self.baseline);
-        let mut cell: Vec<CellResult> = Vec::with_capacity(policies);
         let started = Instant::now();
         let mut phases = RunPhases::default();
-        let telemetry = self.execute(&mut phases, |_, result| {
-            cell.push(result);
-            // Policy is the innermost axis, so `policies` consecutive
-            // results in canonical order form exactly one cell.
-            if cell.len() == policies {
-                stats.fold_cell(&cell);
-                cell.clear();
-            }
-        })?;
+        let (stats, shard, telemetry) = self.execute_stats(&mut phases)?;
         let wall_time_s = started.elapsed().as_secs_f64();
         let sessions = stats.sessions;
         Ok(FleetReport {
@@ -211,30 +255,22 @@ impl<'a> Fleet<'a> {
             sessions_per_sec: sessions as f64 / wall_time_s.max(1e-9),
             phases,
             telemetry,
+            shard,
         })
     }
 
-    /// Runs the whole matrix and collects every per-session result in
-    /// canonical order — `O(sessions)` memory, meant for modest matrices
-    /// (grid-sized runs, tests, figure regeneration). With the matrix from
-    /// [`ScenarioMatrix::grid`] and a default-player experiment this
-    /// reproduces `Experiment::run_grid` cell for cell.
+    /// Runs the matrix (or this fleet's shard of it) and collects every
+    /// per-session result in canonical order — `O(sessions)` memory,
+    /// meant for modest matrices (grid-sized runs, tests, figure
+    /// regeneration). With the matrix from [`ScenarioMatrix::grid`] and a
+    /// default-player experiment this reproduces `Experiment::run_grid`
+    /// cell for cell.
     ///
     /// # Errors
     ///
     /// Aborts on the first scenario failure.
     pub fn run_cells(&self) -> Result<Vec<CellResult>, FleetError> {
-        // Pre-allocation hint with an explicit bound: the scenario count
-        // can exceed `usize` only on narrow targets where such a run could
-        // never be collected anyway, and even on 64-bit hosts a huge count
-        // must not translate into a huge up-front allocation — beyond
-        // `MAX_PREALLOC` cells the Vec grows normally instead.
-        const MAX_PREALLOC: usize = 1 << 22;
-        let hint =
-            usize::try_from(self.num_scenarios()).map_or(MAX_PREALLOC, |n| n.min(MAX_PREALLOC));
-        let mut cells = Vec::with_capacity(hint);
-        self.execute(&mut RunPhases::default(), |_, result| cells.push(result))?;
-        Ok(cells)
+        self.execute_cells()
     }
 
     /// Simulates one tile — every `(player, policy)` lane of one
@@ -306,58 +342,50 @@ impl<'a> Fleet<'a> {
         Ok(())
     }
 
-    /// Fans tiles out across the workers and invokes `sink` for every
-    /// result **in canonical scenario order** (`sink(0, …)`, `sink(1, …)`,
-    /// …), regardless of completion order.
+    /// Fans tiles out across the workers, each folding its own tiles
+    /// into a shard-local [`FleetStats`] partial, then reduces the
+    /// O(workers) partials into one aggregate after the scope joins.
+    /// The channel carries only per-tile completion ticks (for the
+    /// progress meter and minimum-ID error attribution), so collection
+    /// work is independent of session count.
     ///
     /// Records the setup / execute / collect wall-time split into
     /// `phases` (always, with plain `Instant` reads), and returns the
     /// merged telemetry snapshot when the fleet has telemetry on.
-    fn execute(
+    fn execute_stats(
         &self,
         phases: &mut RunPhases,
-        mut sink: impl FnMut(u64, CellResult),
-    ) -> Result<Option<TelemetrySnapshot>, FleetError> {
+    ) -> Result<(FleetStats, Option<ShardSlice>, Option<TelemetrySnapshot>), FleetError> {
         let entry = Instant::now();
         if self.num_scenarios() == 0 {
             return Err(FleetError::EmptyAxis("scenarios"));
         }
         let tile_size = self.matrix.tile_size();
-        let total_tiles = self.matrix.num_tiles(self.experiment);
-        // Admission window: workers may run at most this many tiles ahead
-        // of the collector's fold frontier, which caps the reorder buffer
-        // (and the channel) at `window` tiles even when one slow tile
-        // stalls the frontier while the rest of the fleet races ahead.
-        // The conversion is checked: `usize` → `u64` is lossless on every
-        // supported target (≤ 64-bit), and saturating afterwards bounds
-        // even absurd worker counts instead of silently wrapping.
-        let window = u64::try_from(self.workers)
-            .unwrap_or(u64::MAX)
-            .saturating_mul(8)
-            .max(16);
-        let cursor = AtomicU64::new(0);
+        let (tiles, shard) = self.tile_range();
+        let shard_tiles = tiles.end - tiles.start;
+        let cursor = AtomicU64::new(tiles.start);
         let poison = AtomicBool::new(false);
-        let frontier = Frontier::default();
-        // Checked back-conversion for the channel bound (the window was
-        // computed in u64; saturating keeps narrow targets safe).
-        let channel_bound = usize::try_from(window).unwrap_or(usize::MAX);
-        type TileResult = Result<Vec<CellResult>, (u64, CoreError)>;
-        let (tx, rx) = mpsc::sync_channel::<(u64, TileResult)>(channel_bound);
-        // Harvested per-worker telemetry shards (pushed once per worker
-        // at exit; merge order is irrelevant — the merge-law tests pin
-        // that down).
+        // Tick payload: the completed tile ID, or the failing scenario.
+        // The channel is unbounded because ticks are O(1) each and their
+        // total is bounded by the tile count — no backpressure needed.
+        type Tick = Result<u64, (u64, CoreError)>;
+        let (tx, rx) = mpsc::channel::<Tick>();
+        // Shard-local partials, pushed once per worker at exit. Push
+        // order (and therefore merge order) is scheduling-dependent —
+        // which is fine, because `FleetStats::merge` is exact, so any
+        // merge grouping reproduces the canonical tile-order reduction
+        // bit for bit.
+        let partials: Mutex<Vec<FleetStats>> = Mutex::new(Vec::with_capacity(self.workers));
+        // Harvested per-worker telemetry shards (merge order is
+        // irrelevant — the merge-law tests pin that down).
         let shards: Mutex<Vec<TelemetryShard>> = Mutex::new(Vec::new());
         let mut progress = self
             .progress
-            .then(|| ProgressMeter::new(total_tiles, tile_size));
-        // Collector fold time, accumulated with plain `Instant` reads so
-        // the phase split is available even with telemetry off.
-        let mut collect_ns: u64 = 0;
+            .then(|| ProgressMeter::new(shard_tiles, tile_size));
         phases.setup_s = entry.elapsed().as_secs_f64();
         let scope_started = Instant::now();
-        // The main thread doubles as the collector inside the scope, so
-        // its shard (recv-wait and fold spans) is begun here and
-        // harvested right after the scope joins.
+        // The main thread performs the final merge after the scope, so
+        // its shard is begun here and harvested after that merge.
         if self.telemetry {
             telemetry::begin();
         }
@@ -366,22 +394,29 @@ impl<'a> Fleet<'a> {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let poison = &poison;
-                let frontier = &frontier;
+                let partials = &partials;
                 let shards = &shards;
+                let tiles_end = tiles.end;
                 let fleet = *self;
                 scope.spawn(move || {
                     // If this worker panics (a bug deep in a policy or the
                     // simulator), poison the run on unwind so the other
-                    // workers and the collector shut down instead of
-                    // waiting on a frontier that can no longer advance;
-                    // `thread::scope` then propagates the panic.
-                    let _guard = PoisonOnPanic { poison, frontier };
+                    // workers stop pulling tiles; `thread::scope` then
+                    // propagates the panic.
+                    let _guard = PoisonOnPanic { poison };
                     // One runtime per worker for the whole run: policies,
                     // batch scratch, and perturbed traces are reused
                     // across every tile this worker executes. The lane
-                    // list is tile-invariant, so it is built once here.
+                    // list is tile-invariant, so it is built once here —
+                    // as are the reusable tile partial, the shard-local
+                    // partial, and the cell buffer.
                     let mut runtime = WorkerRuntime::new();
                     let lanes = fleet.tile_lanes();
+                    let policies = fleet.matrix.policies();
+                    let mut partial = FleetStats::new(policies, fleet.baseline);
+                    let mut tile_stats = TileStats::new(policies, fleet.baseline);
+                    let mut cells: Vec<CellResult> =
+                        Vec::with_capacity(usize::try_from(tile_size).unwrap_or(0));
                     if fleet.telemetry {
                         telemetry::begin();
                     }
@@ -390,39 +425,49 @@ impl<'a> Fleet<'a> {
                             break;
                         }
                         let tile = cursor.fetch_add(1, Ordering::Relaxed);
-                        if tile >= total_tiles {
+                        if tile >= tiles_end {
                             break;
                         }
-                        let admitted = {
-                            let _span = telemetry::span(telemetry::Phase::TileAdmissionWait);
-                            frontier.wait_until_admitted(tile, window, poison)
-                        };
-                        if !admitted {
-                            break;
-                        }
-                        let mut cells = Vec::with_capacity(usize::try_from(tile_size).unwrap_or(0));
+                        cells.clear();
                         let tile_started = telemetry::stopwatch();
-                        let result = fleet
-                            .run_tile(&mut runtime, tile, &lanes, &mut cells)
-                            .map(|()| cells);
-                        let failed = result.is_err();
-                        if failed {
-                            poison.store(true, Ordering::Relaxed);
-                            frontier.release_all();
-                        } else {
-                            telemetry::count(telemetry::Counter::Tiles, 1);
-                            if let Some(started) = tile_started {
-                                let ns =
-                                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                                telemetry::observe(telemetry::Hist::TileNanos, ns);
+                        let tick = match fleet.run_tile(&mut runtime, tile, &lanes, &mut cells) {
+                            Err((id, e)) => {
+                                poison.store(true, Ordering::Relaxed);
+                                Err((id, e))
                             }
-                        }
-                        // A send error means the collector hung up (error
-                        // path); either way this worker is done.
-                        if tx.send((tile, result)).is_err() || failed {
+                            Ok(()) => {
+                                telemetry::count(telemetry::Counter::Tiles, 1);
+                                if let Some(started) = tile_started {
+                                    let ns = u64::try_from(started.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX);
+                                    telemetry::observe(telemetry::Hist::TileNanos, ns);
+                                }
+                                {
+                                    // The canonical reduction's per-tile
+                                    // unit, folded where the results were
+                                    // produced. Policy is the innermost
+                                    // lane axis, so every `policies`
+                                    // consecutive cells form one group.
+                                    let _span = telemetry::span(telemetry::Phase::ShardFold);
+                                    tile_stats.reset();
+                                    for group in cells.chunks_exact(policies.len()) {
+                                        tile_stats.fold_cell(group);
+                                    }
+                                    partial
+                                        .merge(tile_stats.stats())
+                                        .expect("tile partial shares the fleet's axes");
+                                }
+                                Ok(tile)
+                            }
+                        };
+                        let failed = tick.is_err();
+                        // A send error means the collector hung up; either
+                        // way a failed worker is done.
+                        if tx.send(tick).is_err() || failed {
                             break;
                         }
                     }
+                    partials.lock().expect("partials lock").push(partial);
                     if fleet.telemetry {
                         shards.lock().expect("shard lock").push(telemetry::end());
                     }
@@ -430,58 +475,31 @@ impl<'a> Fleet<'a> {
             }
             drop(tx);
 
-            let mut next: u64 = 0;
-            let mut reorder: BTreeMap<u64, Vec<CellResult>> = BTreeMap::new();
+            let mut done: u64 = 0;
             // Lowest failing scenario ID seen. Keeping the minimum (rather
             // than whichever error arrives first) stabilizes the reported
             // scenario across interleavings of the failures that did run;
             // with several failing scenarios, poisoning can still stop a
             // lower one from running at all.
             let mut error: Option<(u64, CoreError)> = None;
-            loop {
-                let received = {
-                    let _span = telemetry::span(telemetry::Phase::CollectRecvWait);
-                    rx.recv()
-                };
-                let Ok((tile, result)) = received else { break };
-                match result {
+            while let Ok(tick) = rx.recv() {
+                match tick {
+                    Ok(_tile) => {
+                        done += 1;
+                        if let Some(meter) = progress.as_mut() {
+                            meter.tick(done);
+                        }
+                    }
                     Err((id, e)) => {
                         poison.store(true, Ordering::Relaxed);
-                        frontier.release_all();
                         if error.as_ref().is_none_or(|(worst, _)| id < *worst) {
                             error = Some((id, e));
                         }
                     }
-                    Ok(cells) if error.is_none() => {
-                        let fold_started = Instant::now();
-                        reorder.insert(tile, cells);
-                        let before = next;
-                        while let Some(cells) = reorder.remove(&next) {
-                            for (offset, cell) in cells.into_iter().enumerate() {
-                                sink(next * tile_size + offset as u64, cell);
-                            }
-                            next += 1;
-                        }
-                        if next != before {
-                            frontier.advance_to(next);
-                            if let Some(meter) = progress.as_mut() {
-                                meter.tick(next);
-                            }
-                        }
-                        // One reading serves both the always-on phase
-                        // split and the telemetry fold span.
-                        let ns =
-                            u64::try_from(fold_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                        collect_ns = collect_ns.saturating_add(ns);
-                        telemetry::record_phase_ns(telemetry::Phase::CollectFold, ns);
-                    }
-                    // Error path: keep draining so no worker blocks on the
-                    // bounded channel; successful results are discarded.
-                    Ok(_) => {}
                 }
             }
             if let Some(meter) = progress.as_mut() {
-                meter.finish(next);
+                meter.finish(done);
             }
             if let Some((id, e)) = error {
                 return Err(FleetError::Scenario {
@@ -492,14 +510,26 @@ impl<'a> Fleet<'a> {
             // A worker panic poisons the run without delivering an error;
             // the partial Ok below is discarded because `thread::scope`
             // re-raises the panic after joining.
-            debug_assert!(
-                poison.load(Ordering::Relaxed) || (reorder.is_empty() && next == total_tiles)
-            );
+            debug_assert!(poison.load(Ordering::Relaxed) || done == shard_tiles);
             Ok(())
         });
-        let scope_s = scope_started.elapsed().as_secs_f64();
-        phases.collect_s = collect_ns as f64 * 1e-9;
-        phases.execute_s = (scope_s - phases.collect_s).max(0.0);
+        // The whole scope wall is execute time: simulation plus each
+        // worker's shard-local folds (the `shard_fold` telemetry phase
+        // breaks the latter out).
+        phases.execute_s = scope_started.elapsed().as_secs_f64();
+        // The final reduce: `workers` fixed-shape merges, independent of
+        // how many sessions streamed through the run.
+        let merge_started = Instant::now();
+        let mut stats = FleetStats::new(self.matrix.policies(), self.baseline);
+        {
+            let _span = telemetry::span(telemetry::Phase::FinalMerge);
+            for partial in partials.into_inner().expect("partials lock").iter() {
+                stats
+                    .merge(partial)
+                    .expect("worker partials share the fleet's axes");
+            }
+        }
+        phases.collect_s = merge_started.elapsed().as_secs_f64();
         // Harvest and merge before propagating any scenario error, so
         // the main thread's recording flag never leaks past this call.
         let snapshot = if self.telemetry {
@@ -512,15 +542,121 @@ impl<'a> Fleet<'a> {
             None
         };
         scope_result?;
-        Ok(snapshot)
+        Ok((stats, shard, snapshot))
+    }
+
+    /// The `run_cells` twin of [`Self::execute_stats`]: workers send
+    /// whole tile payloads `(tile, cells)` instead of folding them, and
+    /// the collector sorts the completed tiles back into canonical order
+    /// at the end. `O(sessions)` memory by design.
+    fn execute_cells(&self) -> Result<Vec<CellResult>, FleetError> {
+        if self.num_scenarios() == 0 {
+            return Err(FleetError::EmptyAxis("scenarios"));
+        }
+        let tile_size = self.matrix.tile_size();
+        let (tiles, _shard) = self.tile_range();
+        let shard_tiles = tiles.end - tiles.start;
+        let cursor = AtomicU64::new(tiles.start);
+        let poison = AtomicBool::new(false);
+        type TilePayload = Result<(u64, Vec<CellResult>), (u64, CoreError)>;
+        let (tx, rx) = mpsc::channel::<TilePayload>();
+        let mut progress = self
+            .progress
+            .then(|| ProgressMeter::new(shard_tiles, tile_size));
+        let scope_result = thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let poison = &poison;
+                let tiles_end = tiles.end;
+                let fleet = *self;
+                scope.spawn(move || {
+                    let _guard = PoisonOnPanic { poison };
+                    let mut runtime = WorkerRuntime::new();
+                    let lanes = fleet.tile_lanes();
+                    loop {
+                        if poison.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let tile = cursor.fetch_add(1, Ordering::Relaxed);
+                        if tile >= tiles_end {
+                            break;
+                        }
+                        let mut cells = Vec::with_capacity(usize::try_from(tile_size).unwrap_or(0));
+                        let payload = match fleet.run_tile(&mut runtime, tile, &lanes, &mut cells) {
+                            Err((id, e)) => {
+                                poison.store(true, Ordering::Relaxed);
+                                Err((id, e))
+                            }
+                            Ok(()) => Ok((tile, cells)),
+                        };
+                        let failed = payload.is_err();
+                        if tx.send(payload).is_err() || failed {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut completed: Vec<(u64, Vec<CellResult>)> = Vec::new();
+            let mut error: Option<(u64, CoreError)> = None;
+            while let Ok(payload) = rx.recv() {
+                match payload {
+                    Ok(pair) if error.is_none() => {
+                        completed.push(pair);
+                        if let Some(meter) = progress.as_mut() {
+                            meter.tick(completed.len() as u64);
+                        }
+                    }
+                    // Error path: keep draining so late payloads cannot
+                    // leak into a result; successful tiles are discarded.
+                    Ok(_) => {}
+                    Err((id, e)) => {
+                        poison.store(true, Ordering::Relaxed);
+                        if error.as_ref().is_none_or(|(worst, _)| id < *worst) {
+                            error = Some((id, e));
+                        }
+                    }
+                }
+            }
+            if let Some(meter) = progress.as_mut() {
+                meter.finish(completed.len() as u64);
+            }
+            if let Some((id, e)) = error {
+                return Err(FleetError::Scenario {
+                    id,
+                    source: Box::new(e),
+                });
+            }
+            Ok(completed)
+        });
+        let mut completed = scope_result?;
+        // Canonical order is re-established by one sort over tile IDs —
+        // each ID appears exactly once, so the sort fully determines the
+        // cell order.
+        completed.sort_unstable_by_key(|(tile, _)| *tile);
+        // Pre-allocation hint with an explicit bound: the scenario count
+        // can exceed `usize` only on narrow targets where such a run could
+        // never be collected anyway, and even on 64-bit hosts a huge count
+        // must not translate into a huge up-front allocation — beyond
+        // `MAX_PREALLOC` cells the Vec grows normally instead.
+        const MAX_PREALLOC: usize = 1 << 22;
+        let hint = usize::try_from(shard_tiles.saturating_mul(tile_size))
+            .map_or(MAX_PREALLOC, |n| n.min(MAX_PREALLOC));
+        let mut out = Vec::with_capacity(hint);
+        for (_, cells) in completed {
+            out.extend(cells);
+        }
+        Ok(out)
     }
 }
 
 /// The `SENSEI_FLEET_PROGRESS=1` live progress line: a `\r`-rewritten
-/// stderr status driven by the collector's fold frontier, throttled so a
-/// fast quick-run does not flood the terminal. Session counts are derived
-/// from folded tiles (`tiles × tile_size`), so the line needs no extra
-/// coordination with the workers.
+/// stderr status driven by tile-completion ticks, throttled so a fast
+/// quick-run does not flood the terminal. Session counts are derived
+/// from completed tiles (`tiles × tile_size`), so the line needs no
+/// extra coordination with the workers.
 struct ProgressMeter {
     started: Instant,
     last_print: Option<Instant>,
@@ -543,7 +679,7 @@ impl ProgressMeter {
         }
     }
 
-    /// Reports a new fold frontier (tiles folded so far).
+    /// Reports a new completed-tile count.
     fn tick(&mut self, tiles_done: u64) {
         let now = Instant::now();
         let due = self
@@ -582,58 +718,15 @@ impl ProgressMeter {
 }
 
 /// Poisons the run if the owning worker unwinds, so the rest of the fleet
-/// shuts down cleanly and `thread::scope` can propagate the panic instead
-/// of deadlocking on a frontier that will never advance.
+/// stops pulling tiles and `thread::scope` can propagate the panic.
 struct PoisonOnPanic<'a> {
     poison: &'a AtomicBool,
-    frontier: &'a Frontier,
 }
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
         if thread::panicking() {
             self.poison.store(true, Ordering::Relaxed);
-            self.frontier.release_all();
         }
-    }
-}
-
-/// The collector's fold frontier, shared with the workers to bound how
-/// far ahead of the in-order fold they may run.
-#[derive(Default)]
-struct Frontier {
-    folded: Mutex<u64>,
-    advanced: Condvar,
-}
-
-impl Frontier {
-    /// Blocks until `id` is within `window` of the fold frontier (all
-    /// results below the frontier have been folded, so at most `window`
-    /// results can be queued or buffered). Returns `false` when the run
-    /// was poisoned in the meantime — including via [`Self::release_all`],
-    /// which satisfies the admission condition, so the final poison check
-    /// is what keeps released workers from running a doomed scenario.
-    fn wait_until_admitted(&self, id: u64, window: u64, poison: &AtomicBool) -> bool {
-        let mut folded = self.folded.lock().expect("frontier lock");
-        while id >= folded.saturating_add(window) {
-            if poison.load(Ordering::Relaxed) {
-                return false;
-            }
-            folded = self.advanced.wait(folded).expect("frontier lock");
-        }
-        !poison.load(Ordering::Relaxed)
-    }
-
-    /// Publishes the collector's new fold frontier.
-    fn advance_to(&self, next: u64) {
-        *self.folded.lock().expect("frontier lock") = next;
-        self.advanced.notify_all();
-    }
-
-    /// Wakes every waiting worker (error shutdown — they re-check the
-    /// poison flag and exit).
-    fn release_all(&self) {
-        *self.folded.lock().expect("frontier lock") = u64::MAX;
-        self.advanced.notify_all();
     }
 }

@@ -15,16 +15,26 @@
 //!   and a per-scenario RNG seed derived from the master seed by SplitMix64,
 //!   so any scenario can be regenerated in isolation and nothing depends on
 //!   execution order.
-//! * [`Fleet`] — a std-only sharded executor (`std::thread::scope` + a
-//!   bounded channel; no new external dependencies, consistent with the
-//!   offline `shims/` policy). Workers pull scenario IDs from a shared
-//!   atomic cursor, results stream back tagged with their ID, and a small
-//!   reorder buffer folds them into the aggregates in canonical ID order —
-//!   which is what makes the aggregates identical for 1, 2, or 64 workers.
+//! * [`Fleet`] — a std-only sharded executor (`std::thread::scope`; no new
+//!   external dependencies, consistent with the offline `shims/` policy).
+//!   Workers pull tiles from a shared atomic cursor and fold their own
+//!   results into **shard-local partials**; the channel carries only
+//!   tile-completion ticks, and the collector merges the O(workers)
+//!   partials at the end. The aggregates are *defined* as the reduction of
+//!   per-tile partials in canonical tile order, and every accumulator
+//!   merges as exact integer sums — so 1, 2, or 64 workers (or processes,
+//!   via [`merge_reports`]) produce bit-identical results.
 //! * [`FleetReport`] — streaming per-policy accumulators: QoE mean/variance
-//!   via Welford, fixed-bin stall-rate and bitrate-switch histograms, a
-//!   fixed-bin QoE-gain CDF against a baseline policy, and sessions/sec
-//!   throughput. Memory stays `O(policies × bins)`, not `O(sessions)`.
+//!   from exact quantized moment sums ([`Moments`]), fixed-bin stall-rate
+//!   and bitrate-switch histograms, a fixed-bin QoE-gain CDF against a
+//!   baseline policy, and sessions/sec throughput. Memory stays
+//!   `O(policies × bins)`, not `O(sessions)`.
+//!
+//! Cross-process sharding rides the same merge law: a [`ShardPlan`] splits
+//! the tile range into N contiguous slices, `FleetConfig::with_shard` runs
+//! one slice and stamps the partial report with a [`ShardSlice`], and
+//! [`merge_reports`] combines N partials bit-identically to the
+//! single-process run.
 //!
 //! `sensei_core::Experiment::run_grid` is the degenerate fleet run: one
 //! worker, no perturbations, one player config. [`ScenarioMatrix::grid`]
@@ -54,11 +64,12 @@ pub mod scenario;
 pub use executor::{Fleet, FleetConfig};
 pub use families::{ScenarioFamilies, ScenarioFamiliesBuilder};
 pub use report::{
-    family_of, FamilyDrift, FamilyPolicyStats, FamilyStats, FleetDiff, FleetReport, FleetStats,
-    GainCdf, Histogram, PolicyDrift, PolicyStats, RunPhases, Welford,
+    family_of, merge_reports, FamilyDrift, FamilyPolicyStats, FamilyStats, FleetDiff, FleetReport,
+    FleetStats, GainCdf, Histogram, Moments, PolicyDrift, PolicyStats, RunPhases, ShardSlice,
+    TileStats,
 };
 pub use runtime::{TraceCache, WorkerRuntime};
-pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, TracePerturbation};
+pub use scenario::{Scenario, ScenarioMatrix, ScenarioMatrixBuilder, ShardPlan, TracePerturbation};
 // Re-exported so fleet consumers (benches, integration tests, downstream
 // binaries) can name the metric catalog and snapshot types without
 // depending on the telemetry crate directly.
@@ -105,6 +116,10 @@ pub enum FleetError {
     /// A procedural scenario-family spec is invalid (zero counts, an
     /// empty family list, or a bad genre mix).
     Family(String),
+    /// A shard split is invalid, or partial aggregates could not be
+    /// merged (mismatched axes, an incomplete shard set, ranges that do
+    /// not partition the tile space).
+    Shard(String),
 }
 
 impl std::fmt::Display for FleetError {
@@ -136,6 +151,7 @@ impl std::fmt::Display for FleetError {
             }
             FleetError::Persist(msg) => write!(f, "persisted fleet report is invalid: {msg}"),
             FleetError::Family(msg) => write!(f, "invalid scenario-family spec: {msg}"),
+            FleetError::Shard(msg) => write!(f, "invalid fleet shard: {msg}"),
         }
     }
 }

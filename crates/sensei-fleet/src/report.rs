@@ -1,32 +1,76 @@
 //! Streaming aggregation for fleet runs.
 //!
-//! Everything here is an *online* accumulator folded in canonical scenario
-//! order: QoE mean/variance via Welford's algorithm, fixed-bin histograms
-//! for stall rates and bitrate switches, and a fixed-bin CDF of per-cell
-//! QoE gains over a baseline policy. Memory is `O(policies × bins)`
-//! regardless of how many million sessions stream through — the
-//! per-session results are folded and dropped.
+//! Everything here is an *online* accumulator with an exact, mergeable
+//! state: QoE mean/variance from fixed-point integer moment sums
+//! ([`Moments`]), fixed-bin histograms for stall rates and bitrate
+//! switches, and a fixed-bin CDF of per-cell QoE gains over a baseline
+//! policy. Memory is `O(policies × bins)` regardless of how many million
+//! sessions stream through — the per-session results are folded and
+//! dropped.
+//!
+//! **The merge law.** Every accumulator is integer sums (counts,
+//! quantized moments, histogram bins), so [`FleetStats::merge`] is
+//! exactly associative and commutative — the same contract
+//! `sensei-telemetry` proves for its all-`u64` shards. The deterministic
+//! result is *defined* as the reduction over per-tile partials
+//! ([`TileStats`]) in canonical tile order; because merging is exact,
+//! any grouping of that reduction — worker shards, batch widths, whole
+//! processes ([`merge_reports`]) — yields the bit-identical aggregates.
 
 use crate::json::{self, obj, Json};
 use crate::FleetError;
 use sensei_core::{CellResult, PolicyKind};
 use sensei_telemetry::{Counter, Hist, Phase, TelemetryShard, TelemetrySnapshot};
 
-/// Welford online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct Welford {
-    count: u64,
-    mean: f64,
-    m2: f64,
+/// Scale of the fixed-point quantization: observations are stored as
+/// integer multiples of 2⁻⁴⁰ (≈ 9.1e-13, far below any tolerance the
+/// reports read at). A power of two, so `x * Q_SCALE` is exact IEEE-754
+/// for every in-range `x` — quantization rounds once, never twice.
+const Q_SCALE: f64 = (1u64 << 40) as f64;
+
+/// Quantizes one observation onto the fixed-point grid. Deterministic
+/// and total: the float → int cast sends NaN to 0 and saturates
+/// out-of-range values, so every input maps to exactly one integer.
+fn quantize(x: f64) -> i128 {
+    (x * Q_SCALE).round() as i128
 }
 
-impl Welford {
+/// Exact mean/variance accumulator over fixed-point integer moment sums
+/// — the mergeable replacement for a Welford accumulator.
+///
+/// Observations are quantized to integer multiples of 2⁻⁴⁰ and
+/// accumulated as `i128` sums of `x` and `x²`, so folding is plain
+/// integer addition: [`Self::merge`] is exactly associative and
+/// commutative, and any shard grouping of the same observations yields
+/// the bit-identical state. (Welford pairwise merges — Chan et al.'s
+/// formulas — are *statistically* sound but not bit-associative, which
+/// would leak the worker count and shard split into the aggregates.)
+/// Derived statistics are computed from the exact sums at read time;
+/// quantization error is ≤ 2⁻⁴¹ per observation, invisible at reporting
+/// precision. Headroom: with `x²` around 2²² (kbps-scale bitrates
+/// squared), the `i128` sum has ~2⁶⁰ observations of room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Moments {
+    count: u64,
+    sum_q: i128,
+    sumsq_q: i128,
+}
+
+impl Moments {
     /// Folds one observation in.
     pub fn push(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
+        self.count = self.count.wrapping_add(1);
+        self.sum_q = self.sum_q.wrapping_add(quantize(x));
+        self.sumsq_q = self.sumsq_q.wrapping_add(quantize(x * x));
+    }
+
+    /// Folds another accumulator in. Exact integer sums (wrapping, so
+    /// the operation is total), hence independent of merge order and
+    /// grouping.
+    pub fn merge(&mut self, other: &Moments) {
+        self.count = self.count.wrapping_add(other.count);
+        self.sum_q = self.sum_q.wrapping_add(other.sum_q);
+        self.sumsq_q = self.sumsq_q.wrapping_add(other.sumsq_q);
     }
 
     /// Number of observations.
@@ -35,20 +79,29 @@ impl Welford {
         self.count
     }
 
-    /// Running mean (0 when empty).
+    /// Mean (0 when empty), derived from the exact sum in one fixed
+    /// operation order.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        self.mean
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_q as f64 / Q_SCALE / self.count as f64
+        }
     }
 
-    /// Population variance (0 with fewer than two observations).
+    /// Population variance (0 with fewer than two observations),
+    /// computed from the exact moment sums and clamped at 0 against
+    /// cancellation error.
     #[must_use]
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / self.count as f64
+            return 0.0;
         }
+        let n = self.count as f64;
+        let sum = self.sum_q as f64 / Q_SCALE;
+        let sumsq = self.sumsq_q as f64 / Q_SCALE;
+        ((sumsq - sum * sum / n) / n).max(0.0)
     }
 
     /// Population standard deviation.
@@ -57,18 +110,26 @@ impl Welford {
         self.variance().sqrt()
     }
 
-    /// The raw second central moment (Σ(x − mean)²) — exposed so the
-    /// accumulator state can be persisted and restored losslessly.
+    /// Raw quantized Σx — exposed for lossless persistence.
     #[must_use]
-    pub fn m2(&self) -> f64 {
-        self.m2
+    pub fn sum_q(&self) -> i128 {
+        self.sum_q
     }
 
-    /// Restores an accumulator from its persisted state (the inverse of
-    /// reading `count`/`mean`/`m2`).
+    /// Raw quantized Σx² — exposed for lossless persistence.
     #[must_use]
-    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
-        Self { count, mean, m2 }
+    pub fn sumsq_q(&self) -> i128 {
+        self.sumsq_q
+    }
+
+    /// Restores an accumulator from its persisted raw state.
+    #[must_use]
+    pub fn from_raw(count: u64, sum_q: i128, sumsq_q: i128) -> Self {
+        Self {
+            count,
+            sum_q,
+            sumsq_q,
+        }
     }
 }
 
@@ -143,6 +204,37 @@ impl Histogram {
         self.lo + (self.hi - self.lo) * (i as f64 + 1.0) / self.counts.len() as f64
     }
 
+    /// Zeroes the counts, keeping the bin layout (for reusable partials).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// Folds another histogram's counts in — element-wise wrapping sums,
+    /// so merge order and grouping cannot matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Shard`] when the bin layouts differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), FleetError> {
+        if self.lo != other.lo || self.hi != other.hi || self.counts.len() != other.counts.len() {
+            return Err(FleetError::Shard(format!(
+                "histogram layout mismatch: [{}, {}] × {} bins vs [{}, {}] × {} bins",
+                self.lo,
+                self.hi,
+                self.counts.len(),
+                other.lo,
+                other.hi,
+                other.counts.len()
+            )));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.wrapping_add(*b);
+        }
+        self.total = self.total.wrapping_add(other.total);
+        Ok(())
+    }
+
     /// Restores a histogram from its persisted state. The total is
     /// recomputed from the counts.
     ///
@@ -199,7 +291,7 @@ pub struct GainCdf {
     /// Gains binned over [-100, +100] %.
     pub hist: Histogram,
     /// Running mean/variance of the gains.
-    pub stats: Welford,
+    pub stats: Moments,
     /// Exact count of strictly positive gains (the binned CDF would put a
     /// gain of exactly 0 into the first positive bin).
     positive: u64,
@@ -209,7 +301,7 @@ impl GainCdf {
     pub(crate) fn new() -> Self {
         Self {
             hist: Histogram::new(-100.0, 100.0, GAIN_BINS),
-            stats: Welford::default(),
+            stats: Moments::default(),
             positive: 0,
         }
     }
@@ -220,6 +312,19 @@ impl GainCdf {
         if gain_pct > 0.0 {
             self.positive += 1;
         }
+    }
+
+    fn merge(&mut self, other: &GainCdf) -> Result<(), FleetError> {
+        self.hist.merge(&other.hist)?;
+        self.stats.merge(&other.stats);
+        self.positive = self.positive.wrapping_add(other.positive);
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.hist.reset();
+        self.stats = Moments::default();
+        self.positive = 0;
     }
 
     /// Fraction of cells where the policy strictly beat the baseline.
@@ -239,7 +344,7 @@ impl GainCdf {
 
     /// Restores a gain CDF from its persisted state.
     #[must_use]
-    pub fn from_parts(hist: Histogram, stats: Welford, positive: u64) -> Self {
+    pub fn from_parts(hist: Histogram, stats: Moments, positive: u64) -> Self {
         Self {
             hist,
             stats,
@@ -262,18 +367,19 @@ pub struct PolicyStats {
     /// Sessions folded in.
     pub sessions: u64,
     /// True-QoE accumulator.
-    pub qoe: Welford,
+    pub qoe: Moments,
     /// Mean streamed bitrate accumulator (kbps).
-    pub bitrate_kbps: Welford,
+    pub bitrate_kbps: Moments,
     /// Rebuffer-ratio accumulator.
-    pub rebuffer_ratio: Welford,
+    pub rebuffer_ratio: Moments,
     /// Stall-rate distribution: rebuffer ratio in 20 bins over [0, 1].
     pub stall_hist: Histogram,
     /// Bitrate-switch distribution: switches per session in 16 bins over
     /// [0, 64].
     pub switch_hist: Histogram,
-    /// Total intentional stall seconds injected (SENSEI's pause action).
-    pub intentional_stall_s: f64,
+    /// Total intentional stall seconds, quantized so partial sums merge
+    /// exactly (read via [`Self::intentional_stall_s`]).
+    intentional_stall_q: i128,
     /// QoE-gain CDF vs the baseline policy (`None` for the baseline
     /// itself).
     pub gain_vs_baseline: Option<GainCdf>,
@@ -284,12 +390,12 @@ impl PolicyStats {
         Self {
             policy,
             sessions: 0,
-            qoe: Welford::default(),
-            bitrate_kbps: Welford::default(),
-            rebuffer_ratio: Welford::default(),
+            qoe: Moments::default(),
+            bitrate_kbps: Moments::default(),
+            rebuffer_ratio: Moments::default(),
             stall_hist: Histogram::new(0.0, 1.0, STALL_BINS),
             switch_hist: Histogram::new(0.0, MAX_SWITCHES, SWITCH_BINS),
-            intentional_stall_s: 0.0,
+            intentional_stall_q: 0,
             gain_vs_baseline: (!is_baseline).then(GainCdf::new),
         }
     }
@@ -301,7 +407,54 @@ impl PolicyStats {
         self.rebuffer_ratio.push(cell.rebuffer_ratio);
         self.stall_hist.add(cell.rebuffer_ratio);
         self.switch_hist.add(cell.bitrate_switches as f64);
-        self.intentional_stall_s += cell.intentional_stall_s;
+        self.intentional_stall_q = self
+            .intentional_stall_q
+            .wrapping_add(quantize(cell.intentional_stall_s));
+    }
+
+    /// Total intentional stall seconds injected (SENSEI's pause action),
+    /// read off the exact quantized sum.
+    #[must_use]
+    pub fn intentional_stall_s(&self) -> f64 {
+        self.intentional_stall_q as f64 / Q_SCALE
+    }
+
+    fn merge(&mut self, other: &PolicyStats) -> Result<(), FleetError> {
+        if self.policy != other.policy
+            || self.gain_vs_baseline.is_some() != other.gain_vs_baseline.is_some()
+        {
+            return Err(FleetError::Shard(format!(
+                "policy aggregate mismatch: {} vs {}",
+                self.policy.label(),
+                other.policy.label()
+            )));
+        }
+        self.sessions = self.sessions.wrapping_add(other.sessions);
+        self.qoe.merge(&other.qoe);
+        self.bitrate_kbps.merge(&other.bitrate_kbps);
+        self.rebuffer_ratio.merge(&other.rebuffer_ratio);
+        self.stall_hist.merge(&other.stall_hist)?;
+        self.switch_hist.merge(&other.switch_hist)?;
+        self.intentional_stall_q = self
+            .intentional_stall_q
+            .wrapping_add(other.intentional_stall_q);
+        if let (Some(a), Some(b)) = (&mut self.gain_vs_baseline, &other.gain_vs_baseline) {
+            a.merge(b)?;
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.sessions = 0;
+        self.qoe = Moments::default();
+        self.bitrate_kbps = Moments::default();
+        self.rebuffer_ratio = Moments::default();
+        self.stall_hist.reset();
+        self.switch_hist.reset();
+        self.intentional_stall_q = 0;
+        if let Some(g) = &mut self.gain_vs_baseline {
+            g.reset();
+        }
     }
 }
 
@@ -326,7 +479,7 @@ pub struct FamilyPolicyStats {
     /// Sessions of this family folded in.
     pub sessions: u64,
     /// True-QoE accumulator over this family's sessions.
-    pub qoe: Welford,
+    pub qoe: Moments,
 }
 
 /// The family key of a trace name: the prefix before the first `-`
@@ -340,7 +493,9 @@ pub fn family_of(trace_name: &str) -> &str {
 
 /// The order-independent part of a fleet report: everything here is
 /// bit-for-bit identical for the same experiment + matrix regardless of
-/// worker count (the executor folds in canonical scenario order).
+/// worker count, batch width, or shard split — the result is defined as
+/// the canonical-tile-order reduction of [`TileStats`] partials, and the
+/// exact merge makes every evaluation grouping agree with it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetStats {
     /// Total sessions simulated.
@@ -349,13 +504,16 @@ pub struct FleetStats {
     pub baseline: PolicyKind,
     /// Per-policy aggregates, in matrix policy order.
     pub per_policy: Vec<PolicyStats>,
-    /// Per-trace-family aggregates, in first-seen canonical fold order
-    /// (deterministic for any worker count, like everything else here).
+    /// Per-trace-family aggregates, sorted by family key — a
+    /// merge-order-free ordering, unlike the old first-seen fold order.
     pub per_family: Vec<FamilyStats>,
 }
 
 impl FleetStats {
-    pub(crate) fn new(policies: &[PolicyKind], baseline: PolicyKind) -> Self {
+    /// Fresh all-zero aggregates over a policy axis — the identity
+    /// element of [`Self::merge`] for that axis.
+    #[must_use]
+    pub fn new(policies: &[PolicyKind], baseline: PolicyKind) -> Self {
         Self {
             sessions: 0,
             baseline,
@@ -365,6 +523,72 @@ impl FleetStats {
                 .collect(),
             per_family: Vec::new(),
         }
+    }
+
+    /// Zeroes the aggregates, keeping the axes — so a reusable partial
+    /// never reallocates its fixed-shape state.
+    pub fn reset(&mut self) {
+        self.sessions = 0;
+        for s in &mut self.per_policy {
+            s.reset();
+        }
+        self.per_family.clear();
+    }
+
+    /// Folds another partial aggregate over the **same axes** in — the
+    /// merge half of the collection contract. Every accumulator merges
+    /// as exact integer sums, so this is associative and commutative:
+    /// the canonical-tile-order reduction the determinism contract is
+    /// defined over can be evaluated in any grouping (worker shards,
+    /// process shards) without moving a bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Shard`] when the two sides disagree on the
+    /// baseline, the policy axis, or an accumulator layout.
+    pub fn merge(&mut self, other: &FleetStats) -> Result<(), FleetError> {
+        if self.baseline != other.baseline {
+            return Err(FleetError::Shard(format!(
+                "merge baseline mismatch: {} vs {}",
+                self.baseline.label(),
+                other.baseline.label()
+            )));
+        }
+        if self.per_policy.len() != other.per_policy.len()
+            || self
+                .per_policy
+                .iter()
+                .zip(&other.per_policy)
+                .any(|(a, b)| a.policy != b.policy)
+        {
+            return Err(FleetError::Shard("merge policy axes differ".into()));
+        }
+        self.sessions = self.sessions.wrapping_add(other.sessions);
+        for (a, b) in self.per_policy.iter_mut().zip(&other.per_policy) {
+            a.merge(b)?;
+        }
+        for bf in &other.per_family {
+            match self
+                .per_family
+                .binary_search_by(|f| f.family.as_str().cmp(&bf.family))
+            {
+                Ok(i) => {
+                    let af = &mut self.per_family[i];
+                    if af.per_policy.len() != bf.per_policy.len() {
+                        return Err(FleetError::Shard(format!(
+                            "family `{}` policy axes differ",
+                            bf.family
+                        )));
+                    }
+                    for (a, b) in af.per_policy.iter_mut().zip(&bf.per_policy) {
+                        a.sessions = a.sessions.wrapping_add(b.sessions);
+                        a.qoe.merge(&b.qoe);
+                    }
+                }
+                Err(i) => self.per_family.insert(i, bf.clone()),
+            }
+        }
+        Ok(())
     }
 
     /// Folds one completed cell (all policies' results, in matrix policy
@@ -389,24 +613,32 @@ impl FleetStats {
             }
         }
         // Family-conditional fold: every cell of the group shares the
-        // trace, so the family is keyed once off the first cell.
+        // trace, so the family is keyed once off the first cell. The
+        // family list stays sorted by key — an ordering no fold or merge
+        // order can perturb.
         let family = family_of(&cells[0].trace);
-        let idx = match self.per_family.iter().position(|f| f.family == family) {
-            Some(idx) => idx,
-            None => {
-                self.per_family.push(FamilyStats {
-                    family: family.to_string(),
-                    per_policy: self
-                        .per_policy
-                        .iter()
-                        .map(|s| FamilyPolicyStats {
-                            policy: s.policy,
-                            sessions: 0,
-                            qoe: Welford::default(),
-                        })
-                        .collect(),
-                });
-                self.per_family.len() - 1
+        let idx = match self
+            .per_family
+            .binary_search_by(|f| f.family.as_str().cmp(family))
+        {
+            Ok(idx) => idx,
+            Err(idx) => {
+                self.per_family.insert(
+                    idx,
+                    FamilyStats {
+                        family: family.to_string(),
+                        per_policy: self
+                            .per_policy
+                            .iter()
+                            .map(|s| FamilyPolicyStats {
+                                policy: s.policy,
+                                sessions: 0,
+                                qoe: Moments::default(),
+                            })
+                            .collect(),
+                    },
+                );
+                idx
             }
         };
         for (stats, cell) in self.per_family[idx].per_policy.iter_mut().zip(cells) {
@@ -428,20 +660,89 @@ impl FleetStats {
     }
 }
 
+/// One tile's partial aggregates — the unit of the canonical reduction.
+///
+/// The determinism contract is defined over these: fold each tile's
+/// cells (in cell order) into a `TileStats`, then reduce the tiles in
+/// canonical tile order with [`FleetStats::merge`]. Because every
+/// accumulator merges exactly, the executor is free to evaluate that
+/// reduction in any grouping — each worker folds its own tiles into a
+/// shard-local partial and the collector merges O(workers) partials —
+/// and still produce the bit-identical [`FleetStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileStats {
+    stats: FleetStats,
+}
+
+impl TileStats {
+    /// Fresh tile partial over the given axes.
+    #[must_use]
+    pub fn new(policies: &[PolicyKind], baseline: PolicyKind) -> Self {
+        Self {
+            stats: FleetStats::new(policies, baseline),
+        }
+    }
+
+    /// Zeroes the partial for reuse on the next tile.
+    pub fn reset(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Folds one completed cell (all policies' results, in matrix policy
+    /// order) into the partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the baseline policy is missing from the axes the
+    /// partial was built over.
+    pub fn fold_cell(&mut self, cells: &[CellResult]) {
+        self.stats.fold_cell(cells);
+    }
+
+    /// The folded partial.
+    #[must_use]
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+}
+
 /// Coarse wall-clock breakdown of one fleet run, recorded by plain
 /// `Instant` reads whether or not full telemetry is on: `setup_s` is the
 /// executor's pre-scope work (matrix checks, channel construction),
-/// `collect_s` the collector's in-order fold (reorder buffer + aggregate
-/// folding), and `execute_s` the rest of the worker scope — the
-/// simulation itself. The three sum to approximately `wall_time_s`.
+/// `execute_s` the worker scope's wall time — simulation plus each
+/// worker's own shard-local folding (the `shard_fold` telemetry phase
+/// breaks the latter out) — and `collect_s` the final reduction of the
+/// O(workers) shard partials after the scope ends. The three sum to
+/// approximately `wall_time_s`. Collection no longer scales with session
+/// count: `collect_s` covers `workers − 1` merges of fixed-shape
+/// partials, however many million sessions streamed through.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunPhases {
     /// Seconds spent before the worker scope started.
     pub setup_s: f64,
-    /// Seconds of worker-scope wall time not spent folding.
+    /// Seconds of worker-scope wall time (simulation + shard-local
+    /// folds).
     pub execute_s: f64,
-    /// Seconds the collector spent folding results in canonical order.
+    /// Seconds the collector spent merging the shard partials at the
+    /// end.
     pub collect_s: f64,
+}
+
+/// The tile slice a sharded run covered — attached to partial
+/// [`FleetReport`]s so [`merge_reports`] can verify that N partials
+/// actually partition one matrix before combining them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// This shard's index in `0..count`.
+    pub index: u64,
+    /// Total shards in the split.
+    pub count: u64,
+    /// First tile of this shard's contiguous range (inclusive).
+    pub tile_lo: u64,
+    /// One past the last tile of the range (exclusive).
+    pub tile_hi: u64,
+    /// Tiles in the whole (unsharded) matrix.
+    pub total_tiles: u64,
 }
 
 /// Outcome of a fleet run: the deterministic aggregates plus (wall-clock,
@@ -463,6 +764,10 @@ pub struct FleetReport {
     /// [`Self::diff`] ignores — only [`FleetStats`] participate in
     /// baseline comparisons.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// The tile slice this report covers when it came from a sharded run
+    /// (`FleetConfig::with_shard`); `None` for a whole-matrix run or a
+    /// [`merge_reports`] result.
+    pub shard: Option<ShardSlice>,
 }
 
 impl FleetReport {
@@ -513,16 +818,138 @@ impl FleetReport {
     }
 }
 
+fn shard_slice(report: &FleetReport) -> Result<ShardSlice, FleetError> {
+    report.shard.ok_or_else(|| {
+        FleetError::Shard(
+            "merge_reports needs partial (sharded) reports; an input has no shard section".into(),
+        )
+    })
+}
+
+/// Combines N partial reports — one per shard of a shard-plan split —
+/// into the whole-matrix report, bit-identical in its [`FleetStats`] to
+/// the single-process run (exact merges; see [`FleetStats::merge`]).
+///
+/// Wall-clock fields combine as a parallel execution would: `wall_time_s`
+/// is the slowest shard's, `workers` the fleet-wide total, throughput the
+/// total sessions over the slowest shard's wall time, and the phase
+/// splits sum. Telemetry merges when every partial carries it (otherwise
+/// the merged report has none).
+///
+/// # Errors
+///
+/// Returns [`FleetError::Shard`] unless the inputs are exactly one
+/// report per shard index `0..count`, agreeing on the shard count and
+/// total tile count, with ranges that partition `0..total_tiles` — and
+/// propagates stats-merge failures when aggregates disagree on axes.
+pub fn merge_reports(reports: &[FleetReport]) -> Result<FleetReport, FleetError> {
+    let first = reports
+        .first()
+        .ok_or_else(|| FleetError::Shard("merge_reports needs at least one report".into()))?;
+    let first_slice = shard_slice(first)?;
+    let count = first_slice.count;
+    if reports.len() as u64 != count {
+        return Err(FleetError::Shard(format!(
+            "shard split expects {count} reports, got {}",
+            reports.len()
+        )));
+    }
+    let mut by_index: Vec<Option<&FleetReport>> = vec![None; reports.len()];
+    for report in reports {
+        let slice = shard_slice(report)?;
+        if slice.count != count || slice.total_tiles != first_slice.total_tiles {
+            return Err(FleetError::Shard(format!(
+                "shard {}/{} over {} tiles does not match the first report's split ({count} \
+                 shards over {} tiles)",
+                slice.index, slice.count, slice.total_tiles, first_slice.total_tiles
+            )));
+        }
+        let slot = by_index.get_mut(slice.index as usize).ok_or_else(|| {
+            FleetError::Shard(format!(
+                "shard index {} out of range for count {count}",
+                slice.index
+            ))
+        })?;
+        if slot.is_some() {
+            return Err(FleetError::Shard(format!(
+                "duplicate shard index {}",
+                slice.index
+            )));
+        }
+        *slot = Some(report);
+    }
+    // N slots, N distinct in-range indices: every slot is filled.
+    let ordered: Vec<&FleetReport> = by_index
+        .into_iter()
+        .map(|slot| slot.expect("pigeonhole"))
+        .collect();
+    // The ranges must tile 0..total_tiles with no gap or overlap.
+    let mut next_tile = 0;
+    for report in &ordered {
+        let slice = report.shard.expect("validated above");
+        if slice.tile_lo != next_tile || slice.tile_hi < slice.tile_lo {
+            return Err(FleetError::Shard(format!(
+                "shard {} covers tiles [{}, {}) but the previous shard ended at {next_tile}",
+                slice.index, slice.tile_lo, slice.tile_hi
+            )));
+        }
+        next_tile = slice.tile_hi;
+    }
+    if next_tile != first_slice.total_tiles {
+        return Err(FleetError::Shard(format!(
+            "shard ranges cover {next_tile} of {} tiles",
+            first_slice.total_tiles
+        )));
+    }
+    let mut stats = ordered[0].stats.clone();
+    for report in &ordered[1..] {
+        stats.merge(&report.stats)?;
+    }
+    let wall_time_s = ordered.iter().map(|r| r.wall_time_s).fold(0.0, f64::max);
+    let mut phases = RunPhases::default();
+    for r in &ordered {
+        phases.setup_s += r.phases.setup_s;
+        phases.execute_s += r.phases.execute_s;
+        phases.collect_s += r.phases.collect_s;
+    }
+    let telemetry = if ordered.iter().all(|r| r.telemetry.is_some()) {
+        let mut shard = TelemetryShard::new();
+        for r in &ordered {
+            shard.merge(&r.telemetry.as_ref().expect("all present").shard);
+        }
+        Some(TelemetrySnapshot::from_shard(shard))
+    } else {
+        None
+    };
+    Ok(FleetReport {
+        sessions_per_sec: if wall_time_s > 0.0 {
+            stats.sessions as f64 / wall_time_s
+        } else {
+            0.0
+        },
+        stats,
+        workers: ordered.iter().map(|r| r.workers).sum(),
+        wall_time_s,
+        phases,
+        telemetry,
+        shard: None,
+    })
+}
+
 /// Version tag of the persisted report format; bumped on any schema
 /// change so stale baselines fail with a clear message instead of a
-/// field-level parse error. `/2` added the per-family aggregates.
-const FORMAT_TAG: &str = "sensei-fleet-report/2";
+/// field-level parse error. `/2` added the per-family aggregates; `/3`
+/// switched the moment accumulators to exact quantized integer sums and
+/// added the `shard` section partial reports carry.
+const FORMAT_TAG: &str = "sensei-fleet-report/3";
 
-fn welford_to_json(w: &Welford) -> Json {
+fn moments_to_json(m: &Moments) -> Json {
+    // The i128 sums cannot ride in a JSON number (f64 mantissa), so they
+    // persist as decimal strings — exact round trip by construction.
     obj([
-        ("count", Json::Num(w.count() as f64)),
-        ("mean", Json::Num(w.mean())),
-        ("m2", Json::Num(w.m2())),
+        ("count", Json::Num(m.count() as f64)),
+        ("sum_q", Json::Str(m.sum_q().to_string())),
+        ("sumsq_q", Json::Str(m.sumsq_q().to_string())),
     ])
 }
 
@@ -556,11 +983,24 @@ fn u64_field(v: &Json, key: &str, ctx: &str) -> Result<u64, FleetError> {
         .ok_or_else(|| FleetError::Persist(format!("field `{ctx}.{key}` is not a whole count")))
 }
 
-fn welford_from_json(v: &Json, ctx: &str) -> Result<Welford, FleetError> {
-    Ok(Welford::from_parts(
+/// Quantized sums persist as decimal strings (`i128` does not fit in a
+/// JSON number).
+fn i128_field(v: &Json, key: &str, ctx: &str) -> Result<i128, FleetError> {
+    field(v, key, ctx)?
+        .as_str()
+        .and_then(|s| s.parse::<i128>().ok())
+        .ok_or_else(|| {
+            FleetError::Persist(format!(
+                "field `{ctx}.{key}` is not a decimal integer string"
+            ))
+        })
+}
+
+fn moments_from_json(v: &Json, ctx: &str) -> Result<Moments, FleetError> {
+    Ok(Moments::from_raw(
         u64_field(v, "count", ctx)?,
-        num_field(v, "mean", ctx)?,
-        num_field(v, "m2", ctx)?,
+        i128_field(v, "sum_q", ctx)?,
+        i128_field(v, "sumsq_q", ctx)?,
     ))
 }
 
@@ -681,19 +1121,22 @@ impl FleetReport {
                 let gain = s.gain_vs_baseline.as_ref().map_or(Json::Null, |g| {
                     obj([
                         ("hist", hist_to_json(&g.hist)),
-                        ("stats", welford_to_json(&g.stats)),
+                        ("stats", moments_to_json(&g.stats)),
                         ("positive", Json::Num(g.positive() as f64)),
                     ])
                 });
                 obj([
                     ("policy", Json::Str(s.policy.label().to_string())),
                     ("sessions", Json::Num(s.sessions as f64)),
-                    ("qoe", welford_to_json(&s.qoe)),
-                    ("bitrate_kbps", welford_to_json(&s.bitrate_kbps)),
-                    ("rebuffer_ratio", welford_to_json(&s.rebuffer_ratio)),
+                    ("qoe", moments_to_json(&s.qoe)),
+                    ("bitrate_kbps", moments_to_json(&s.bitrate_kbps)),
+                    ("rebuffer_ratio", moments_to_json(&s.rebuffer_ratio)),
                     ("stall_hist", hist_to_json(&s.stall_hist)),
                     ("switch_hist", hist_to_json(&s.switch_hist)),
-                    ("intentional_stall_s", Json::Num(s.intentional_stall_s)),
+                    (
+                        "intentional_stall_q",
+                        Json::Str(s.intentional_stall_q.to_string()),
+                    ),
                     ("gain_vs_baseline", gain),
                 ])
             })
@@ -714,7 +1157,7 @@ impl FleetReport {
                                     obj([
                                         ("policy", Json::Str(s.policy.label().to_string())),
                                         ("sessions", Json::Num(s.sessions as f64)),
-                                        ("qoe", welford_to_json(&s.qoe)),
+                                        ("qoe", moments_to_json(&s.qoe)),
                                     ])
                                 })
                                 .collect(),
@@ -741,6 +1184,18 @@ impl FleetReport {
                 self.telemetry
                     .as_ref()
                     .map_or(Json::Null, telemetry_to_json),
+            ),
+            (
+                "shard",
+                self.shard.map_or(Json::Null, |s| {
+                    obj([
+                        ("index", Json::Num(s.index as f64)),
+                        ("count", Json::Num(s.count as f64)),
+                        ("tile_lo", Json::Num(s.tile_lo as f64)),
+                        ("tile_hi", Json::Num(s.tile_hi as f64)),
+                        ("total_tiles", Json::Num(s.total_tiles as f64)),
+                    ])
+                }),
             ),
             (
                 "stats",
@@ -801,19 +1256,19 @@ impl FleetReport {
             } else {
                 Some(GainCdf::from_parts(
                     hist_from_json(field(gain_v, "hist", &ctx)?, &ctx)?,
-                    welford_from_json(field(gain_v, "stats", &ctx)?, &ctx)?,
+                    moments_from_json(field(gain_v, "stats", &ctx)?, &ctx)?,
                     u64_field(gain_v, "positive", &ctx)?,
                 ))
             };
             per_policy.push(PolicyStats {
                 policy: policy_kind(v, &ctx)?,
                 sessions: u64_field(v, "sessions", &ctx)?,
-                qoe: welford_from_json(field(v, "qoe", &ctx)?, &ctx)?,
-                bitrate_kbps: welford_from_json(field(v, "bitrate_kbps", &ctx)?, &ctx)?,
-                rebuffer_ratio: welford_from_json(field(v, "rebuffer_ratio", &ctx)?, &ctx)?,
+                qoe: moments_from_json(field(v, "qoe", &ctx)?, &ctx)?,
+                bitrate_kbps: moments_from_json(field(v, "bitrate_kbps", &ctx)?, &ctx)?,
+                rebuffer_ratio: moments_from_json(field(v, "rebuffer_ratio", &ctx)?, &ctx)?,
                 stall_hist: hist_from_json(field(v, "stall_hist", &ctx)?, &ctx)?,
                 switch_hist: hist_from_json(field(v, "switch_hist", &ctx)?, &ctx)?,
-                intentional_stall_s: num_field(v, "intentional_stall_s", &ctx)?,
+                intentional_stall_q: i128_field(v, "intentional_stall_q", &ctx)?,
                 gain_vs_baseline,
             });
         }
@@ -843,7 +1298,7 @@ impl FleetReport {
                 stats.push(FamilyPolicyStats {
                     policy: policy_kind(pv, &pctx)?,
                     sessions: u64_field(pv, "sessions", &pctx)?,
-                    qoe: welford_from_json(field(pv, "qoe", &pctx)?, &pctx)?,
+                    qoe: moments_from_json(field(pv, "qoe", &pctx)?, &pctx)?,
                 });
             }
             per_family.push(FamilyStats {
@@ -874,6 +1329,16 @@ impl FleetReport {
             },
             telemetry: match doc.get("telemetry") {
                 Some(v) if !v.is_null() => Some(telemetry_from_json(v)?),
+                _ => None,
+            },
+            shard: match doc.get("shard") {
+                Some(v) if !v.is_null() => Some(ShardSlice {
+                    index: u64_field(v, "index", "shard")?,
+                    count: u64_field(v, "count", "shard")?,
+                    tile_lo: u64_field(v, "tile_lo", "shard")?,
+                    tile_hi: u64_field(v, "tile_hi", "shard")?,
+                    total_tiles: u64_field(v, "total_tiles", "shard")?,
+                }),
                 _ => None,
             },
         })
@@ -1153,16 +1618,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn welford_matches_closed_form() {
+    fn moments_match_closed_form() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
-        let mut w = Welford::default();
+        let mut m = Moments::default();
         for x in xs {
-            w.push(x);
+            m.push(x);
         }
-        assert_eq!(w.count(), 8);
-        assert!((w.mean() - 5.0).abs() < 1e-12);
-        assert!((w.variance() - 4.0).abs() < 1e-12);
-        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-9);
+        assert!((m.variance() - 4.0).abs() < 1e-9);
+        assert!((m.std_dev() - 2.0).abs() < 1e-9);
+        // Degenerate cases: empty and single-observation accumulators.
+        assert_eq!(Moments::default().mean(), 0.0);
+        let mut one = Moments::default();
+        one.push(3.5);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn moments_merge_is_exact_for_any_grouping() {
+        // The merge law the collection path rests on: any split of the
+        // observation stream into partials, merged in any order, is
+        // bit-identical to the sequential fold. `Moments` state is exact
+        // integer sums, so `==` (derived `Eq`) is a bit comparison.
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (crate::splitmix64(i) % 10_000) as f64 / 7.0 - 500.0)
+            .collect();
+        let mut sequential = Moments::default();
+        for &x in &xs {
+            sequential.push(x);
+        }
+        for split in [1usize, 3, 7, 100] {
+            let mut partials: Vec<Moments> = vec![Moments::default(); split];
+            for (i, &x) in xs.iter().enumerate() {
+                partials[i % split].push(x);
+            }
+            // Forward fold.
+            let mut fwd = Moments::default();
+            for p in &partials {
+                fwd.merge(p);
+            }
+            assert_eq!(fwd, sequential, "forward fold over {split} partials");
+            // Reverse fold.
+            let mut rev = Moments::default();
+            for p in partials.iter().rev() {
+                rev.merge(p);
+            }
+            assert_eq!(rev, sequential, "reverse fold over {split} partials");
+        }
     }
 
     #[test]
@@ -1280,6 +1783,7 @@ mod tests {
                 collect_s: 0.25,
             },
             telemetry: Some(TelemetrySnapshot::from_shard(shard)),
+            shard: None,
         }
     }
 
@@ -1341,10 +1845,18 @@ mod tests {
         assert!(clean.regressions(0.0).is_empty());
         assert_eq!(clean.summary(0.0), "");
         // Perturb one policy's QoE mean: flagged beyond tolerance, quiet
-        // within it.
+        // within it. A mean shift of δ is a sum shift of δ·count on the
+        // quantized grid.
+        let shift_mean = |m: &Moments, delta: f64| {
+            Moments::from_raw(
+                m.count(),
+                m.sum_q() + quantize(delta) * m.count() as i128,
+                m.sumsq_q(),
+            )
+        };
         let mut drifted = FleetReport::from_json(&baseline.to_json()).unwrap();
         let qoe = &mut drifted.stats.per_policy[1].qoe;
-        *qoe = Welford::from_parts(qoe.count(), qoe.mean() - 0.01, qoe.m2());
+        *qoe = shift_mean(qoe, -0.01);
         let diff = drifted.diff(&baseline);
         assert!(!diff.is_clean(0.005));
         assert!(diff.is_clean(0.05));
@@ -1357,7 +1869,7 @@ mod tests {
         // a regression.
         let mut improved = FleetReport::from_json(&baseline.to_json()).unwrap();
         let qoe = &mut improved.stats.per_policy[1].qoe;
-        *qoe = Welford::from_parts(qoe.count(), qoe.mean() + 0.01, qoe.m2());
+        *qoe = shift_mean(qoe, 0.01);
         let diff = improved.diff(&baseline);
         assert!(diff.regressions(0.005).is_empty());
         assert!(!diff.is_clean(0.005));
@@ -1419,14 +1931,16 @@ mod tests {
                 sessions_per_sec: 4.0,
                 phases: RunPhases::default(),
                 telemetry: None,
+                shard: None,
             }
         };
         let baseline = build(0.6, 0.5);
         // Families keyed by trace-name prefix, perturbation suffixes and
-        // all, in first-seen fold order.
+        // all, kept sorted by key (merge-order-free, unlike the fold
+        // order: hsdpa folded first here but sorts second).
         assert_eq!(baseline.stats.per_family.len(), 2);
-        assert_eq!(baseline.stats.per_family[0].family, "hsdpa");
-        assert_eq!(baseline.stats.per_family[1].family, "diurnal");
+        assert_eq!(baseline.stats.per_family[0].family, "diurnal");
+        assert_eq!(baseline.stats.per_family[1].family, "hsdpa");
         let hsdpa = baseline.stats.family("hsdpa").unwrap();
         assert_eq!(hsdpa.per_policy[1].sessions, 1);
         assert!((hsdpa.per_policy[1].qoe.mean() - 0.6).abs() < 1e-12);
@@ -1458,9 +1972,9 @@ mod tests {
         let mut reshaped = FleetReport::from_json(&baseline.to_json()).unwrap();
         reshaped.stats.per_family.pop();
         let diff = reshaped.diff(&baseline);
-        assert_eq!(diff.families_only_in_baseline, vec!["diurnal".to_string()]);
+        assert_eq!(diff.families_only_in_baseline, vec!["hsdpa".to_string()]);
         assert!(!diff.is_clean(f64::INFINITY));
-        assert!(diff.summary(0.0).contains("trace family `diurnal` missing"));
+        assert!(diff.summary(0.0).contains("trace family `hsdpa` missing"));
     }
 
     #[test]
@@ -1501,7 +2015,116 @@ mod tests {
             .unwrap()
             .gain_vs_baseline
             .is_none());
-        assert!((fugu.intentional_stall_s - 1.0).abs() < 1e-12);
+        assert!((fugu.intentional_stall_s() - 1.0).abs() < 1e-9);
         assert_eq!(fugu.switch_hist.total(), 2);
+    }
+
+    /// Splits the sample report's fold into two tile partials and checks
+    /// the merged aggregates are bit-identical to the sequential fold.
+    #[test]
+    fn fleet_stats_merge_matches_sequential_fold() {
+        let mk = |policy: &'static str, trace: &str, qoe01: f64| CellResult {
+            video: "v".into(),
+            genre: "Sports",
+            trace: trace.into(),
+            trace_mean_kbps: 1000.0,
+            policy,
+            qoe01,
+            avg_bitrate_kbps: 1500.0,
+            rebuffer_ratio: 0.05,
+            delivered_bits: 1e8,
+            intentional_stall_s: 0.5,
+            bitrate_switches: 3,
+        };
+        let axes = [PolicyKind::Bba, PolicyKind::SenseiFugu];
+        let cells = [
+            [mk("BBA", "hsdpa-1", 0.5), mk("SENSEI", "hsdpa-1", 0.6)],
+            [mk("BBA", "fcc-7", 0.4), mk("SENSEI", "fcc-7", 0.55)],
+            [mk("BBA", "hsdpa-2", 0.0), mk("SENSEI", "hsdpa-2", 0.4)],
+        ];
+        let mut sequential = FleetStats::new(&axes, PolicyKind::Bba);
+        for group in &cells {
+            sequential.fold_cell(group);
+        }
+        // Two tiles (split 2 + 1), merged in both orders.
+        let mut a = TileStats::new(&axes, PolicyKind::Bba);
+        a.fold_cell(&cells[0]);
+        a.fold_cell(&cells[1]);
+        let mut b = TileStats::new(&axes, PolicyKind::Bba);
+        b.fold_cell(&cells[2]);
+        let mut fwd = FleetStats::new(&axes, PolicyKind::Bba);
+        fwd.merge(a.stats()).unwrap();
+        fwd.merge(b.stats()).unwrap();
+        assert_eq!(fwd, sequential);
+        let mut rev = FleetStats::new(&axes, PolicyKind::Bba);
+        rev.merge(b.stats()).unwrap();
+        rev.merge(a.stats()).unwrap();
+        assert_eq!(rev, sequential);
+        // A reused (reset) partial behaves like a fresh one.
+        a.reset();
+        a.fold_cell(&cells[2]);
+        assert_eq!(a.stats(), b.stats());
+        // Mismatched axes are rejected.
+        let mut other = FleetStats::new(&axes, PolicyKind::SenseiFugu);
+        assert!(matches!(
+            other.merge(&sequential),
+            Err(FleetError::Shard(_))
+        ));
+        let mut short = FleetStats::new(&[PolicyKind::Bba], PolicyKind::Bba);
+        assert!(matches!(
+            short.merge(&sequential),
+            Err(FleetError::Shard(_))
+        ));
+    }
+
+    #[test]
+    fn merge_reports_validates_and_combines_partials() {
+        // Three partials over a 6-tile matrix, each carrying a slice of
+        // the sample fold.
+        let partial = |index: u64, lo: u64, hi: u64| {
+            let mut r = sample_report();
+            r.shard = Some(ShardSlice {
+                index,
+                count: 3,
+                tile_lo: lo,
+                tile_hi: hi,
+                total_tiles: 6,
+            });
+            r
+        };
+        let parts = [partial(0, 0, 2), partial(1, 2, 4), partial(2, 4, 6)];
+        let merged = merge_reports(&parts).unwrap();
+        assert!(merged.shard.is_none());
+        assert_eq!(merged.stats.sessions, 3 * parts[0].stats.sessions);
+        assert_eq!(merged.workers, 12);
+        assert!((merged.wall_time_s - 1.5).abs() < 1e-12);
+        // Shard sections round-trip through JSON, and merging the parsed
+        // partials gives bit-identical aggregates.
+        let reparsed: Vec<FleetReport> = parts
+            .iter()
+            .map(|p| FleetReport::from_json(&p.to_json()).unwrap())
+            .collect();
+        assert_eq!(reparsed[1].shard, parts[1].shard);
+        assert_eq!(merge_reports(&reparsed).unwrap().stats, merged.stats);
+        // Validation: empty input, unsharded report, wrong count, a
+        // duplicate index, and ranges that do not partition the matrix.
+        assert!(matches!(merge_reports(&[]), Err(FleetError::Shard(_))));
+        assert!(matches!(
+            merge_reports(&[sample_report()]),
+            Err(FleetError::Shard(_))
+        ));
+        assert!(matches!(
+            merge_reports(&parts[..2]),
+            Err(FleetError::Shard(_))
+        ));
+        let dup = [partial(0, 0, 2), partial(0, 0, 2), partial(2, 4, 6)];
+        assert!(matches!(merge_reports(&dup), Err(FleetError::Shard(_))));
+        let gap = [partial(0, 0, 2), partial(1, 3, 4), partial(2, 4, 6)];
+        assert!(matches!(merge_reports(&gap), Err(FleetError::Shard(_))));
+        let truncated = [partial(0, 0, 2), partial(1, 2, 4), partial(2, 4, 5)];
+        assert!(matches!(
+            merge_reports(&truncated),
+            Err(FleetError::Shard(_))
+        ));
     }
 }

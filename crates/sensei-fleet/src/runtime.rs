@@ -25,7 +25,7 @@
 //!
 //! Caching never changes results: cached and freshly-applied perturbations
 //! are value-identical (asserted by the tests below), and which worker's
-//! cache served a scenario is invisible to the deterministic collector.
+//! cache served a scenario is invisible to the merge-based aggregates.
 
 use crate::scenario::TracePerturbation;
 use sensei_core::SessionRuntime;

@@ -296,6 +296,72 @@ impl ScenarioMatrix {
     }
 }
 
+/// A balanced split of a matrix's tile range into N contiguous shard
+/// slices — the pure arithmetic behind multi-process fleet sharding.
+///
+/// Pure in `(total_tiles, num_shards)`: every process computes the same
+/// plan from the same inputs, with no coordination. Shard `i` gets a
+/// contiguous range of `total_tiles / num_shards` tiles, with the first
+/// `total_tiles % num_shards` shards taking one extra — so slice sizes
+/// differ by at most one, and the ranges partition `0..total_tiles` in
+/// index order. More shards than tiles is legal: the tail shards get
+/// empty ranges (and contribute identity partials to the merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    total_tiles: u64,
+    num_shards: u64,
+}
+
+impl ShardPlan {
+    /// Builds the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Shard`] when `num_shards` is zero.
+    pub fn new(total_tiles: u64, num_shards: u64) -> Result<Self, FleetError> {
+        if num_shards == 0 {
+            return Err(FleetError::Shard(
+                "shard plan needs at least one shard".into(),
+            ));
+        }
+        Ok(Self {
+            total_tiles,
+            num_shards,
+        })
+    }
+
+    /// Tiles in the whole (unsharded) matrix.
+    #[must_use]
+    pub fn total_tiles(&self) -> u64 {
+        self.total_tiles
+    }
+
+    /// Shards in the split.
+    #[must_use]
+    pub fn num_shards(&self) -> u64 {
+        self.num_shards
+    }
+
+    /// Shard `index`'s contiguous tile range (`lo..hi`, possibly empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= num_shards`.
+    #[must_use]
+    pub fn range(&self, index: u64) -> std::ops::Range<u64> {
+        assert!(
+            index < self.num_shards,
+            "shard index {index} out of range ({})",
+            self.num_shards
+        );
+        let base = self.total_tiles / self.num_shards;
+        let extra = self.total_tiles % self.num_shards;
+        let lo = index * base + index.min(extra);
+        let hi = lo + base + u64::from(index < extra);
+        lo..hi
+    }
+}
+
 /// Builder for [`ScenarioMatrix`].
 #[derive(Debug, Clone)]
 pub struct ScenarioMatrixBuilder {
@@ -531,6 +597,35 @@ mod tests {
         assert_ne!(m1.network_seed(0, 3, 1), m1.network_seed(0, 1, 3));
         assert_ne!(m1.network_seed(0, 0, 0), m1.network_seed(0, 0, 1));
         assert_ne!(m1.network_seed(0, 0, 0), m1.network_seed(1, 0, 0));
+    }
+
+    #[test]
+    fn shard_plan_partitions_any_tile_count() {
+        assert!(matches!(ShardPlan::new(10, 0), Err(FleetError::Shard(_))));
+        for total in [0u64, 1, 5, 30, 31, 97] {
+            for shards in [1u64, 2, 3, 7, 8, 40] {
+                let plan = ShardPlan::new(total, shards).unwrap();
+                // Ranges are contiguous in index order, cover exactly
+                // 0..total, and differ in size by at most one.
+                let mut next = 0;
+                let (mut min_len, mut max_len) = (u64::MAX, 0);
+                for i in 0..shards {
+                    let r = plan.range(i);
+                    assert_eq!(r.start, next, "total {total} × {shards} @ {i}");
+                    assert!(r.end >= r.start);
+                    min_len = min_len.min(r.end - r.start);
+                    max_len = max_len.max(r.end - r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, total);
+                assert!(max_len - min_len <= 1, "unbalanced: {min_len}..{max_len}");
+            }
+        }
+        // More shards than tiles: the tail ranges are empty.
+        let plan = ShardPlan::new(2, 5).unwrap();
+        assert_eq!(plan.range(0), 0..1);
+        assert_eq!(plan.range(1), 1..2);
+        assert_eq!(plan.range(4), 2..2);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! 1. **Execution-order independence** — the same master seed produces
 //!    bit-for-bit identical `FleetStats` aggregates with 1, 2, and 8
-//!    workers (the property the reorder-buffer collector exists for).
+//!    workers (the property the exact mergeable aggregates exist for).
 //! 2. **Grid equivalence** — a single-worker fleet over
 //!    `ScenarioMatrix::grid` reproduces `Experiment::run_grid` cell for
 //!    cell, making the sequential harness a degenerate fleet run.
@@ -60,8 +60,8 @@ fn aggregates_are_identical_across_1_2_and_8_workers() {
         .collect();
     // 1 video × 10 traces × 2 perturbations × 2 players × 2 policies.
     assert_eq!(reports[0].stats.sessions, 80);
-    // Bit-for-bit: Welford accumulators, histograms, and gain CDFs all
-    // compare with `==` (f64 equality), not tolerances.
+    // Bit-for-bit: quantized moment sums, histograms, and gain CDFs all
+    // compare with `==` (exact integer equality), not tolerances.
     assert_eq!(reports[0].stats, reports[1].stats, "1 vs 2 workers");
     assert_eq!(reports[0].stats, reports[2].stats, "1 vs 8 workers");
     assert_eq!(reports[1].workers, 2);

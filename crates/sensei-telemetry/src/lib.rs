@@ -14,9 +14,10 @@
 //!    atomics, no contention on the hot path. Shards are harvested at
 //!    collection time and combined with [`TelemetryShard::merge`], whose
 //!    fields are all `u64` sums — so merge is exactly associative,
-//!    commutative, and order-insensitive (property-tested below). This
-//!    merge-law contract is the dry run for the ROADMAP's multi-process
-//!    `FleetStats` merge.
+//!    commutative, and order-insensitive (property-tested below). The
+//!    fleet's `FleetStats` aggregates now obey the same merge-law
+//!    contract (exact integer accumulators), so thread shards and
+//!    process shards combine both the same way.
 //! 3. **Cheap when off.** Recording is gated by one thread-local flag:
 //!    a disabled [`count`] is a single TLS read, and a disabled [`span`]
 //!    takes no clock reading at all. The `noop` cargo feature compiles
@@ -108,32 +109,31 @@ impl Counter {
 /// merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
-    /// Worker idle time blocked on the reorder-buffer admission window.
-    TileAdmissionWait,
     /// Perturbed-network materialization (`TraceCache::resolve`).
     NetworkMaterialize,
     /// SoA lane simulation (`simulate_batch_in`).
     LaneSimulate,
     /// True-QoE oracle scoring of the finished lanes.
     Score,
-    /// Collector time blocked waiting for the next tile result.
-    CollectRecvWait,
-    /// Collector time folding tiles into the streaming aggregates.
-    CollectFold,
+    /// Worker time folding its own tiles into the shard-local partial
+    /// aggregates (the merge-based collection path).
+    ShardFold,
+    /// Collector time reducing the O(workers) shard partials at the end
+    /// of a run.
+    FinalMerge,
 }
 
 impl Phase {
     /// Number of phases in the catalog.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 5;
 
     /// Every phase, in shard index order.
     pub const ALL: [Phase; Phase::COUNT] = [
-        Phase::TileAdmissionWait,
         Phase::NetworkMaterialize,
         Phase::LaneSimulate,
         Phase::Score,
-        Phase::CollectRecvWait,
-        Phase::CollectFold,
+        Phase::ShardFold,
+        Phase::FinalMerge,
     ];
 
     /// Stable snake_case name (the JSON key in the report's `telemetry`
@@ -141,12 +141,11 @@ impl Phase {
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
-            Phase::TileAdmissionWait => "tile_admission_wait",
             Phase::NetworkMaterialize => "network_materialize",
             Phase::LaneSimulate => "lane_simulate",
             Phase::Score => "score",
-            Phase::CollectRecvWait => "collect_recv_wait",
-            Phase::CollectFold => "collect_fold",
+            Phase::ShardFold => "shard_fold",
+            Phase::FinalMerge => "final_merge",
         }
     }
 
@@ -651,7 +650,7 @@ mod tests {
             count(Counter::Tiles, 2);
             count(Counter::Tiles, 3);
             observe(Hist::LanesPerBatch, 4);
-            record_phase_ns(Phase::CollectFold, 100);
+            record_phase_ns(Phase::ShardFold, 100);
             {
                 let _span = span(Phase::Score);
                 std::hint::black_box(0u64);
@@ -660,8 +659,8 @@ mod tests {
             assert!(!is_enabled());
             assert_eq!(shard.counter(Counter::Tiles), 5);
             assert_eq!(shard.hist(Hist::LanesPerBatch)[Hist::bin_of(4)], 1);
-            assert_eq!(shard.phase_calls(Phase::CollectFold), 1);
-            assert_eq!(shard.phase_ns(Phase::CollectFold), 100);
+            assert_eq!(shard.phase_calls(Phase::ShardFold), 1);
+            assert_eq!(shard.phase_ns(Phase::ShardFold), 100);
             assert_eq!(shard.phase_calls(Phase::Score), 1);
             // A second end() hands back the empty identity.
             assert!(end().is_empty());

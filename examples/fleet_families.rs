@@ -16,6 +16,23 @@
 //! SENSEI_FLEET_WRITE_BASELINE=1 cargo run --release --example fleet_families  # refresh baseline
 //! ```
 //!
+//! Multi-process sharding rides the mergeable aggregates:
+//! `SENSEI_FLEET_SHARD=i/N` runs only the `i`-th of `N` contiguous tile
+//! slices and emits a *partial* report (stamped with its shard slice);
+//! `SENSEI_FLEET_MERGE=a.json,b.json,…` combines N partial reports into
+//! the full one — bit-identical to the single-process run — and applies
+//! the same baseline gate:
+//!
+//! ```sh
+//! for i in 0 1 2; do
+//!   SENSEI_FLEET_QUICK=1 SENSEI_FLEET_SHARD=$i/3 \
+//!     SENSEI_FLEET_REPORT_OUT=shard_$i.json \
+//!     cargo run --release --example fleet_families
+//! done
+//! SENSEI_FLEET_QUICK=1 SENSEI_FLEET_MERGE=shard_0.json,shard_1.json,shard_2.json \
+//!   cargo run --release --example fleet_families
+//! ```
+//!
 //! Observability hooks: `SENSEI_FLEET_TELEMETRY=1` / `SENSEI_FLEET_PROGRESS=1`
 //! enable the fleet's metric shards and live progress line (handled inside
 //! `Fleet::new`), and `SENSEI_FLEET_REPORT_OUT=<path>` writes the full run
@@ -23,7 +40,9 @@
 //! telemetry assertions parse it).
 
 use sensei_core::experiment::{ExperimentConfig, PolicyKind};
-use sensei_fleet::{Fleet, FleetConfig, FleetReport, ScenarioFamilies, TracePerturbation};
+use sensei_fleet::{
+    merge_reports, Fleet, FleetConfig, FleetReport, ScenarioFamilies, TracePerturbation,
+};
 use sensei_trace::generate::TraceFamily;
 
 /// Committed baseline of the quick-mode family run's aggregates.
@@ -39,11 +58,95 @@ fn flag(name: &str) -> bool {
     std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// Parses `SENSEI_FLEET_SHARD=i/N` into `(index, count)`; range checks
+/// happen in `Fleet::new`.
+fn shard_env() -> Result<Option<(u64, u64)>, Box<dyn std::error::Error>> {
+    match std::env::var("SENSEI_FLEET_SHARD") {
+        Ok(v) if !v.is_empty() => {
+            let (i, n) = v
+                .split_once('/')
+                .ok_or("SENSEI_FLEET_SHARD must be i/N, e.g. 0/3")?;
+            Ok(Some((i.trim().parse()?, n.trim().parse()?)))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Writes the full JSON report wherever `SENSEI_FLEET_REPORT_OUT` points.
+fn write_report_out(report: &FleetReport) -> Result<(), Box<dyn std::error::Error>> {
+    if let Ok(out_path) = std::env::var("SENSEI_FLEET_REPORT_OUT") {
+        if !out_path.is_empty() {
+            std::fs::write(&out_path, report.to_json())?;
+            println!("[report] wrote {out_path}");
+        }
+    }
+    Ok(())
+}
+
+/// The CI gate: diff `report` against the committed baseline, fail on
+/// per-policy QoE-mean drift. Shared by the single-process quick run and
+/// the merged multi-process run — the merged aggregates must clear the
+/// exact same bar.
+fn gate_against_baseline(report: &FleetReport) -> Result<(), Box<dyn std::error::Error>> {
+    let baseline_text = std::fs::read_to_string(BASELINE_PATH).map_err(|e| {
+        format!(
+            "cannot read {BASELINE_PATH}: {e}\n\
+             regenerate it with SENSEI_FLEET_WRITE_BASELINE=1 \
+             cargo run --release --example fleet_families"
+        )
+    })?;
+    let baseline = FleetReport::from_json(&baseline_text)?;
+    let diff = report.diff(&baseline);
+    if diff.is_clean(QOE_MEAN_TOLERANCE) {
+        println!(
+            "[baseline] clean: {} policies within {QOE_MEAN_TOLERANCE} of {BASELINE_PATH}",
+            diff.drifts.len()
+        );
+        Ok(())
+    } else {
+        eprintln!(
+            "[baseline] DRIFT against {BASELINE_PATH}:\n{}\
+             if intentional, refresh with SENSEI_FLEET_WRITE_BASELINE=1 \
+             cargo run --release --example fleet_families",
+            diff.summary(QOE_MEAN_TOLERANCE)
+        );
+        Err("fleet aggregates drifted from the committed baseline".into())
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let write_baseline = flag("SENSEI_FLEET_WRITE_BASELINE");
     // The baseline is defined over the bounded matrix, so refreshing it
     // implies quick mode.
     let quick = flag("SENSEI_FLEET_QUICK") || write_baseline;
+
+    // Merge mode: no simulation at all — combine the partial reports
+    // that `SENSEI_FLEET_SHARD=i/N` runs wrote, print the merged
+    // summary, and (in quick mode) apply the same baseline gate the
+    // single-process run uses. `merge_reports` verifies the partials
+    // actually partition one matrix before merging.
+    if let Ok(paths) = std::env::var("SENSEI_FLEET_MERGE") {
+        if !paths.is_empty() {
+            let mut partials = Vec::new();
+            for path in paths.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read shard report {path}: {e}"))?;
+                partials.push(FleetReport::from_json(&text)?);
+            }
+            let report = merge_reports(&partials)?;
+            println!(
+                "[merge] combined {} shard reports: {} sessions",
+                partials.len(),
+                report.stats.sessions
+            );
+            print!("{}", report.summary());
+            write_report_out(&report)?;
+            if quick {
+                return gate_against_baseline(&report);
+            }
+            return Ok(());
+        }
+    }
 
     let families = if quick {
         ScenarioFamilies::builder()
@@ -91,7 +194,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         FleetConfig::default().workers
     };
-    let fleet = Fleet::new(&env, &matrix, FleetConfig::new(workers))?;
+    let mut fleet_config = FleetConfig::new(workers);
+    if let Some((index, count)) = shard_env()? {
+        fleet_config = fleet_config.with_shard(index, count);
+    }
+    let fleet = Fleet::new(&env, &matrix, fleet_config)?;
     println!(
         "fleet: {} scenarios ({} cells x {} policies) on {workers} workers",
         fleet.num_scenarios(),
@@ -105,12 +212,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Machine-readable report drop for CI: the full JSON, telemetry
     // section and all, at whatever path the caller asks for.
-    if let Ok(out_path) = std::env::var("SENSEI_FLEET_REPORT_OUT") {
-        if !out_path.is_empty() {
-            std::fs::write(&out_path, report.to_json())?;
-            println!("[report] wrote {out_path}");
-        }
-    }
+    write_report_out(&report)?;
     // Family-conditional aggregates: the baseline carries one entry per
     // family spec, so drift can be attributed to the family that moved.
     for family in &report.stats.per_family {
@@ -123,6 +225,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 stats.qoe.mean()
             );
         }
+    }
+
+    // A sharded run is a partial by construction: no determinism rerun
+    // (the 1-worker rerun below covers the full matrix) and no baseline
+    // gate — those happen after `SENSEI_FLEET_MERGE` recombines the
+    // partials.
+    if let Some(slice) = report.shard {
+        println!(
+            "[shard] partial report for shard {}/{} (tiles {}..{} of {})",
+            slice.index, slice.count, slice.tile_lo, slice.tile_hi, slice.total_tiles
+        );
+        return Ok(());
     }
 
     if !quick {
@@ -149,28 +263,5 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The CI gate: regenerate the quick report, diff against the
     // committed baseline, fail on drift.
-    let baseline_text = std::fs::read_to_string(BASELINE_PATH).map_err(|e| {
-        format!(
-            "cannot read {BASELINE_PATH}: {e}\n\
-             regenerate it with SENSEI_FLEET_WRITE_BASELINE=1 \
-             cargo run --release --example fleet_families"
-        )
-    })?;
-    let baseline = FleetReport::from_json(&baseline_text)?;
-    let diff = report.diff(&baseline);
-    if diff.is_clean(QOE_MEAN_TOLERANCE) {
-        println!(
-            "[baseline] clean: {} policies within {QOE_MEAN_TOLERANCE} of {BASELINE_PATH}",
-            diff.drifts.len()
-        );
-        Ok(())
-    } else {
-        eprintln!(
-            "[baseline] DRIFT against {BASELINE_PATH}:\n{}\
-             if intentional, refresh with SENSEI_FLEET_WRITE_BASELINE=1 \
-             cargo run --release --example fleet_families",
-            diff.summary(QOE_MEAN_TOLERANCE)
-        );
-        Err("fleet aggregates drifted from the committed baseline".into())
-    }
+    gate_against_baseline(&report)
 }
