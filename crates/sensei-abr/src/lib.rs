@@ -25,6 +25,13 @@
 //!   index policy that replaces the MPC horizon enumeration with an
 //!   `O(levels)` argmax, the fleet-scale cost point of the family.
 
+// Ladder levels, plan indices, and horizon depths move between
+// integer and f64 domains constantly; every float→index conversion
+// is clamped to the ladder by construction, and counts stay far
+// below 2^52. The merge-law cast rules are enforced where they
+// matter (sensei-fleet) by sensei-lint's `no-lossy-cast`.
+#![allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+
 pub mod bba;
 pub mod das_ip;
 pub mod fugu;

@@ -36,6 +36,7 @@
 //!    candidate — so neither the visit order nor the pruning can move a
 //!    result bit.
 
+// sensei-lint: allow(no-unordered-iteration) — the memo below is keyed lookups only, never iterated
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 
@@ -51,6 +52,12 @@ use sensei_trace::{CumulativeTrace, ThroughputTrace};
 const MEMO_CAP: usize = 1 << 18;
 
 /// Download-time memo: `(t.to_bits(), chunk·256 + level) → dt`.
+///
+/// A `HashMap` is sound here because the memo is only ever probed by
+/// key (`get`/`insert`/`clear`): iteration order can never reach a
+/// result bit, and the FxHash probe is ~2× cheaper than an ordered map
+/// on this hot path.
+// sensei-lint: allow(no-unordered-iteration) — pure get/insert/clear cache; iteration order unobservable
 type DtMemo = HashMap<(u64, u64), f64, FxBuildHasher>;
 
 /// A tiny multiply-xor hasher for the memo's integer keys. `SipHash`'s

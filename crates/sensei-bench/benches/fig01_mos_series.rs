@@ -1,6 +1,11 @@
 //! Fig. 1: MOS of Soccer1 renderings with a 1-second rebuffering event at
 //! different positions. The paper reports QoE 0.76 (normal gameplay) down
 //! to 0.42 (shoot & goal) on its 25-second excerpt.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 use sensei_crowd::series::{crowd_series_mos, IncidentKind};
 use sensei_video::{corpus, BitrateLadder, SceneKind};

@@ -1,5 +1,10 @@
 //! Fig. 2: relative QoE-prediction error (x) vs discordant ABR pairs (y)
 //! for KSQI, P.1203, LSTM-QoE and SENSEI's model.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, labeled_render_set, Table};
 use sensei_core::experiment::PolicyKind;
 use sensei_qoe::eval::{discordant_pair_fraction, RankingCell};

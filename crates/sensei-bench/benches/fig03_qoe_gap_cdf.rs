@@ -1,5 +1,10 @@
 //! Fig. 3: CDF of the max-min QoE gap when one incident is placed at every
 //! position of every video (whole video + 12-second windows).
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{full_mode, header, Table, QUICK_VIDEOS};
 use sensei_crowd::series::{max_min_gap_pct, oracle_series_qoe, windowed_gap_pct, IncidentKind};
 use sensei_video::{corpus, BitrateLadder};

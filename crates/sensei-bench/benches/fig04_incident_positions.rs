@@ -1,5 +1,10 @@
 //! Fig. 4: QoE vs incident position for 1-s rebuffer, 4-s rebuffer, and a
 //! bitrate drop — same variability pattern under all three.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 use sensei_crowd::series::{oracle_series_qoe, IncidentKind};
 use sensei_video::{corpus, BitrateLadder};

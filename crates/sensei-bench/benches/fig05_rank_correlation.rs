@@ -1,5 +1,10 @@
 //! Fig. 5: Spearman rank correlation of QoE series between incident types,
 //! per source video — quality sensitivity is inherent to content.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{full_mode, header, Table, QUICK_VIDEOS};
 use sensei_crowd::series::{oracle_series_qoe, IncidentKind};
 use sensei_ml::stats::spearman;

@@ -9,6 +9,11 @@
 //! λ is bisected until the assignment meets the capacity budget. The
 //! unaware variant optimizes the same objective with uniform weights.
 
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{full_mode, header, Table, QUICK_VIDEOS};
 use sensei_crowd::TrueQoe;
 use sensei_video::{

@@ -1,5 +1,10 @@
 //! Fig. 12b: QoE vs normalized bandwidth usage — SENSEI reaches a target
 //! QoE with less bandwidth than Pensieve/Fugu/BBA.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, Table};
 use sensei_core::experiment::PolicyKind;
 

@@ -1,5 +1,10 @@
 //! Fig. 12c: crowdsourcing cost per minute vs resulting QoE, with and
 //! without the two-step cost pruning.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 use sensei_core::experiment::PolicyKind;
 use sensei_core::experiment::WeightSource;

@@ -1,4 +1,9 @@
 //! Fig. 13: QoE gain over BBA per video, grouped by genre.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, Table};
 use sensei_core::experiment::{qoe_gains_over, PolicyKind};
 

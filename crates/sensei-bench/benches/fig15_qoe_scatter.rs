@@ -1,5 +1,10 @@
 //! Fig. 15: QoE prediction accuracy (PLCC/SRCC) of SENSEI's model vs
 //! KSQI, LSTM-QoE, and P.1203.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, labeled_render_set, Table};
 use sensei_qoe::eval::evaluate_model;
 use sensei_qoe::{Ksqi, LstmQoe, P1203Like, QoeModel, SenseiQoe};

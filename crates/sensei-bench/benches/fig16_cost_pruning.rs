@@ -1,5 +1,10 @@
 //! Fig. 16: QoE-model accuracy vs crowdsourcing cost across the four
 //! scheduler parameters (B, F, M, alpha).
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 use sensei_crowd::{ProfilerConfig, RaterPool, WeightProfiler};
 use sensei_qoe::{Ksqi, QoeModel, SenseiQoe};

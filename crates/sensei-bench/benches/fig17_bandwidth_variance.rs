@@ -1,5 +1,10 @@
 //! Fig. 17: QoE under increasing throughput variance (zero-mean Gaussian
 //! noise) — SENSEI variants keep their edge over their base ABR logic.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, Table};
 use sensei_core::experiment::PolicyKind;
 

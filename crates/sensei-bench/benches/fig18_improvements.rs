@@ -1,5 +1,10 @@
 //! Fig. 18: (a) SENSEI's gains with either base ABR logic; (b) the
 //! breakdown between the reweighted objective and the new actions.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{build_experiment, header, Table};
 use sensei_core::experiment::{mean_qoe, qoe_gains_over, PolicyKind};
 

@@ -1,5 +1,10 @@
 //! Fig. 20 (Appendix D): CV highlight detectors vs user-study sensitivity
 //! on Lava, Tank, Animal, and Soccer2.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 use sensei_crowd::cv_baselines::CvModel;
 use sensei_ml::stats::spearman;

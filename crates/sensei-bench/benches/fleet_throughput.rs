@@ -30,6 +30,11 @@
 //! `SENSEI_FLEET_QUICK=1` bounds the scenario space to a few hundred
 //! sessions (and skips the ≥10k assertion) — the CI smoke mode that keeps
 //! this binary from rotting without turning CI into a benchmark farm.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::header;
 use sensei_core::experiment::{Experiment, ExperimentConfig, PolicyKind};
 use sensei_fleet::json::{obj, parse, Json};

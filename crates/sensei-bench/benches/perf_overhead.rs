@@ -11,6 +11,11 @@
 //! against the <2% acceptance target and asserting the aggregates stay
 //! bit-identical either way. Timing on shared CI hardware is noisy, so
 //! the target only hard-fails under `SENSEI_OVERHEAD_STRICT=1`.
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use criterion::{criterion_group, Criterion};
 use sensei_abr::{Bba, Fugu, SenseiFugu};
 use sensei_sim::{simulate, AbrPolicy, PlayerConfig, PlayerState, SessionContext};

@@ -1,4 +1,9 @@
 //! Table 1: the 16-video test set (name, genre, length, source dataset).
+// Figure-generation code renders counts and indices as f64 plot
+// coordinates; everything is far below 2^52, so the conversions
+// are exact.
+#![allow(clippy::cast_precision_loss)]
+
 use sensei_bench::{header, Table};
 
 fn main() {

@@ -82,6 +82,9 @@ impl Sensei {
 /// # Errors
 ///
 /// Returns an error when the manifest would be structurally invalid.
+// DASH `bandwidth` is an integer bps field; ladder kbps values are
+// small whole numbers, so kbps*1000 is exact and far below 2^53.
+#[allow(clippy::cast_possible_truncation)]
 pub fn build_manifest(
     source: &SourceVideo,
     encoded: &EncodedVideo,

@@ -24,6 +24,10 @@
 //! * [`cv_baselines`] — the Appendix-D computer-vision highlight detectors
 //!   (AMVM, DSN, Video2GIF proxies) that fail to predict sensitivity.
 
+// Rater counts and campaign sizes are tiny; f64 conversions for
+// MOS statistics are exact.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod campaign;
 pub mod cv_baselines;
 pub mod oracle;

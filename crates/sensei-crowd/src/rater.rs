@@ -28,6 +28,8 @@ pub struct Rater {
 impl Rater {
     /// Produces a 1–5 Likert rating for a clip whose true normalized QoE is
     /// `qoe01`.
+    // `score` is clamped to [1, 5] before the cast by construction.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn rate<R: Rng>(&self, qoe01: f64, rng: &mut R) -> u8 {
         if !self.reliable {
             return rng.gen_range(1..=5);

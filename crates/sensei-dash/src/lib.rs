@@ -13,6 +13,10 @@
 //! ([`quantize_weight`]) the way a real deployment would cap manifest
 //! bloat.
 
+// Segment counts convert to f64 only for duration math; all far
+// below 2^52.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod manifest;
 pub mod xml;
 

@@ -101,6 +101,9 @@ impl Manifest {
     /// # Errors
     ///
     /// Returns an error when the manifest is invalid.
+    // Segment sizes serialize as whole bits; `round()` before the cast
+    // is the wire format, and sizes are far below 2^53.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn to_xml(&self) -> Result<String, DashError> {
         self.validate()?;
         let total = self.num_chunks() as f64 * self.chunk_duration_s;

@@ -131,6 +131,7 @@ impl FleetConfig {
 /// Whether an environment flag is set to a truthy value (anything but
 /// empty or `0`).
 fn env_flag(name: &str) -> bool {
+    // sensei-lint: allow(no-env-outside-config) — Fleet::new's documented opt-in flags (SENSEI_FLEET_*), read once at config construction
     std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
@@ -243,6 +244,7 @@ impl<'a> Fleet<'a> {
     /// its stable ID (re-runnable in isolation via
     /// [`ScenarioMatrix::scenario`]).
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        // sensei-lint: allow(no-wall-clock) — wall_time_s is observability (RunPhases/throughput); diff() ignores it
         let started = Instant::now();
         let mut phases = RunPhases::default();
         let (stats, shard, telemetry) = self.execute_stats(&mut phases)?;
@@ -356,6 +358,7 @@ impl<'a> Fleet<'a> {
         &self,
         phases: &mut RunPhases,
     ) -> Result<(FleetStats, Option<ShardSlice>, Option<TelemetrySnapshot>), FleetError> {
+        // sensei-lint: allow(no-wall-clock) — setup_s phase split is observability; never feeds aggregates
         let entry = Instant::now();
         if self.num_scenarios() == 0 {
             return Err(FleetError::EmptyAxis("scenarios"));
@@ -383,6 +386,7 @@ impl<'a> Fleet<'a> {
             .progress
             .then(|| ProgressMeter::new(shard_tiles, tile_size));
         phases.setup_s = entry.elapsed().as_secs_f64();
+        // sensei-lint: allow(no-wall-clock) — execute_s phase split is observability; never feeds aggregates
         let scope_started = Instant::now();
         // The main thread performs the final merge after the scope, so
         // its shard is begun here and harvested after that merge.
@@ -519,6 +523,7 @@ impl<'a> Fleet<'a> {
         phases.execute_s = scope_started.elapsed().as_secs_f64();
         // The final reduce: `workers` fixed-shape merges, independent of
         // how many sessions streamed through the run.
+        // sensei-lint: allow(no-wall-clock) — collect_s phase split is observability; never feeds aggregates
         let merge_started = Instant::now();
         let mut stats = FleetStats::new(self.matrix.policies(), self.baseline);
         {
@@ -671,6 +676,7 @@ impl ProgressMeter {
 
     fn new(total_tiles: u64, tile_size: u64) -> Self {
         Self {
+            // sensei-lint: allow(no-wall-clock) — progress-line ETA anchor; display only
             started: Instant::now(),
             last_print: None,
             printed: false,
@@ -681,6 +687,7 @@ impl ProgressMeter {
 
     /// Reports a new completed-tile count.
     fn tick(&mut self, tiles_done: u64) {
+        // sensei-lint: allow(no-wall-clock) — progress-line throttling; display only
         let now = Instant::now();
         let due = self
             .last_print
@@ -693,6 +700,7 @@ impl ProgressMeter {
 
     /// Prints the final state and releases the line with a newline.
     fn finish(&mut self, tiles_done: u64) {
+        // sensei-lint: allow(no-wall-clock) — final progress-line timestamp; display only
         self.print(tiles_done, Instant::now());
         if self.printed {
             eprintln!();

@@ -54,8 +54,12 @@ impl Json {
     /// The value as a non-negative integer (must be whole and in `u64`
     /// range).
     #[must_use]
+    // The guard proves the f64 is a non-negative integer ≤ 2^53, so the
+    // cast is exact (see the sensei-lint allow at the cast site).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // sensei-lint: allow(no-lossy-cast) — guard proves n is whole, non-negative, ≤ 2^53; cast is exact
             Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
@@ -95,6 +99,9 @@ impl Json {
         out
     }
 
+    // Integral f64s (guarded by `fract() == 0.0`) print via an exact
+    // i64 cast (see the sensei-lint allow at the cast site).
+    #[allow(clippy::cast_possible_truncation)]
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -106,6 +113,7 @@ impl Json {
                     && n.abs() < 2f64.powi(53)
                     && (*n != 0.0 || n.is_sign_positive())
                 {
+                    // sensei-lint: allow(no-lossy-cast) — guard proves n is whole with |n| < 2^53; cast is exact
                     let _ = write!(out, "{}", *n as i64);
                 } else {
                     // Shortest representation that round-trips.
@@ -170,8 +178,8 @@ fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }

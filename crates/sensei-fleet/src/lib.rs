@@ -54,6 +54,13 @@
 //!   QoE-mean drift detection, the mechanism behind the checked-in
 //!   `BASELINE_fleet.json` CI gate.
 
+// Aggregates accumulate and merge in the quantized-integer domain
+// (report.rs `Moments`); u64/i128 → f64 happens only when *reading*
+// a finished aggregate out for display or JSON. Truncating casts
+// are policed per-site: sensei-lint's `no-lossy-cast` plus
+// fn-level allows carrying the soundness argument.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod executor;
 pub mod families;
 pub mod json;

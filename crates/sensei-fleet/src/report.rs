@@ -31,7 +31,11 @@ const Q_SCALE: f64 = (1u64 << 40) as f64;
 /// Quantizes one observation onto the fixed-point grid. Deterministic
 /// and total: the float → int cast sends NaN to 0 and saturates
 /// out-of-range values, so every input maps to exactly one integer.
+// The saturating float→int conversion IS the documented total
+// quantization (see the sensei-lint allow at the cast site).
+#[allow(clippy::cast_possible_truncation)]
 fn quantize(x: f64) -> i128 {
+    // sensei-lint: allow(no-lossy-cast) — saturating float→int IS the documented total quantization
     (x * Q_SCALE).round() as i128
 }
 
@@ -167,8 +171,12 @@ impl Histogram {
     }
 
     /// Folds one observation in (NaN clamps to the lowest bin).
+    // Bin index: `frac` is clamped to [0, 1], so the product is a small
+    // non-negative integer (see the sensei-lint allow at the cast site).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn add(&mut self, x: f64) {
         let frac = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        // sensei-lint: allow(no-lossy-cast) — frac ∈ [0,1] so the floor cast is the binning rule; .min clamps the hi edge
         let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
         self.counts[idx] += 1;
         self.total += 1;
@@ -848,7 +856,7 @@ pub fn merge_reports(reports: &[FleetReport]) -> Result<FleetReport, FleetError>
         .ok_or_else(|| FleetError::Shard("merge_reports needs at least one report".into()))?;
     let first_slice = shard_slice(first)?;
     let count = first_slice.count;
-    if reports.len() as u64 != count {
+    if u64::try_from(reports.len()).ok() != Some(count) {
         return Err(FleetError::Shard(format!(
             "shard split expects {count} reports, got {}",
             reports.len()
@@ -864,12 +872,15 @@ pub fn merge_reports(reports: &[FleetReport]) -> Result<FleetReport, FleetError>
                 slice.index, slice.count, slice.total_tiles, first_slice.total_tiles
             )));
         }
-        let slot = by_index.get_mut(slice.index as usize).ok_or_else(|| {
-            FleetError::Shard(format!(
-                "shard index {} out of range for count {count}",
-                slice.index
-            ))
-        })?;
+        let slot = usize::try_from(slice.index)
+            .ok()
+            .and_then(|i| by_index.get_mut(i))
+            .ok_or_else(|| {
+                FleetError::Shard(format!(
+                    "shard index {} out of range for count {count}",
+                    slice.index
+                ))
+            })?;
         if slot.is_some() {
             return Err(FleetError::Shard(format!(
                 "duplicate shard index {}",
@@ -905,11 +916,15 @@ pub fn merge_reports(reports: &[FleetReport]) -> Result<FleetReport, FleetError>
     for report in &ordered[1..] {
         stats.merge(&report.stats)?;
     }
+    // sensei-lint: allow(no-float-accumulation) — max-fold over wall times; observability only, diff() ignores it
     let wall_time_s = ordered.iter().map(|r| r.wall_time_s).fold(0.0, f64::max);
     let mut phases = RunPhases::default();
     for r in &ordered {
+        // sensei-lint: allow(no-float-accumulation) — RunPhases are wall-clock observability outside the merge law
         phases.setup_s += r.phases.setup_s;
+        // sensei-lint: allow(no-float-accumulation) — RunPhases are wall-clock observability outside the merge law
         phases.execute_s += r.phases.execute_s;
+        // sensei-lint: allow(no-float-accumulation) — RunPhases are wall-clock observability outside the merge law
         phases.collect_s += r.phases.collect_s;
     }
     let telemetry = if ordered.iter().all(|r| r.telemetry.is_some()) {
@@ -1069,7 +1084,7 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySnapshot, FleetError> {
     let counters = field(v, "counters", "telemetry")?;
     for c in Counter::ALL {
         if let Some(n) = counters.get(c.name()) {
-            shard.counters[c as usize] = n.as_u64().ok_or_else(|| {
+            shard.counters[c.idx()] = n.as_u64().ok_or_else(|| {
                 FleetError::Persist(format!("`telemetry.counters.{}` is not a count", c.name()))
             })?;
         }
@@ -1078,8 +1093,8 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySnapshot, FleetError> {
     for p in Phase::ALL {
         if let Some(entry) = phases.get(p.name()) {
             let ctx = format!("telemetry.phases.{}", p.name());
-            shard.phase_calls[p as usize] = u64_field(entry, "calls", &ctx)?;
-            shard.phase_ns[p as usize] = u64_field(entry, "ns", &ctx)?;
+            shard.phase_calls[p.idx()] = u64_field(entry, "calls", &ctx)?;
+            shard.phase_ns[p.idx()] = u64_field(entry, "ns", &ctx)?;
         }
     }
     let hists = field(v, "hists", "telemetry")?;
@@ -1096,7 +1111,7 @@ fn telemetry_from_json(v: &Json) -> Result<TelemetrySnapshot, FleetError> {
                     Hist::BINS
                 )));
             }
-            for (slot, bin) in shard.hists[h as usize].iter_mut().zip(bins) {
+            for (slot, bin) in shard.hists[h.idx()].iter_mut().zip(bins) {
                 *slot = bin
                     .as_u64()
                     .ok_or_else(|| FleetError::Persist(format!("`{ctx}` entry is not a count")))?;
@@ -1767,11 +1782,11 @@ mod tests {
         stats.fold_cell(&[mk("BBA", 0.47, 0.06), mk("SENSEI", 0.44, 0.09)]);
         stats.fold_cell(&[mk("BBA", 1.0 / 3.0, 0.0), mk("SENSEI", 0.1 / 0.3, 0.0)]);
         let mut shard = TelemetryShard::new();
-        shard.counters[Counter::Sessions as usize] = 6;
-        shard.counters[Counter::Tiles as usize] = 3;
-        shard.phase_calls[Phase::LaneSimulate as usize] = 3;
-        shard.phase_ns[Phase::LaneSimulate as usize] = 123_456;
-        shard.hists[Hist::LanesPerBatch as usize][1] = 3;
+        shard.counters[Counter::Sessions.idx()] = 6;
+        shard.counters[Counter::Tiles.idx()] = 3;
+        shard.phase_calls[Phase::LaneSimulate.idx()] = 3;
+        shard.phase_ns[Phase::LaneSimulate.idx()] = 123_456;
+        shard.hists[Hist::LanesPerBatch.idx()][1] = 3;
         FleetReport {
             stats,
             workers: 4,
@@ -1850,7 +1865,7 @@ mod tests {
         let shift_mean = |m: &Moments, delta: f64| {
             Moments::from_raw(
                 m.count(),
-                m.sum_q() + quantize(delta) * m.count() as i128,
+                m.sum_q() + quantize(delta) * i128::from(m.count()),
                 m.sumsq_q(),
             )
         };

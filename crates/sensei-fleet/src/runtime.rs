@@ -31,7 +31,7 @@ use crate::scenario::TracePerturbation;
 use sensei_core::SessionRuntime;
 use sensei_telemetry as telemetry;
 use sensei_trace::{ThroughputTrace, TraceError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Everything one executor worker owns across its scenarios.
@@ -65,12 +65,18 @@ impl Default for WorkerRuntime {
 type PairKey = (usize, usize);
 
 /// The per-worker perturbed-trace cache.
+///
+/// The maps are `BTreeMap`s, not `HashMap`s: the cache is keyed-lookup
+/// only today, but an ordered map makes that deterministic by
+/// construction instead of by discipline, so no future iteration over
+/// it can ever feed aggregate state in an unspecified order
+/// (sensei-lint: `no-unordered-iteration`).
 pub struct TraceCache {
     /// Seed-independent perturbations, materialized once per pair.
-    deterministic: HashMap<PairKey, ThroughputTrace>,
+    deterministic: BTreeMap<PairKey, ThroughputTrace>,
     /// Interned names of jittered perturbations (seed-independent even
     /// when the samples are not).
-    jitter_names: HashMap<PairKey, Arc<str>>,
+    jitter_names: BTreeMap<PairKey, Arc<str>>,
     /// Jittered perturbations: one slot per pair holding the most
     /// recently requested seed's trace. Within a tile every lane shares
     /// one seed, so a slot serves the whole tile from one regeneration;
@@ -78,7 +84,7 @@ pub struct TraceCache {
     /// the same recycled sample buffer** (and re-attaches the interned
     /// name), so memory stays hard-bounded at one trace per jittered
     /// pair no matter how many videos or seeds a run sweeps.
-    jittered: HashMap<PairKey, (u64, ThroughputTrace)>,
+    jittered: BTreeMap<PairKey, (u64, ThroughputTrace)>,
 }
 
 impl TraceCache {
@@ -86,9 +92,9 @@ impl TraceCache {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            deterministic: HashMap::new(),
-            jitter_names: HashMap::new(),
-            jittered: HashMap::new(),
+            deterministic: BTreeMap::new(),
+            jitter_names: BTreeMap::new(),
+            jittered: BTreeMap::new(),
         }
     }
 
@@ -109,7 +115,7 @@ impl TraceCache {
         perturbation_idx: usize,
         seed: u64,
     ) -> Result<&'a ThroughputTrace, TraceError> {
-        use std::collections::hash_map::Entry;
+        use std::collections::btree_map::Entry;
         if perturbation.is_identity() {
             return Ok(base);
         }

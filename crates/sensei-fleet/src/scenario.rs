@@ -14,6 +14,20 @@ use sensei_sim::PlayerConfig;
 use sensei_trace::{ThroughputTrace, TraceError};
 use std::borrow::Cow;
 
+/// Lossless axis-index → ID-arithmetic widening. `usize` always fits in
+/// `u64` on supported targets, but `try_from` keeps that claim checked
+/// instead of assumed — a silent truncation here would re-seed every
+/// scenario (sensei-lint: `no-lossy-cast`).
+fn axis_u64(i: usize) -> u64 {
+    u64::try_from(i).expect("axis index fits in u64")
+}
+
+/// Checked inverse of [`axis_u64`]: decoded axis coordinates index
+/// in-memory tables, so they must fit `usize` or fail loudly.
+fn axis_usize(v: u64) -> usize {
+    usize::try_from(v).expect("decoded axis index fits in usize")
+}
+
 /// A deterministic transformation of a base throughput trace into a
 /// network scenario: a bandwidth scale factor (trace scaling) composed
 /// with zero-mean Gaussian jitter (both from `sensei-trace`'s operator
@@ -222,17 +236,17 @@ impl ScenarioMatrix {
     /// Total scenarios when run against `experiment`.
     #[must_use]
     pub fn num_scenarios(&self, experiment: &Experiment) -> u64 {
-        self.num_cells(experiment) * self.policies.len() as u64
+        self.num_cells(experiment) * axis_u64(self.policies.len())
     }
 
     /// Total cells (scenario groups sharing a network + player but
     /// differing in policy).
     #[must_use]
     pub fn num_cells(&self, experiment: &Experiment) -> u64 {
-        experiment.assets.len() as u64
-            * experiment.traces.len() as u64
-            * self.perturbations.len() as u64
-            * self.num_players() as u64
+        axis_u64(experiment.assets.len())
+            * axis_u64(experiment.traces.len())
+            * axis_u64(self.perturbations.len())
+            * axis_u64(self.num_players())
     }
 
     /// Decodes scenario `id` into its axis coordinates and cell seed.
@@ -247,15 +261,15 @@ impl ScenarioMatrix {
         let total = self.num_scenarios(experiment);
         assert!(id < total, "scenario id {id} out of range ({total})");
         let mut idx = id;
-        let policy_idx = (idx % self.policies.len() as u64) as usize;
-        idx /= self.policies.len() as u64;
-        let player_idx = (idx % self.num_players() as u64) as usize;
-        idx /= self.num_players() as u64;
-        let perturbation_idx = (idx % self.perturbations.len() as u64) as usize;
-        idx /= self.perturbations.len() as u64;
-        let trace_idx = (idx % experiment.traces.len() as u64) as usize;
-        idx /= experiment.traces.len() as u64;
-        let video_idx = idx as usize;
+        let policy_idx = axis_usize(idx % axis_u64(self.policies.len()));
+        idx /= axis_u64(self.policies.len());
+        let player_idx = axis_usize(idx % axis_u64(self.num_players()));
+        idx /= axis_u64(self.num_players());
+        let perturbation_idx = axis_usize(idx % axis_u64(self.perturbations.len()));
+        idx /= axis_u64(self.perturbations.len());
+        let trace_idx = axis_usize(idx % axis_u64(experiment.traces.len()));
+        idx /= axis_u64(experiment.traces.len());
+        let video_idx = axis_usize(idx);
         Scenario {
             id,
             video_idx,
@@ -274,8 +288,8 @@ impl ScenarioMatrix {
     /// never changes which network a scenario replays.
     #[must_use]
     pub fn network_seed(&self, video_idx: usize, trace_idx: usize, perturbation_idx: usize) -> u64 {
-        let pair = ((trace_idx as u64) << 32) | perturbation_idx as u64;
-        splitmix64(self.master_seed ^ splitmix64(pair) ^ splitmix64(!(video_idx as u64)))
+        let pair = (axis_u64(trace_idx) << 32) | axis_u64(perturbation_idx);
+        splitmix64(self.master_seed ^ splitmix64(pair) ^ splitmix64(!axis_u64(video_idx)))
     }
 
     /// Scenarios per **tile** — the contiguous ID range sharing one
@@ -284,15 +298,15 @@ impl ScenarioMatrix {
     /// through one structure-of-arrays session batch.
     #[must_use]
     pub fn tile_size(&self) -> u64 {
-        self.num_players() as u64 * self.policies.len() as u64
+        axis_u64(self.num_players()) * axis_u64(self.policies.len())
     }
 
     /// Total tiles when run against `experiment`.
     #[must_use]
     pub fn num_tiles(&self, experiment: &Experiment) -> u64 {
-        experiment.assets.len() as u64
-            * experiment.traces.len() as u64
-            * self.perturbations.len() as u64
+        axis_u64(experiment.assets.len())
+            * axis_u64(experiment.traces.len())
+            * axis_u64(self.perturbations.len())
     }
 }
 

@@ -1,0 +1,368 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for
+//! sensei-lint's determinism rules.
+//!
+//! The lexer deliberately does **not** parse Rust: it produces a flat
+//! token stream (identifiers, punctuation, literals) plus a comment
+//! side-channel. String and char literal *contents* are consumed but
+//! never tokenized, so rule patterns (`HashMap`, `Instant :: now`,
+//! `as u64`, …) can never fire on text inside a literal — which is what
+//! lets the linter scan its own sources and its own fixture files
+//! without tripping over them.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `as`, `HashMap`, …).
+    Ident,
+    /// Operator / punctuation. Multi-char operators the rules care
+    /// about (`::`, `+=`, `-=`, `*=`, `/=`, `->`, `=>`, `==`) are
+    /// emitted as single tokens; everything else is one char each.
+    Punct,
+    /// Integer literal (including its suffix, e.g. `40u64`).
+    Int,
+    /// Float literal (has a fractional part, exponent, or `f32`/`f64`
+    /// suffix, e.g. `0.0`, `1e-9`, `1f64`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    /// Contents are not preserved.
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    CharLit,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), captured for allow-annotation parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when code tokens precede the comment on its own line
+    /// (a trailing comment annotates *its* line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// Lex output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when the chars at `i` begin a raw string (`r"`, `r#"`, …):
+/// after the `r`, zero or more `#` followed by a quote.
+fn raw_string_ahead(chars: &[char], mut i: usize) -> bool {
+    while chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    chars.get(i) == Some(&'"')
+}
+
+/// Lexes `src` into tokens and comments. Invalid input never panics:
+/// unknown bytes are emitted as single-char `Punct` tokens and
+/// unterminated literals simply run to end of file.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line of the most recently emitted token, for trailing-comment
+    // detection.
+    let mut last_tok_line: u32 = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+                trailing: last_tok_line == line,
+            });
+            continue;
+        }
+
+        // Block comment (nested, as in Rust).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1u32;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i.min(chars.len())].iter().collect(),
+                line: start_line,
+                trailing: last_tok_line == start_line,
+            });
+            continue;
+        }
+
+        // String literals: "…", r"…", r#"…"#, b"…", br#"…"#.
+        let (is_str, body_at) = match c {
+            '"' => (true, i),
+            'r' if raw_string_ahead(&chars, i + 1) => (true, i + 1),
+            'b' if chars.get(i + 1) == Some(&'"') => (true, i + 1),
+            'b' if chars.get(i + 1) == Some(&'r') && raw_string_ahead(&chars, i + 2) => {
+                (true, i + 2)
+            }
+            _ => (false, i),
+        };
+        if is_str {
+            let start_line = line;
+            let mut j = body_at;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // r-prefixed strings take no escapes; plain and byte
+            // strings do.
+            let takes_escapes = !(chars.get(i) == Some(&'r')
+                || (chars.get(i) == Some(&'b') && chars.get(i + 1) == Some(&'r')));
+            debug_assert_eq!(chars.get(j), Some(&'"'));
+            j += 1; // past opening quote
+            loop {
+                match chars.get(j) {
+                    None => break,
+                    Some('\n') => {
+                        line += 1;
+                        j += 1;
+                    }
+                    Some('\\') if takes_escapes => {
+                        j += 2;
+                    }
+                    Some('"') => {
+                        // Need `hashes` closing #s for raw strings.
+                        let mut k = j + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && chars.get(k) == Some(&'#') {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            j = k;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    Some(_) => {
+                        j += 1;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            last_tok_line = start_line;
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'')) {
+            let q = if c == 'b' { i + 1 } else { i };
+            let after = chars.get(q + 1);
+            let is_char = match after {
+                Some('\\') => true,
+                Some(ch) if is_ident_continue(*ch) => {
+                    // 'a' is a char lit only if a quote follows the
+                    // single char; otherwise it's a lifetime.
+                    chars.get(q + 2) == Some(&'\'')
+                }
+                Some(_) => true, // e.g. '(' — a char literal
+                None => false,
+            };
+            if is_char {
+                let mut j = q + 1;
+                if chars.get(j) == Some(&'\\') {
+                    j += 2; // skip escape head; scan to closing quote below
+                }
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::CharLit,
+                    text: String::new(),
+                    line,
+                });
+                last_tok_line = line;
+                i = j + 1;
+                continue;
+            }
+            // Lifetime: consume ' + ident.
+            let mut j = q + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            i += 1;
+            if c == '0' && matches!(chars.get(i), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: a '.' followed by a digit (so `1..4` and
+                // `1.max(2)` stay integers).
+                if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                } else if chars.get(i) == Some(&'.')
+                    && !chars
+                        .get(i + 1)
+                        .is_some_and(|c| is_ident_start(*c) || *c == '.')
+                {
+                    // Trailing-dot float like `1.`.
+                    is_float = true;
+                    i += 1;
+                }
+                // Exponent.
+                if matches!(chars.get(i), Some('e' | 'E'))
+                    && (chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                        || (matches!(chars.get(i + 1), Some('+' | '-'))
+                            && chars.get(i + 2).is_some_and(char::is_ascii_digit)))
+                {
+                    is_float = true;
+                    i += 1;
+                    if matches!(chars.get(i), Some('+' | '-')) {
+                        i += 1;
+                    }
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Suffix (u64, f32, …).
+                let suffix_start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let suffix: String = chars[suffix_start..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+            out.toks.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+
+        // Identifiers / keywords (including raw idents `r#loop`).
+        if is_ident_start(c) {
+            let start = i;
+            if c == 'r' && chars.get(i + 1) == Some(&'#') {
+                i += 2;
+            }
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            last_tok_line = line;
+            continue;
+        }
+
+        // Punctuation: a few multi-char operators the rules match on,
+        // single chars otherwise.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let multi = matches!(
+            two.as_str(),
+            "::" | "+=" | "-=" | "*=" | "/=" | "->" | "=>" | "=="
+        );
+        let text = if multi {
+            i += 2;
+            two
+        } else {
+            i += 1;
+            c.to_string()
+        };
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+        });
+        last_tok_line = line;
+    }
+
+    out
+}

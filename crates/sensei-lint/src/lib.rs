@@ -1,0 +1,407 @@
+//! # sensei-lint — determinism static analysis for the SENSEI workspace
+//!
+//! PR 8 defined the fleet's deterministic contract as a total,
+//! associative, commutative reduction over quantized-integer
+//! `TileStats` partials. Tests can only catch a violation of that
+//! contract *after* it bites; this crate enforces it at the source
+//! level, before a stray `HashMap` iteration, float `+=`, or
+//! `SystemTime` read ever reaches a merge path.
+//!
+//! The tool is std-only (the workspace builds offline): a hand-rolled
+//! lexer ([`lexer`]) feeds a token-pattern rule engine ([`rules`])
+//! whose rule catalog and path scoping are documented on [`rules::RuleId`].
+//!
+//! ## Allow annotations
+//!
+//! A violation is suppressible **only** via an inline annotation that
+//! names the rule and carries a reason:
+//!
+//! ```text
+//! // sensei-lint: allow(no-wall-clock) — progress display only; never feeds aggregates
+//! ```
+//!
+//! The annotation suppresses findings of that rule on its own line
+//! (trailing comment) or on the next code line (standalone comment).
+//! Several rules may be listed comma-separated. An allow without a
+//! reason, or naming an unknown rule, is itself a violation
+//! (`invalid-allow`). Every allow in the tree is recorded and printed
+//! in the report's allow inventory, so the full set of sanctioned
+//! exceptions stays reviewable in one place.
+//!
+//! ## Running
+//!
+//! ```text
+//! cargo run -p sensei-lint -- check            # human output, exit 1 on findings
+//! cargo run -p sensei-lint -- check --json     # machine-readable report
+//! ```
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{RawFinding, RuleId};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule name used for findings about malformed allow annotations.
+/// Not a catalog rule: it cannot itself be allowed.
+pub const INVALID_ALLOW: &str = "invalid-allow";
+
+/// The marker every allow annotation starts with (after `//`).
+const ALLOW_MARKER: &str = "sensei-lint:";
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-root-relative path, '/'-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (kebab-case) or [`INVALID_ALLOW`].
+    pub rule: String,
+    pub message: String,
+}
+
+/// One recorded allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub path: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line whose findings it suppresses (next code line for
+    /// standalone comments; its own line for trailing ones). `None`
+    /// when no code follows.
+    pub effective_line: Option<u32>,
+    pub rule: String,
+    pub reason: String,
+    /// Whether the allow actually suppressed a finding.
+    pub used: bool,
+}
+
+/// Scan result for one file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+}
+
+/// Scan result for a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+    pub allows: Vec<Allow>,
+}
+
+/// A parsed-but-unresolved allow annotation.
+struct PendingAllow {
+    rule: RuleId,
+    line: u32,
+    effective_line: Option<u32>,
+    reason: String,
+    used: bool,
+}
+
+/// Parses the allow annotations (and annotation errors) out of one
+/// file's comments. `first_code_line_after(line)` maps a standalone
+/// comment to the line it annotates.
+fn parse_allows(
+    path: &str,
+    lexed: &lexer::Lexed,
+    findings: &mut Vec<Finding>,
+) -> Vec<PendingAllow> {
+    // Token lines, for standalone-comment targeting.
+    let code_lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let next_code_line =
+        |after: u32| -> Option<u32> { code_lines.iter().copied().filter(|&l| l > after).min() };
+
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let mut invalid = |msg: String| {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: INVALID_ALLOW.to_string(),
+                message: msg,
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            invalid(format!(
+                "malformed sensei-lint annotation (expected `allow(<rule>) — <reason>`): `{body}`"
+            ));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            invalid("unclosed `allow(` annotation".to_string());
+            continue;
+        };
+        let (rule_list, after) = inner.split_at(close);
+        let after = &after[1..]; // past ')'
+
+        // The reason must follow a dash separator: `— why` (em dash,
+        // en dash, or ASCII hyphen(s)).
+        let sep = after.trim_start();
+        let reason = ["—", "–", "--", "-", ":"]
+            .iter()
+            .find_map(|d| sep.strip_prefix(d))
+            .map(str::trim)
+            .unwrap_or("");
+
+        let mut rule_ok = false;
+        for name in rule_list.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            let Some(rule) = RuleId::from_name(name) else {
+                invalid(format!(
+                    "allow names unknown rule `{name}` (known: {})",
+                    RuleId::ALL.map(RuleId::name).join(", ")
+                ));
+                continue;
+            };
+            if reason.is_empty() {
+                invalid(format!(
+                    "allow({name}) carries no reason; write `allow({name}) — <why this \
+                     site is sound>`"
+                ));
+                continue;
+            }
+            rule_ok = true;
+            allows.push(PendingAllow {
+                rule,
+                line: c.line,
+                effective_line: if c.trailing {
+                    Some(c.line)
+                } else {
+                    next_code_line(c.line)
+                },
+                reason: reason.to_string(),
+                used: false,
+            });
+        }
+        if !rule_ok && rule_list.split(',').all(|s| s.trim().is_empty()) {
+            invalid("allow() lists no rule".to_string());
+        }
+    }
+    allows
+}
+
+/// Lexes and scans one source file (the path decides rule scoping; it
+/// must be workspace-root-relative and '/'-separated).
+#[must_use]
+pub fn scan_source(path: &str, src: &str) -> FileScan {
+    let lexed = lexer::lex(src);
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows = parse_allows(path, &lexed, &mut findings);
+
+    let raw: Vec<RawFinding> = rules::run_rules(path, &lexed);
+    for f in raw {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.rule == f.rule && a.effective_line == Some(f.line));
+        if let Some(a) = suppressed {
+            a.used = true;
+        } else {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: f.line,
+                rule: f.rule.name().to_string(),
+                message: f.message,
+            });
+        }
+    }
+
+    FileScan {
+        findings,
+        allows: allows
+            .into_iter()
+            .map(|a| Allow {
+                path: path.to_string(),
+                line: a.line,
+                effective_line: a.effective_line,
+                rule: a.rule.name().to_string(),
+                reason: a.reason,
+                used: a.used,
+            })
+            .collect(),
+    }
+}
+
+/// Workspace directories scanned for `.rs` sources.
+const SCAN_ROOTS: &[&str] = &["crates", "shims", "src", "tests", "examples"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for e in entries {
+        let p = e.path();
+        let name = e.file_name();
+        if p.is_dir() {
+            // `target` dirs hold generated artifacts, not sources.
+            if name != "target" {
+                walk(&p, out)?;
+            }
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every workspace source file under `root` and merges the
+/// per-file results into one [`Report`]. File order (and therefore
+/// report order) is deterministic: paths are walked sorted.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking or file reads.
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let p = root.join(top);
+        if p.is_dir() {
+            walk(&p, &mut files)?;
+        }
+    }
+
+    let mut report = Report::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&file)?;
+        let scan = scan_source(&rel, &src);
+        report.files_scanned += 1;
+        report.findings.extend(scan.findings);
+        report.allows.extend(scan.allows);
+    }
+    Ok(report)
+}
+
+impl Report {
+    /// True when the tree carries no violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report: findings, then the allow inventory, then
+    /// a one-line summary.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        }
+        if !self.allows.is_empty() {
+            let _ = writeln!(out, "allow inventory ({} entries):", self.allows.len());
+            for a in &self.allows {
+                let _ = writeln!(
+                    out,
+                    "  {}:{}: allow({}) — {}{}",
+                    a.path,
+                    a.line,
+                    a.rule,
+                    a.reason,
+                    if a.used { "" } else { "  [UNUSED]" }
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "sensei-lint: {} files scanned, {} finding{}, {} allow{}",
+            self.files_scanned,
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.allows.len(),
+            if self.allows.len() == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// Machine-readable JSON report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"files_scanned\":{}", self.files_scanned);
+        out.push_str(",\"rules\":[");
+        for (i, r) in RuleId::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"summary\":{}}}",
+                json_str(r.name()),
+                json_str(r.summary())
+            );
+        }
+        out.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                json_str(&f.path),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.message)
+            );
+        }
+        out.push_str("],\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":{},\"line\":{},\"rule\":{},\"reason\":{},\"used\":{}}}",
+                json_str(&a.path),
+                a.line,
+                json_str(&a.rule),
+                json_str(&a.reason),
+                a.used
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,58 @@
+//! CLI: `cargo run -p sensei-lint -- check [--json] [--root <path>]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sensei-lint check [--json] [--root <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    // Default to the workspace this binary was built from, so
+    // `cargo run -p sensei-lint -- check` works from any cwd.
+    let mut root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return usage();
+    };
+    if cmd != "check" {
+        return usage();
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let Some(p) = it.next() else {
+                    return usage();
+                };
+                root = PathBuf::from(p);
+            }
+            _ => return usage(),
+        }
+    }
+
+    let report = match sensei_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sensei-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,76 @@
+//! The committed workspace must satisfy its own determinism lint: zero
+//! findings, and every sanctioned exception carries a reviewable reason.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/sensei-lint → workspace root.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn committed_workspace_is_lint_clean() {
+    let report = sensei_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 0,
+        "self-check scanned nothing; workspace layout changed?"
+    );
+    assert!(
+        report.is_clean(),
+        "determinism lint violations in the committed tree:\n{}",
+        report.human()
+    );
+}
+
+#[test]
+fn every_committed_allow_is_justified_and_used() {
+    let report = sensei_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    for a in &report.allows {
+        assert!(
+            !a.reason.is_empty(),
+            "{}:{}: allow({}) carries no reason",
+            a.path,
+            a.line,
+            a.rule
+        );
+        assert!(
+            a.used,
+            "{}:{}: allow({}) suppresses nothing — stale annotation, remove it",
+            a.path, a.line, a.rule
+        );
+    }
+    // The committed tree is expected to carry sanctioned exceptions
+    // (phase timing, env opt-ins, the quantization casts); an empty
+    // inventory means the scan went wrong, not that the tree got purer.
+    assert!(
+        !report.allows.is_empty(),
+        "allow inventory is empty; the workspace scan likely missed the sources"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let report = sensei_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"files_scanned\":"));
+    assert!(json.contains("\"rules\":["));
+    assert!(json.contains("\"no-unordered-iteration\""));
+    // Balanced quotes are a cheap structural sanity check on the
+    // hand-rolled serializer (escaped quotes excluded).
+    let unescaped_quotes = json
+        .as_bytes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, &b)| b == b'"' && (i == 0 || json.as_bytes()[i - 1] != b'\\'))
+        .count();
+    assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes in JSON report");
+}
+
+#[test]
+fn human_report_prints_the_allow_inventory() {
+    let report = sensei_lint::scan_workspace(workspace_root()).expect("workspace scan");
+    let human = report.human();
+    assert!(human.contains("allow inventory"));
+    assert!(human.contains("files scanned"));
+}

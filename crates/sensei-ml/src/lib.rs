@@ -20,6 +20,11 @@
 //!
 //! Everything is seeded and deterministic; no threads, no SIMD, no unsafe.
 
+// Integer↔float conversion is the numeric substrate of the learners:
+// sample counts and feature bins are far below 2^52, and quantile /
+// bin indices are clamped by construction.
+#![allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+
 pub mod forest;
 pub mod linalg;
 pub mod lstm;

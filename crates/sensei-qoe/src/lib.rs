@@ -16,6 +16,10 @@
 //! models and the ABR objectives share, and the evaluation metrics of §7
 //! ([`eval`]).
 
+// Chunk indices and counts convert to f64 for model math; all are
+// far below 2^52, so the conversions are exact.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod chunk;
 pub mod eval;
 pub mod ksqi;

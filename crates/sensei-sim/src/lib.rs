@@ -20,6 +20,10 @@
 //! throughput history, and — for SENSEI variants — the sensitivity weights.
 //! They never see the latent per-chunk sensitivity of the source video.
 
+// Lane counts and chunk indices are far below 2^52; f64
+// conversions for buffer math are exact.
+#![allow(clippy::cast_precision_loss)]
+
 pub mod batch;
 pub mod policy;
 pub mod session;

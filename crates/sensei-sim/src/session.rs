@@ -115,6 +115,9 @@ impl Playback<'_> {
 
     /// Index of the chunk the playhead is about to enter. Only meaningful
     /// at (or epsilon-close to) a chunk boundary.
+    // The +0.5/floor is the documented nearest-boundary rounding;
+    // chunk indices are tiny.
+    #[allow(clippy::cast_possible_truncation)]
     fn boundary_chunk(&self) -> usize {
         ((self.m / self.d) + 0.5).floor() as usize
     }

@@ -28,6 +28,10 @@
 //! is an indexed add, and merging is element-wise — no hashing, no
 //! allocation, no ordering ambiguity.
 
+// Counters convert to f64 only in snapshot/report derivations
+// (rates, percentages); merge correctness stays in u64.
+#![allow(clippy::cast_precision_loss)]
+
 use std::cell::{Cell, RefCell};
 use std::time::Instant;
 
@@ -64,6 +68,13 @@ pub enum Counter {
 impl Counter {
     /// Number of counters in the catalog.
     pub const COUNT: usize = 10;
+
+    /// This counter's shard slot: the enum discriminant as a
+    /// lossless array index (so callers never need an `as` cast).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
 
     /// Every counter, in shard index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -127,6 +138,13 @@ impl Phase {
     /// Number of phases in the catalog.
     pub const COUNT: usize = 5;
 
+    /// This phase's shard slot: the enum discriminant as a
+    /// lossless array index (so callers never need an `as` cast).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
     /// Every phase, in shard index order.
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::NetworkMaterialize,
@@ -171,6 +189,13 @@ pub enum Hist {
 impl Hist {
     /// Number of histograms in the catalog.
     pub const COUNT: usize = 2;
+
+    /// This hist's shard slot: the enum discriminant as a
+    /// lossless array index (so callers never need an `as` cast).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
 
     /// Bins per histogram (log₂ buckets spanning all of `u64`).
     pub const BINS: usize = 64;

@@ -18,6 +18,11 @@
 //!
 //! All randomness is seeded; identical seeds give identical traces.
 
+// Time→sample-index conversion (floor of t/Δt against clamped
+// cursors) is the trace substrate; sample counts stay far below
+// 2^52, so f64 round-trips are exact.
+#![allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+
 pub mod cumulative;
 pub mod generate;
 

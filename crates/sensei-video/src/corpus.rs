@@ -706,7 +706,7 @@ mod tests {
             assert_eq!(e.video.genre(), Genre::Sports);
         }
         let mixed = generate_family(&GenreMix::uniform(), 64, 3).unwrap();
-        let genres: std::collections::HashSet<_> = mixed.iter().map(|e| e.video.genre()).collect();
+        let genres: std::collections::BTreeSet<_> = mixed.iter().map(|e| e.video.genre()).collect();
         assert_eq!(genres.len(), 4, "64 uniform draws should hit all genres");
     }
 

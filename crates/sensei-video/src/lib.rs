@@ -27,6 +27,11 @@
 //! * [`weights`] — [`weights::SensitivityWeights`], the paper's per-chunk
 //!   weight abstraction (§3).
 
+// Chunk counts and bit sizes are far below 2^52, and the one
+// float→int site (procedural corpus sizing) rounds a small clamped
+// value.
+#![allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+
 pub mod content;
 pub mod corpus;
 pub mod encode;

@@ -10,6 +10,10 @@
 //! (order-of-magnitude comparisons against a 4-second chunk budget, not
 //! statistically rigorous confidence intervals).
 
+// Iteration counts convert to f64 for ns-per-iter reporting; far
+// below 2^52.
+#![allow(clippy::cast_precision_loss)]
+
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a benchmarked computation.

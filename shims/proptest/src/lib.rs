@@ -14,6 +14,10 @@
 //!   from its own name, so failures reproduce across runs without a
 //!   persistence file.
 
+// Value generation chops PRNG words into arbitrary integer widths
+// on purpose; wrapping/truncating casts are the generator contract.
+#![allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+
 /// Number of accepted cases each property runs.
 pub const CASES: u32 = 128;
 

@@ -1,5 +1,8 @@
 //! Property-based tests on core invariants, spanning crates.
 
+// Property inputs convert small counts to f64; exact below 2^52.
+#![allow(clippy::cast_precision_loss)]
+
 use proptest::prelude::*;
 use sensei_trace::ThroughputTrace;
 use sensei_video::{BitrateLadder, SensitivityWeights};
