@@ -10,9 +10,10 @@
 //!
 //! This module implements exactly that: exhaustive enumeration of bitrate
 //! plans over the horizon, a per-scenario buffer walk, and the canonical
-//! KSQI chunk quality. Three structural optimizations keep the enumeration
+//! KSQI chunk quality. Five structural optimizations keep the enumeration
 //! fast without changing a single result bit (asserted against a flat
-//! reference odometer in this module's tests):
+//! reference odometer in this module's tests and the warm-vs-cold parity
+//! suite):
 //!
 //! 1. **Prefix sharing** — plans are enumerated as a depth-first tree so
 //!    every shared prefix is scored once (an ~h-fold cut).
@@ -27,11 +28,27 @@
 //!    lexicographic reference returns — the maximum score and the
 //!    smallest first action attaining it — so neither the visit order
 //!    nor the pruning can move a single result bit.
+//! 4. **Cross-chunk warm starts** — consecutive decisions solve almost
+//!    the same problem shifted by one chunk, so the shifted suffix of
+//!    step *t*'s winning plan is a feasible leaf of step *t+1*'s tree.
+//!    It is scored first with the exact leaf arithmetic and seeds the
+//!    incumbent, so the very first `descend` already prunes against a
+//!    near-optimal bound. Seeding is indistinguishable from the search
+//!    having visited that leaf first: the tie machinery (`==` wins only
+//!    with a smaller first action) guarantees the lexicographic winner
+//!    is still reached even when the seed's first action is larger.
+//! 5. **Block leaf scoring** — the `n_levels` sibling leaves under one
+//!    parent share everything but the level, so they are scored as one
+//!    straight-line pass over dense per-scenario slices (shaped for the
+//!    autovectorizer) and then reduced in the exact visit order, each
+//!    element computing precisely one reference walk step.
 
 use crate::predictor::ThroughputPredictor;
+use crate::WarmSlot;
 use sensei_qoe::Ksqi;
 use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 use sensei_telemetry as telemetry;
+use sensei_trace::ThroughputTrace;
 
 /// The paper's planning horizon ("We pick h = 5 since we observe that QoE
 /// gains flatten beyond a horizon of 4 chunks").
@@ -53,10 +70,29 @@ pub(crate) struct PlanScratch {
     sizes: Vec<f64>,
     /// `vqs[depth·L + level]`: visual quality.
     vqs: Vec<f64>,
-    /// `umax[depth·S + si]`: upper bound on the weighted quality any level
-    /// can contribute at `depth` under scenario `si` (branch-and-bound).
+    /// `umax[depth·S + si]`: upper bound on the weighted quality any
+    /// level can contribute at `depth` under scenario `si`, maximized
+    /// over every (previous level, level) pair — switch penalty and
+    /// stall lower bound included (branch-and-bound).
     umax: Vec<f64>,
-    /// `caps[depth]`: upper bound on any walk's buffer entering `depth`.
+    /// `ufirst[(depth·S + si)·L + lprev]`: the same bound conditioned on
+    /// the *actual* previous level `lprev`, used for the first remaining
+    /// step of a node (whose last chosen level the search knows).
+    ufirst: Vec<f64>,
+    /// `ufirst0[depth·L + lprev]`: the no-stall (buffer-independent)
+    /// value of `ufirst`, filled lazily once per chunk step and shared by
+    /// every lane and pause candidate of that step — valid because every
+    /// `plan_prepared` call between two `fill_chunk_tables` calls uses
+    /// the same vq tables, weights, and chunk duration. Rows of `ufirst`
+    /// whose buffer cap proves no level can stall copy from here (the
+    /// stall lower bound is exactly `0.0` there, so the copied values
+    /// are bit-identical to recomputation).
+    ufirst0: Vec<f64>,
+    /// `umax0[depth]`: the no-stall value of `umax` (see `ufirst0`).
+    umax0: Vec<f64>,
+    /// `caps[depth·S + si]`: upper bound on scenario `si`'s buffer
+    /// entering `depth`, accounting for the cheapest possible download
+    /// at every prior depth (branch-and-bound).
     caps: Vec<f64>,
     /// `ord[depth·L + k]`: the levels of `depth` in descending
     /// estimated-score order — the exploration order of the pruned
@@ -66,6 +102,25 @@ pub(crate) struct PlanScratch {
     ord: Vec<usize>,
     /// Per-level expected score accumulator used to build `ord`.
     scores: Vec<f64>,
+    /// Scenario probabilities `rates[si].0`, densely packed for the
+    /// straight-line leaf pass.
+    probs: Vec<f64>,
+    /// Dense per-scenario copy of the leaf-parent row's buffers.
+    pbuf: Vec<f64>,
+    /// Dense per-scenario copy of the leaf-parent row's running totals.
+    ptot: Vec<f64>,
+    /// Per-scenario expected-score terms of one sibling leaf.
+    terms: Vec<f64>,
+    /// `leaf_q[level]`: each sibling leaf's expected score at the last
+    /// depth, produced by the block scorer and consumed in visit order.
+    leaf_q: Vec<f64>,
+    /// The DFS path (one level per depth) above the current node.
+    cur_plan: Vec<usize>,
+    /// The full winning plan of the last search (its first element is the
+    /// returned `best_plan0`) — the next chunk step's warm-start seed.
+    last_plan: Vec<usize>,
+    /// Warm-start seed scratch (shifted suffix of the previous plan).
+    seed: Vec<usize>,
 }
 
 /// The Fugu MPC policy.
@@ -82,6 +137,15 @@ pub struct Fugu {
     /// risk-neutrally against a mean-additive model stalls too often.
     risk_aversion: f64,
     scratch: PlanScratch,
+    /// Cross-chunk warm-start carry for the scalar lifecycle (the batched
+    /// path swaps per-lane slots through here).
+    warm: WarmSlot,
+    /// Per-lane warm-start carries for [`AbrPolicy::select_batch`].
+    lane_warm: Vec<WarmSlot>,
+    /// When false, searches never seed from or commit to the carry slots
+    /// — the "cold" reference mode the warm-vs-cold parity suite compares
+    /// against.
+    warm_start_enabled: bool,
 }
 
 impl Fugu {
@@ -95,7 +159,54 @@ impl Fugu {
             max_buffer_s: 24.0,
             risk_aversion: 3.0,
             scratch: PlanScratch::default(),
+            warm: WarmSlot::default(),
+            lane_warm: Vec::new(),
+            warm_start_enabled: true,
         }
+    }
+
+    /// Toggles the cross-chunk warm start (on by default). Disabling it
+    /// forces every search to start cold — bit-identical results, more
+    /// nodes — which is exactly what the warm-vs-cold parity suite runs
+    /// as its reference.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start_enabled = enabled;
+        if !enabled {
+            self.warm.invalidate();
+            self.lane_warm.clear();
+        }
+        self
+    }
+
+    /// The full winning plan of the last [`Self::plan_prepared`] call.
+    /// SENSEI-Fugu reads this per pause candidate to remember the winning
+    /// candidate's plan.
+    pub(crate) fn last_plan(&self) -> &[usize] {
+        &self.scratch.last_plan
+    }
+
+    /// Commits the last search's winning plan as the warm-start carry for
+    /// the chunk step after `next_chunk`. No-op in cold mode.
+    pub(crate) fn commit_warm_from_last(&mut self, next_chunk: usize) {
+        if self.warm_start_enabled {
+            self.warm.commit(next_chunk, &self.scratch.last_plan);
+        }
+    }
+
+    /// Commits an explicit winning plan (SENSEI-Fugu commits the winning
+    /// pause candidate's plan, which is not necessarily the last plan
+    /// searched). No-op in cold mode.
+    pub(crate) fn commit_warm_plan(&mut self, next_chunk: usize, plan: &[usize]) {
+        if self.warm_start_enabled {
+            self.warm.commit(next_chunk, plan);
+        }
+    }
+
+    /// The scalar-lifecycle warm slot — wrappers that keep per-lane carry
+    /// state (SENSEI-Fugu) swap their lane slots through here around each
+    /// prepared search, mirroring the pause-ledger swap.
+    pub(crate) fn warm_slot_mut(&mut self) -> &mut WarmSlot {
+        &mut self.warm
     }
 
     /// Overrides the stall risk-aversion multiplier used during planning.
@@ -162,6 +273,12 @@ impl Fugu {
         let n_levels = ctx.num_levels();
         self.scratch.sizes.clear();
         self.scratch.vqs.clear();
+        // The vq tables (and, at the callers' next step, the weight
+        // window) change with the chunk position, so the hoisted no-stall
+        // bound table is invalidated here and lazily refilled by the
+        // first prunable search of the new step.
+        self.scratch.ufirst0.clear();
+        self.scratch.umax0.clear();
         for depth in 0..h {
             let chunk = next_chunk + depth;
             for level in 0..n_levels {
@@ -201,7 +318,9 @@ impl Fugu {
         }
         self.fill_chunk_tables(state.next_chunk, h, ctx);
         self.prepare_rates(state, ctx, h);
-        self.plan_prepared(state, ctx, weights, h)
+        let result = self.plan_prepared(state, ctx, weights, h);
+        self.commit_warm_from_last(state.next_chunk);
+        result
     }
 
     /// Fills the scenario `(probability, kbps)` pairs and the
@@ -245,6 +364,15 @@ impl Fugu {
     ) -> (usize, f64) {
         let n_levels = ctx.num_levels();
         let d = ctx.chunk_duration_s;
+        // Warm start: the shifted suffix of the previous chunk step's
+        // winning plan, when this search is its immediate successor. The
+        // seed is scored below with the exact leaf arithmetic before the
+        // tree walk begins, so seeding is result-invariant (module docs,
+        // optimization 4).
+        let seeded = self.warm_start_enabled
+            && self
+                .warm
+                .seed_into(state.next_chunk, h, n_levels, &mut self.scratch.seed);
         let PlanScratch {
             stack,
             rates,
@@ -252,9 +380,20 @@ impl Fugu {
             sizes: _,
             vqs,
             umax,
+            ufirst,
+            ufirst0,
+            umax0,
             caps,
             ord,
             scores,
+            probs,
+            pbuf,
+            ptot,
+            terms,
+            leaf_q,
+            cur_plan,
+            last_plan,
+            seed,
         } = &mut self.scratch;
         let s = rates.len();
         // Branch-and-bound is sound only when every bound step is
@@ -268,28 +407,41 @@ impl Fugu {
             && weights.is_none_or(|w| w.iter().all(|&x| x >= 0.0))
             && rates.iter().all(|r| r.0 >= 0.0);
         umax.clear();
+        ufirst.clear();
         caps.clear();
         ord.clear();
         if prunable {
-            // `caps[j]` dominates every buffer value entering depth `j`:
-            // the walk step is `buf' = min(max(buf − dt, 0) + d, B)` with
-            // `dt ≥ 0`, and every operation in `min(buf + d, B)` is
-            // FP-monotone, so the recurrence bounds all plans at once.
-            // The root cap is the caller's buffer itself (pause
-            // candidates may push it past the clamp). A buffer upper
-            // bound gives a stall *lower* bound, hence a per-(depth,
-            // scenario) quality upper bound.
-            caps.push(state.buffer_s);
+            // `caps[j·S + si]` dominates scenario `si`'s buffer entering
+            // depth `j` for EVERY plan: the walk step is
+            // `buf' = min(max(buf − dt, 0) + d, B)`, `dt` is bounded
+            // below by the depth's cheapest level under that scenario,
+            // and each operation in the chain (subtract a smaller value
+            // from a larger one, `max`, add, `min`) is monotone under
+            // IEEE-754 round-to-nearest — so the recurrence bounds all
+            // plans at once *as floating point*. The root cap is the
+            // caller's buffer itself (pause candidates may push it past
+            // the clamp). A buffer upper bound gives a stall *lower*
+            // bound, hence a per-(depth, scenario) quality upper bound;
+            // charging the cheapest download per depth is what makes the
+            // bound bite on constrained links instead of assuming a
+            // magically refilling buffer.
+            caps.resize(s, state.buffer_s);
             for depth in 1..h {
-                caps.push((caps[depth - 1] + d).min(self.max_buffer_s));
+                for si in 0..s {
+                    let mut dt_min = f64::INFINITY;
+                    for level in 0..n_levels {
+                        dt_min = dt_min.min(dt[((depth - 1) * n_levels + level) * s + si]);
+                    }
+                    let parent = caps[(depth - 1) * s + si];
+                    caps.push(((parent - dt_min).max(0.0) + d).min(self.max_buffer_s));
+                }
             }
             for depth in 0..h {
-                let cap = caps[depth];
                 scores.clear();
                 scores.resize(n_levels, 0.0);
                 for si in 0..s {
+                    let cap = caps[depth * s + si];
                     let p = rates[si].0;
-                    let mut best = f64::NEG_INFINITY;
                     for level in 0..n_levels {
                         let stall_lb = (dt[(depth * n_levels + level) * s + si] - cap).max(0.0);
                         let q = self.qoe.chunk_quality(
@@ -300,11 +452,7 @@ impl Fugu {
                         );
                         let term = weights.map_or(q, |w| w[depth] * q);
                         scores[level] += p * term;
-                        if term > best {
-                            best = term;
-                        }
                     }
-                    umax.push(best);
                 }
                 // Guided order: most promising level (by expected
                 // stall-bounded score) first. Purely a search-speed
@@ -317,6 +465,99 @@ impl Fugu {
                         .partial_cmp(&scores[a])
                         .unwrap_or(core::cmp::Ordering::Equal)
                 });
+            }
+            // Switch-aware per-depth bounds. `ufirst` conditions the
+            // bound's *first* remaining step on the node's actual previous
+            // level (the search knows it exactly, so the switch penalty is
+            // the exact one the walk will charge); `umax` relaxes deeper
+            // steps over every (previous level, level) pair. Each entry
+            // dominates the walk's corresponding per-step term as floating
+            // point: the stall lower bound comes from the buffer cap above,
+            // and `chunk_quality` is FP-monotone in both penalties. Depth 0
+            // rows stay at the placeholder (the bound is only evaluated at
+            // depth ≥ 1, where the previous level is on the DFS path).
+            if ufirst0.is_empty() {
+                // The no-stall table is buffer-independent, so it serves
+                // every lane and pause candidate of this chunk step
+                // (`fill_chunk_tables` invalidates it when the vq tables
+                // or weight window move).
+                ufirst0.resize(h * n_levels, 0.0);
+                umax0.resize(h, 0.0);
+                for depth in 1..h {
+                    let mut overall = f64::NEG_INFINITY;
+                    for lprev in 0..n_levels {
+                        let pvq = vqs[(depth - 1) * n_levels + lprev];
+                        let mut best = f64::NEG_INFINITY;
+                        for level in 0..n_levels {
+                            let vq = vqs[depth * n_levels + level];
+                            let switch = if level != lprev {
+                                (vq - pvq).abs()
+                            } else {
+                                0.0
+                            };
+                            let q = self.qoe.chunk_quality(vq, 0.0, switch, d);
+                            let term = weights.map_or(q, |w| w[depth] * q);
+                            if term > best {
+                                best = term;
+                            }
+                        }
+                        ufirst0[depth * n_levels + lprev] = best;
+                        if best > overall {
+                            overall = best;
+                        }
+                    }
+                    umax0[depth] = overall;
+                }
+            }
+            ufirst.resize(h * s * n_levels, 0.0);
+            umax.resize(h * s, 0.0);
+            for depth in 1..h {
+                for si in 0..s {
+                    let cap = caps[depth * s + si];
+                    let mut dt_max = f64::NEG_INFINITY;
+                    for level in 0..n_levels {
+                        dt_max = dt_max.max(dt[(depth * n_levels + level) * s + si]);
+                    }
+                    let row = (depth * s + si) * n_levels;
+                    if dt_max <= cap {
+                        // No level can stall under this scenario's cap:
+                        // every `stall_lb` below would be exactly `0.0`,
+                        // so the hoisted no-stall row IS this row.
+                        ufirst[row..row + n_levels]
+                            .copy_from_slice(&ufirst0[depth * n_levels..(depth + 1) * n_levels]);
+                        umax[depth * s + si] = umax0[depth];
+                        continue;
+                    }
+                    let mut overall = f64::NEG_INFINITY;
+                    for lprev in 0..n_levels {
+                        let pvq = vqs[(depth - 1) * n_levels + lprev];
+                        let mut best = f64::NEG_INFINITY;
+                        for level in 0..n_levels {
+                            let vq = vqs[depth * n_levels + level];
+                            let stall_lb = (dt[(depth * n_levels + level) * s + si] - cap).max(0.0);
+                            let switch = if level != lprev {
+                                (vq - pvq).abs()
+                            } else {
+                                0.0
+                            };
+                            let q = self.qoe.chunk_quality(
+                                vq,
+                                stall_lb * self.risk_aversion,
+                                switch,
+                                d,
+                            );
+                            let term = weights.map_or(q, |w| w[depth] * q);
+                            if term > best {
+                                best = term;
+                            }
+                        }
+                        ufirst[row + lprev] = best;
+                        if best > overall {
+                            overall = best;
+                        }
+                    }
+                    umax[depth * s + si] = overall;
+                }
             }
         }
         let prev = state
@@ -333,6 +574,18 @@ impl Fugu {
                 total: 0.0,
             },
         );
+        probs.clear();
+        probs.extend(rates.iter().map(|r| r.0));
+        pbuf.clear();
+        pbuf.resize(s, 0.0);
+        ptot.clear();
+        ptot.resize(s, 0.0);
+        terms.clear();
+        terms.resize(s, 0.0);
+        leaf_q.clear();
+        leaf_q.resize(n_levels, 0.0);
+        cur_plan.clear();
+        cur_plan.resize(h, 0);
         let mut search = PlanSearch {
             risk_aversion: self.risk_aversion,
             max_buffer_s: self.max_buffer_s,
@@ -345,17 +598,50 @@ impl Fugu {
             dt,
             vqs,
             umax,
+            ufirst,
             ord,
             prunable,
             stack,
+            probs,
+            pbuf,
+            ptot,
+            terms,
+            leaf_q,
+            cur_plan,
+            best_plan: last_plan,
+            seeded,
+            improved: false,
+            seeded_prunes: 0,
             best_q: f64::NEG_INFINITY,
             best_plan0: 0,
             nodes: 0,
             pruned: 0,
         };
+        if seeded {
+            // Score the seed leaf exactly: the same per-depth walk and
+            // scenario-order fold the tree search performs for any leaf,
+            // so the seeded incumbent is indistinguishable from the
+            // search having visited that leaf first.
+            for (depth, &level) in seed.iter().enumerate() {
+                search.nodes += 1;
+                search.step(depth, level);
+            }
+            let mut q = 0.0;
+            for si in 0..s {
+                q += search.rates[si].0 * search.stack[h * s + si].total;
+            }
+            search.best_q = q;
+            search.best_plan0 = seed[0];
+            search.best_plan.clear();
+            search.best_plan.extend_from_slice(seed);
+        } else {
+            search.best_plan.clear();
+        }
         search.descend(0, 0);
         telemetry::count(telemetry::Counter::PlanNodes, search.nodes);
         telemetry::count(telemetry::Counter::PlanPrunes, search.pruned);
+        telemetry::count(telemetry::Counter::WarmStartHits, u64::from(seeded));
+        telemetry::count(telemetry::Counter::SeededPrunes, search.seeded_prunes);
         (search.best_plan0, search.best_q)
     }
 }
@@ -383,10 +669,30 @@ struct PlanSearch<'a> {
     dt: &'a [f64],
     vqs: &'a [f64],
     umax: &'a [f64],
+    ufirst: &'a [f64],
     ord: &'a [usize],
     prunable: bool,
     /// `(h + 1) × scenarios` rows of running state, indexed by depth.
     stack: &'a mut [ScenarioWalk],
+    /// Scenario probabilities, densely packed for the leaf block pass.
+    probs: &'a mut Vec<f64>,
+    /// Dense copies of the leaf-parent row's buffers / running totals.
+    pbuf: &'a mut Vec<f64>,
+    ptot: &'a mut Vec<f64>,
+    /// Per-scenario expected-score terms of one sibling leaf.
+    terms: &'a mut Vec<f64>,
+    /// Each sibling leaf's expected score, by level (block leaf scoring).
+    leaf_q: &'a mut Vec<f64>,
+    /// The DFS path (one level per depth) above the current node.
+    cur_plan: &'a mut Vec<usize>,
+    /// The full winning plan — kept for the next step's warm start.
+    best_plan: &'a mut Vec<usize>,
+    /// Whether the incumbent was seeded from the previous chunk's plan.
+    seeded: bool,
+    /// Whether any leaf has improved on the (seeded) incumbent yet.
+    improved: bool,
+    /// Prunes taken against the still-unimproved seeded incumbent.
+    seeded_prunes: u64,
     best_q: f64,
     best_plan0: usize,
     /// Telemetry tallies, flushed once per decision: `(depth, level)`
@@ -445,26 +751,61 @@ impl PlanSearch<'_> {
     /// pair: strictly below `best_q`, nothing inside can win or tie;
     /// equal to `best_q`, a tie inside matters only if it lowers the
     /// winning `plan0`. The bound extends each scenario's running total
-    /// with the per-depth `umax` terms **through the same left-to-right
-    /// fold the leaf reduction performs**; every operation in the chain
-    /// (add, multiply by a nonnegative factor, `max`) is monotone under
-    /// IEEE-754 round-to-nearest, so the bound dominates every leaf's
-    /// computed value *as floating point*, not just in exact arithmetic.
+    /// with the switch-aware per-depth terms — `ufirst` for the first
+    /// remaining step (conditioned on the node's actual previous level,
+    /// which is on the DFS path), `umax` for deeper steps — **through
+    /// the same left-to-right fold the leaf reduction performs**; every
+    /// operation in the chain (add, multiply by a nonnegative factor,
+    /// `max`) is monotone under IEEE-754 round-to-nearest, so the bound
+    /// dominates every leaf's computed value *as floating point*, not
+    /// just in exact arithmetic.
     fn descend(&mut self, depth: usize, plan0: usize) {
         let s = self.rates.len();
         if self.prunable && depth > 0 {
+            // `prev` is scenario-invariant and always `Some` at depth ≥ 1
+            // (row `depth` was written by `step(depth − 1, …)`).
+            let prev_level = self.stack[depth * s].prev.map_or(0, |(_, l)| l);
             let mut ub = 0.0;
             for si in 0..s {
-                let mut bnd = self.stack[depth * s + si].total;
-                for j in depth..self.h {
+                let mut bnd = self.stack[depth * s + si].total
+                    + self.ufirst[(depth * s + si) * self.n_levels + prev_level];
+                for j in depth + 1..self.h {
                     bnd += self.umax[j * s + si];
                 }
                 ub += self.rates[si].0 * bnd;
             }
             if ub < self.best_q || (ub == self.best_q && plan0 >= self.best_plan0) {
                 self.pruned += 1;
+                if self.seeded && !self.improved {
+                    self.seeded_prunes += 1;
+                }
                 return;
             }
+        }
+        if depth + 1 == self.h {
+            // The `n_levels` sibling leaves under this parent are scored
+            // as one straight-line block pass, then consumed in the exact
+            // visit order below (module docs, optimization 5).
+            self.score_leaves(depth);
+            for k in 0..self.n_levels {
+                self.nodes += 1;
+                let level = if self.prunable {
+                    self.ord[depth * self.n_levels + k]
+                } else {
+                    k
+                };
+                let plan0 = if depth == 0 { level } else { plan0 };
+                let q = self.leaf_q[level];
+                if q > self.best_q || (q == self.best_q && plan0 < self.best_plan0) {
+                    self.best_q = q;
+                    self.best_plan0 = plan0;
+                    self.improved = true;
+                    self.best_plan.clear();
+                    self.best_plan.extend_from_slice(&self.cur_plan[..depth]);
+                    self.best_plan.push(level);
+                }
+            }
+            return;
         }
         for k in 0..self.n_levels {
             self.nodes += 1;
@@ -476,22 +817,58 @@ impl PlanSearch<'_> {
                 k
             };
             let plan0 = if depth == 0 { level } else { plan0 };
+            self.cur_plan[depth] = level;
             self.step(depth, level);
-            if depth + 1 == self.h {
-                // Expected quality over the scenario set, folded in
-                // scenario order from 0.0 — the same reduction the flat
-                // enumeration performs per plan.
-                let mut q = 0.0;
-                for si in 0..s {
-                    q += self.rates[si].0 * self.stack[(depth + 1) * s + si].total;
-                }
-                if q > self.best_q || (q == self.best_q && plan0 < self.best_plan0) {
-                    self.best_q = q;
-                    self.best_plan0 = plan0;
-                }
-            } else {
-                self.descend(depth + 1, plan0);
+            self.descend(depth + 1, plan0);
+        }
+    }
+
+    /// Scores every sibling leaf under the parent row at `depth` in one
+    /// block: the per-scenario parent state is copied into dense slices
+    /// once, then each level runs a straight-line pass of pure slice
+    /// arithmetic (no struct-of-walks indirection, no branches beyond the
+    /// clamp `max`) that the autovectorizer can turn into SIMD lanes.
+    /// Every element computes **exactly** one step of the reference walk
+    /// — `probs[si] · (parent.total + w·q)` with the identical stall,
+    /// switch, and KSQI arithmetic — and the final reduction folds the
+    /// terms in scenario order from 0.0, so each `leaf_q[level]` is
+    /// bit-identical to what [`Self::step`] plus the scenario-order fold
+    /// produced before this restructuring.
+    fn score_leaves(&mut self, depth: usize) {
+        let s = self.rates.len();
+        let n_levels = self.n_levels;
+        let d = self.chunk_duration_s;
+        let risk = self.risk_aversion;
+        // `prev` is scenario-invariant by construction: every stack row
+        // is written with the same `(vq, level)` across scenarios.
+        let prev = self.stack[depth * s].prev;
+        let wd = self.weights.map(|w| w[depth]);
+        for si in 0..s {
+            let parent = self.stack[depth * s + si];
+            self.pbuf[si] = parent.buf;
+            self.ptot[si] = parent.total;
+        }
+        for level in 0..n_levels {
+            let vq = self.vqs[depth * n_levels + level];
+            let switch = match prev {
+                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                _ => 0.0,
+            };
+            let base = (depth * n_levels + level) * s;
+            for si in 0..s {
+                let stall = (self.dt[base + si] - self.pbuf[si]).max(0.0);
+                let q = self.qoe.chunk_quality(vq, stall * risk, switch, d);
+                let wq = match wd {
+                    Some(w) => w * q,
+                    None => q,
+                };
+                self.terms[si] = self.probs[si] * (self.ptot[si] + wq);
             }
+            let mut acc = 0.0;
+            for &term in self.terms.iter() {
+                acc += term;
+            }
+            self.leaf_q[level] = acc;
         }
     }
 }
@@ -511,11 +888,36 @@ impl AbrPolicy for Fugu {
         Decision::level(self.best_plan(state, ctx, None).0)
     }
 
+    /// Session-boundary hygiene: the warm-start carry never crosses a
+    /// session, so a reused policy instance plans exactly like a fresh one.
+    fn reset(&mut self) {
+        self.warm.invalidate();
+    }
+
+    /// Trace-boundary hygiene: a rebound policy plans a different network,
+    /// so every carry slot (scalar and per-lane) is dropped.
+    fn rebind(&mut self, _trace: &ThroughputTrace) {
+        self.warm.invalidate();
+        for slot in &mut self.lane_warm {
+            slot.invalidate();
+        }
+    }
+
+    /// Batch-boundary hygiene: fresh per-lane carry slots for the new
+    /// lane set, plus the scalar reset.
+    fn begin_batch(&mut self, lanes: usize) {
+        self.reset();
+        self.lane_warm.clear();
+        self.lane_warm.resize_with(lanes, WarmSlot::default);
+    }
+
     /// Plans every lane of the batch in one pass. All lanes of a batch sit
     /// at the same chunk step, so the per-(chunk, level) size/vq manifest
     /// tables are filled once for the whole tile instead of once per lane;
     /// the per-lane search then runs over the same prepared tables the
     /// scalar path uses, so decisions are bit-identical to [`Self::decide`].
+    /// Each lane's warm-start carry is swapped in around its search,
+    /// exactly like SENSEI-Fugu's per-lane pause ledger.
     fn select_batch(
         &mut self,
         states: &BatchStates<'_>,
@@ -530,10 +932,17 @@ impl AbrPolicy for Fugu {
             return;
         }
         self.fill_chunk_tables(states.next_chunk(), h, ctx);
+        if self.lane_warm.len() < states.len() {
+            self.lane_warm.resize_with(states.len(), WarmSlot::default);
+        }
         for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
             let state = states.state(i);
+            std::mem::swap(&mut self.warm, &mut self.lane_warm[i]);
             self.prepare_rates(&state, ctx, h);
-            *slot = Decision::level(self.plan_prepared(&state, ctx, None, h).0);
+            let (level, _q) = self.plan_prepared(&state, ctx, None, h);
+            self.commit_warm_from_last(state.next_chunk);
+            std::mem::swap(&mut self.warm, &mut self.lane_warm[i]);
+            *slot = Decision::level(level);
         }
     }
 }

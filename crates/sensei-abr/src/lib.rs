@@ -50,6 +50,72 @@ pub use predictor::{ThroughputPredictor, ThroughputScenario};
 pub use sensei_fugu::SenseiFugu;
 pub use sensei_pensieve::SenseiPensieve;
 
+/// Cross-chunk warm-start carry: the full winning plan of one chunk
+/// step's search, committed so the *next* step can seed its incumbent
+/// with the shifted suffix. Shared by the MPC family ([`Fugu`],
+/// [`SenseiFugu`]'s inner search, [`OracleMpc`]); batched policies keep
+/// one slot per lane, exactly like SENSEI-Fugu's per-lane pause ledger.
+///
+/// Seeding is **result-invariant**: the seed is scored with the exact
+/// leaf arithmetic of the search it primes, so it is indistinguishable
+/// from the search having visited that leaf first — a stale or
+/// mismatched slot can only cost speed, never a bit. The only
+/// correctness obligations are hygiene (invalidate on `reset`/`rebind`
+/// and at batch boundaries so state never leaks across sessions) and
+/// safety (every seeded level must index the current ladder).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WarmSlot {
+    /// Whether `plan` holds a committed plan from chunk step `next_chunk`.
+    valid: bool,
+    /// The chunk step `plan` was committed at.
+    next_chunk: usize,
+    /// The committed winning plan (one ladder level per horizon depth).
+    plan: Vec<usize>,
+}
+
+impl WarmSlot {
+    /// Drops the carried plan (session/batch/trace boundary hygiene).
+    pub(crate) fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Records `plan` as the winner of chunk step `next_chunk`.
+    pub(crate) fn commit(&mut self, next_chunk: usize, plan: &[usize]) {
+        self.valid = true;
+        self.next_chunk = next_chunk;
+        self.plan.clear();
+        self.plan.extend_from_slice(plan);
+    }
+
+    /// Builds the warm-start seed for a search at `next_chunk` over
+    /// horizon `h` into `seed`: the shifted suffix of the committed plan
+    /// (step `t`'s plan minus its consumed first action), padded with its
+    /// last level to fill the horizon. Returns false — and leaves the
+    /// search unseeded — unless the slot holds the *immediately
+    /// preceding* chunk step's plan and every seeded level indexes the
+    /// ladder (`< n_levels`). Seed *quality* is irrelevant to
+    /// correctness (any in-range plan is a real leaf); the guards only
+    /// keep indexing safe and the carry per-session.
+    pub(crate) fn seed_into(
+        &self,
+        next_chunk: usize,
+        h: usize,
+        n_levels: usize,
+        seed: &mut Vec<usize>,
+    ) -> bool {
+        if !self.valid || h == 0 || next_chunk != self.next_chunk.wrapping_add(1) {
+            return false;
+        }
+        seed.clear();
+        if self.plan.len() > 1 {
+            seed.extend_from_slice(&self.plan[1..]);
+        }
+        let pad = seed.last().copied().unwrap_or(0);
+        seed.resize(h, pad);
+        seed.iter().all(|&level| level < n_levels)
+    }
+}
+
 /// Errors produced by ABR construction and training.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AbrError {

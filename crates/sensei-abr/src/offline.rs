@@ -13,7 +13,7 @@
 //! ## Planning cost, and where it goes
 //!
 //! The horizon enumeration is the fleet's throughput cliff: `levels^h`
-//! leaves per decision, each leaf historically re-walking the trace. Three
+//! leaves per decision, each leaf historically re-walking the trace. Five
 //! structural moves cut it without changing one result bit (asserted
 //! against a flat reference odometer in this module's tests):
 //!
@@ -35,11 +35,26 @@
 //!    candidate attaining it, and the smallest first action within that
 //!    candidate — so neither the visit order nor the pruning can move a
 //!    result bit.
+//! 4. **Cross-chunk warm starts** — the shifted suffix of step *t*'s
+//!    winning plan is a feasible leaf of step *t+1*'s tree under the
+//!    no-pause candidate (which always runs first). It is scored first
+//!    with the exact walk arithmetic and seeds the incumbent, so the
+//!    very first `descend` prunes against a near-optimal bound. Seeding
+//!    is indistinguishable from the search having visited that leaf
+//!    first: the tie rule (`==` wins only inside the best's own pause
+//!    candidate with a smaller first action) still steers every tie to
+//!    the reference winner.
+//! 5. **Block leaf scoring** — the `n_levels` sibling leaves under one
+//!    parent share the entire walk prefix, so their download times are
+//!    prefetched in one memo pass and their scores computed in one
+//!    straight-line loop, each element exactly one reference walk step,
+//!    consumed in the unchanged visit order.
 
 // sensei-lint: allow(no-unordered-iteration) — the memo below is keyed lookups only, never iterated
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 
+use crate::WarmSlot;
 use sensei_qoe::Ksqi;
 use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
 use sensei_telemetry as telemetry;
@@ -115,8 +130,13 @@ struct OracleScratch {
     /// `vqs[depth·L + level]`: visual quality.
     vqs: Vec<f64>,
     /// `umax[depth]`: no-stall upper bound on the weighted quality any
-    /// level can contribute at `depth` (branch-and-bound).
+    /// level can contribute at `depth`, maximized over every (previous
+    /// level, level) pair — switch penalty included (branch-and-bound).
     umax: Vec<f64>,
+    /// `ufirst[depth·L + lprev]`: the same bound conditioned on the
+    /// *actual* previous level `lprev`, used for the first remaining step
+    /// of a node (whose last chosen level the search knows).
+    ufirst: Vec<f64>,
     /// Whether the bound in `umax` is floating-point monotone (all
     /// weights and QoE penalties nonnegative); pruning is disabled
     /// otherwise.
@@ -131,6 +151,18 @@ struct OracleScratch {
     scores: Vec<f64>,
     /// The download-time memo (see module docs).
     memo: DtMemo,
+    /// The DFS path (one level per depth) above the current node.
+    cur_plan: Vec<usize>,
+    /// The full winning plan of the last search — the next chunk step's
+    /// warm-start seed.
+    best_plan: Vec<usize>,
+    /// Warm-start seed scratch (shifted suffix of the previous plan).
+    seed: Vec<usize>,
+    /// Per-level download times of one sibling-leaf block.
+    dts: Vec<f64>,
+    /// `leaf_q[level]`: each sibling leaf's score at the last depth,
+    /// produced by the block scorer and consumed in visit order.
+    leaf_q: Vec<f64>,
 }
 
 /// Oracle-throughput receding-horizon controller.
@@ -152,6 +184,14 @@ pub struct OracleMpc {
     risk_aversion: f64,
     name: String,
     scratch: OracleScratch,
+    /// Cross-chunk warm-start carry for the scalar lifecycle (the batched
+    /// path swaps per-lane slots through here).
+    warm: WarmSlot,
+    /// Per-lane warm-start carries for [`AbrPolicy::select_batch`].
+    lane_warm: Vec<WarmSlot>,
+    /// When false, searches never seed from or commit to the carry slots
+    /// — the warm-vs-cold parity suite's reference mode.
+    warm_start_enabled: bool,
 }
 
 impl OracleMpc {
@@ -168,7 +208,22 @@ impl OracleMpc {
             risk_aversion: 3.0,
             name: "Oracle(aware)".to_string(),
             scratch: OracleScratch::default(),
+            warm: WarmSlot::default(),
+            lane_warm: Vec::new(),
+            warm_start_enabled: true,
         }
+    }
+
+    /// Toggles the cross-chunk warm start (on by default). Disabling it
+    /// forces every search to start cold — bit-identical results, more
+    /// nodes — which is the warm-vs-cold parity suite's reference.
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start_enabled = enabled;
+        if !enabled {
+            self.warm.invalidate();
+            self.lane_warm.clear();
+        }
+        self
     }
 
     /// The §2.4 *dynamic-sensitivity-unaware* idealistic ABR (optimizes
@@ -226,6 +281,7 @@ impl OracleMpc {
         let (_, b, c, _) = self.qoe.coefficients();
         self.scratch.prunable = b >= 0.0 && c >= 0.0 && weights.iter().all(|&w| w >= 0.0);
         self.scratch.umax.clear();
+        self.scratch.ufirst.clear();
         self.scratch.ord.clear();
         if self.scratch.prunable {
             let d = ctx.chunk_duration_s;
@@ -233,26 +289,21 @@ impl OracleMpc {
                 weights,
                 vqs,
                 umax,
+                ufirst,
                 ord,
                 scores,
                 ..
             } = &mut self.scratch;
             for depth in 0..h {
                 scores.clear();
-                let mut best = f64::NEG_INFINITY;
                 for level in 0..n_levels {
                     // No stall, no switch: with nonnegative penalties this
                     // dominates the quality any walk can realize here.
                     let q = self
                         .qoe
                         .chunk_quality(vqs[depth * n_levels + level], 0.0, 0.0, d);
-                    let term = weights[depth] * q;
-                    scores.push(term);
-                    if term > best {
-                        best = term;
-                    }
+                    scores.push(weights[depth] * q);
                 }
-                umax.push(best);
                 // Guided order: highest no-stall score first. Purely a
                 // search-speed heuristic — the update rule in `descend`
                 // makes the search result order-invariant.
@@ -263,6 +314,42 @@ impl OracleMpc {
                         .partial_cmp(&scores[a])
                         .unwrap_or(core::cmp::Ordering::Equal)
                 });
+            }
+            // Switch-aware per-depth bounds (no stall term — the oracle's
+            // download times depend on the wall clock, which the bound
+            // cannot know). `ufirst` conditions the first remaining step
+            // on the node's actual previous level so its switch penalty is
+            // the exact one the walk charges; `umax` relaxes deeper steps
+            // over every (previous level, level) pair. `chunk_quality` is
+            // FP-monotone in the switch penalty, so every entry dominates
+            // the walk's corresponding per-step term as floating point.
+            // Depth 0 rows stay at the placeholder (the bound is only
+            // evaluated at depth ≥ 1).
+            ufirst.resize(h * n_levels, 0.0);
+            umax.resize(h, 0.0);
+            for depth in 1..h {
+                let mut overall = f64::NEG_INFINITY;
+                for lprev in 0..n_levels {
+                    let pvq = vqs[(depth - 1) * n_levels + lprev];
+                    let mut best = f64::NEG_INFINITY;
+                    for level in 0..n_levels {
+                        let vq = vqs[depth * n_levels + level];
+                        let switch = if level != lprev {
+                            (vq - pvq).abs()
+                        } else {
+                            0.0
+                        };
+                        let term = weights[depth] * self.qoe.chunk_quality(vq, 0.0, switch, d);
+                        if term > best {
+                            best = term;
+                        }
+                    }
+                    ufirst[depth * n_levels + lprev] = best;
+                    if best > overall {
+                        overall = best;
+                    }
+                }
+                umax[depth] = overall;
             }
         }
         h
@@ -296,16 +383,32 @@ impl OracleMpc {
         let prev = state
             .last_level
             .map(|l| (ctx.vq[state.next_chunk.saturating_sub(1)][l], l));
+        let n_levels = ctx.num_levels();
+        // Warm start: the shifted suffix of the previous chunk step's
+        // winning plan, when this search is its immediate successor. The
+        // seed is scored below with the exact walk arithmetic under the
+        // no-pause candidate, so seeding is result-invariant (module
+        // docs, optimization 4).
+        let seeded = self.warm_start_enabled
+            && self
+                .warm
+                .seed_into(state.next_chunk, h, n_levels, &mut self.scratch.seed);
         let OracleScratch {
             stack,
             weights,
             sizes,
             vqs,
             umax,
+            ufirst,
             prunable,
             ord,
             scores: _,
             memo,
+            cur_plan,
+            best_plan,
+            seed,
+            dts,
+            leaf_q,
         } = &mut self.scratch;
         stack.clear();
         stack.resize(
@@ -317,6 +420,13 @@ impl OracleMpc {
                 total: 0.0,
             },
         );
+        cur_plan.clear();
+        cur_plan.resize(h, 0);
+        best_plan.clear();
+        dts.clear();
+        dts.resize(n_levels, 0.0);
+        leaf_q.clear();
+        leaf_q.resize(n_levels, 0.0);
         let mut search = OracleSearch {
             cum: &self.cum,
             qoe: &self.qoe,
@@ -331,10 +441,18 @@ impl OracleMpc {
             sizes,
             vqs,
             umax,
+            ufirst,
             ord,
             prunable: *prunable,
             stack,
             memo,
+            cur_plan,
+            best_plan,
+            dts,
+            leaf_q,
+            seeded,
+            improved: false,
+            seeded_prunes: 0,
             pause: 0.0,
             pause_cost: 0.0,
             pause_idx: 0,
@@ -362,13 +480,40 @@ impl OracleMpc {
                 prev,
                 total: 0.0,
             };
+            if pause_idx == 0 && seeded {
+                // Score the seed leaf exactly under the no-pause
+                // candidate (which always runs, and runs first): the
+                // same walk steps and final pause-cost subtraction the
+                // tree search performs for any leaf, so the seeded
+                // incumbent is indistinguishable from the search having
+                // visited that leaf first.
+                for (depth, &level) in seed.iter().enumerate() {
+                    search.nodes += 1;
+                    search.step(depth, level);
+                }
+                let q = search.stack[h].total - search.pause_cost;
+                search.best_q = q;
+                search.best_pause_idx = 0;
+                search.best = Decision {
+                    level: seed[0],
+                    pause_s: pause,
+                };
+                search.best_plan.clear();
+                search.best_plan.extend_from_slice(seed);
+            }
             search.descend(0, 0);
         }
         telemetry::count(telemetry::Counter::PlanNodes, search.nodes);
         telemetry::count(telemetry::Counter::PlanPrunes, search.pruned);
         telemetry::count(telemetry::Counter::DtMemoLookups, search.memo_lookups);
         telemetry::count(telemetry::Counter::DtMemoHits, search.memo_hits);
-        search.best
+        telemetry::count(telemetry::Counter::WarmStartHits, u64::from(seeded));
+        telemetry::count(telemetry::Counter::SeededPrunes, search.seeded_prunes);
+        let decision = search.best;
+        if self.warm_start_enabled {
+            self.warm.commit(state.next_chunk, &self.scratch.best_plan);
+        }
+        decision
     }
 }
 
@@ -402,10 +547,25 @@ struct OracleSearch<'a> {
     sizes: &'a [f64],
     vqs: &'a [f64],
     umax: &'a [f64],
+    ufirst: &'a [f64],
     ord: &'a [usize],
     prunable: bool,
     stack: &'a mut [OracleWalk],
     memo: &'a mut DtMemo,
+    /// The DFS path (one level per depth) above the current node.
+    cur_plan: &'a mut Vec<usize>,
+    /// The full winning plan — kept for the next step's warm start.
+    best_plan: &'a mut Vec<usize>,
+    /// Per-level download times of one sibling-leaf block.
+    dts: &'a mut Vec<f64>,
+    /// Each sibling leaf's score, by level (block leaf scoring).
+    leaf_q: &'a mut Vec<f64>,
+    /// Whether the incumbent was seeded from the previous chunk's plan.
+    seeded: bool,
+    /// Whether any leaf has improved on the (seeded) incumbent yet.
+    improved: bool,
+    /// Prunes taken against the still-unimproved seeded incumbent.
+    seeded_prunes: u64,
     pause: f64,
     pause_cost: f64,
     /// Index of the pause candidate currently being searched (candidates
@@ -446,74 +606,46 @@ impl OracleSearch<'_> {
     /// `best_q` nothing inside can win or tie; equal to `best_q`, a tie
     /// inside matters only if it could lower the winning `plan0` within
     /// the best's own pause candidate. The bound extends the node's
-    /// running total with the per-depth `umax` caps through the same
-    /// left-to-right fold (and final pause-cost subtraction) the leaf
-    /// computation performs; each operation is monotone under IEEE-754
-    /// round-to-nearest, so the bound dominates every leaf's *computed*
-    /// value as floating point.
+    /// running total with the switch-aware per-depth caps — `ufirst` for
+    /// the first remaining step (conditioned on the node's actual
+    /// previous level, which is on the DFS path), `umax` for deeper
+    /// steps — through the same left-to-right fold (and final pause-cost
+    /// subtraction) the leaf computation performs; each operation is
+    /// monotone under IEEE-754 round-to-nearest, so the bound dominates
+    /// every leaf's *computed* value as floating point.
     fn descend(&mut self, depth: usize, plan0: usize) {
         if self.prunable && depth > 0 {
-            let mut bnd = self.stack[depth].total;
-            for j in depth..self.h {
+            // `prev` is always `Some` at depth ≥ 1 (row `depth` was
+            // written by `step(depth − 1, …)`).
+            let prev_level = self.stack[depth].prev.map_or(0, |(_, l)| l);
+            let mut bnd = self.stack[depth].total + self.ufirst[depth * self.n_levels + prev_level];
+            for j in depth + 1..self.h {
                 bnd += self.umax[j];
             }
             let ub = bnd - self.pause_cost;
             let tie_can_improve = self.pause_idx == self.best_pause_idx && plan0 < self.best.level;
             if ub < self.best_q || (ub == self.best_q && !tie_can_improve) {
                 self.pruned += 1;
+                if self.seeded && !self.improved {
+                    self.seeded_prunes += 1;
+                }
                 return;
             }
         }
-        let chunk = self.next_chunk + depth;
-        for k in 0..self.n_levels {
-            self.nodes += 1;
-            // `ord` is only filled when pruning is active; the unpruned
-            // fallback keeps the reference's lexicographic order.
-            let level = if self.prunable {
-                self.ord[depth * self.n_levels + k]
-            } else {
-                k
-            };
-            let plan0 = if depth == 0 { level } else { plan0 };
-            let parent = self.stack[depth];
-            let size = self.sizes[depth * self.n_levels + level];
-            // The walk step is a pure function of (t, chunk, level) for a
-            // fixed trace: memo hits return the exact bits recomputation
-            // would produce. Pause candidates and sibling lanes share
-            // wall-clock trees, so hit rates are high (see module docs).
-            let key = (parent.t.to_bits(), ((chunk as u64) << 8) | level as u64);
-            self.memo_lookups += 1;
-            let dt = match self.memo.get(&key) {
-                Some(&dt) => {
-                    self.memo_hits += 1;
-                    dt
-                }
-                None => {
-                    let dt = self.rtt_s + self.cum.download_time(parent.t + self.rtt_s, size);
-                    self.memo.insert(key, dt);
-                    dt
-                }
-            };
-            let stall = (dt - parent.buf).max(0.0);
-            let mut buf = (parent.buf - dt).max(0.0) + self.d;
-            buf = buf.min(self.max_buffer_s);
-            let vq = self.vqs[depth * self.n_levels + level];
-            let switch = match parent.prev {
-                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
-                _ => 0.0,
-            };
-            self.stack[depth + 1] = OracleWalk {
-                t: parent.t + dt,
-                buf,
-                prev: Some((vq, level)),
-                total: parent.total
-                    + self.weights[depth]
-                        * self
-                            .qoe
-                            .chunk_quality(vq, stall * self.risk_aversion, switch, self.d),
-            };
-            if depth + 1 == self.h {
-                let q = self.stack[depth + 1].total - self.pause_cost;
+        if depth + 1 == self.h {
+            // The `n_levels` sibling leaves under this parent are scored
+            // as one block pass, then consumed in the exact visit order
+            // below (module docs, optimization 5).
+            self.score_leaves(depth);
+            for k in 0..self.n_levels {
+                self.nodes += 1;
+                let level = if self.prunable {
+                    self.ord[depth * self.n_levels + k]
+                } else {
+                    k
+                };
+                let plan0 = if depth == 0 { level } else { plan0 };
+                let q = self.leaf_q[level];
                 if q > self.best_q
                     || (q == self.best_q
                         && self.pause_idx == self.best_pause_idx
@@ -525,10 +657,106 @@ impl OracleSearch<'_> {
                         level: plan0,
                         pause_s: self.pause,
                     };
+                    self.improved = true;
+                    self.best_plan.clear();
+                    self.best_plan.extend_from_slice(&self.cur_plan[..depth]);
+                    self.best_plan.push(level);
                 }
-            } else {
-                self.descend(depth + 1, plan0);
             }
+            return;
+        }
+        for k in 0..self.n_levels {
+            self.nodes += 1;
+            // `ord` is only filled when pruning is active; the unpruned
+            // fallback keeps the reference's lexicographic order.
+            let level = if self.prunable {
+                self.ord[depth * self.n_levels + k]
+            } else {
+                k
+            };
+            let plan0 = if depth == 0 { level } else { plan0 };
+            self.cur_plan[depth] = level;
+            self.step(depth, level);
+            self.descend(depth + 1, plan0);
+        }
+    }
+
+    /// Extends the walk at `depth` by `level`, writing the child row —
+    /// identical arithmetic (and memo traffic) to one step of the
+    /// reference trace walk.
+    fn step(&mut self, depth: usize, level: usize) {
+        let parent = self.stack[depth];
+        let dt = self.download_time(parent.t, depth, level);
+        let stall = (dt - parent.buf).max(0.0);
+        let mut buf = (parent.buf - dt).max(0.0) + self.d;
+        buf = buf.min(self.max_buffer_s);
+        let vq = self.vqs[depth * self.n_levels + level];
+        let switch = match parent.prev {
+            Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+            _ => 0.0,
+        };
+        self.stack[depth + 1] = OracleWalk {
+            t: parent.t + dt,
+            buf,
+            prev: Some((vq, level)),
+            total: parent.total
+                + self.weights[depth]
+                    * self
+                        .qoe
+                        .chunk_quality(vq, stall * self.risk_aversion, switch, self.d),
+        };
+    }
+
+    /// The memoized walk step `rtt + download_time(t + rtt, size)` — a
+    /// pure function of `(t, chunk, level)` for a fixed trace, keyed by
+    /// the *exact bits* of `t`. A hit returns exactly what recomputation
+    /// would, so caching is bit-invisible (module docs, optimization 2).
+    fn download_time(&mut self, t: f64, depth: usize, level: usize) -> f64 {
+        let chunk = self.next_chunk + depth;
+        let key = (t.to_bits(), ((chunk as u64) << 8) | level as u64);
+        self.memo_lookups += 1;
+        match self.memo.get(&key) {
+            Some(&dt) => {
+                self.memo_hits += 1;
+                dt
+            }
+            None => {
+                let size = self.sizes[depth * self.n_levels + level];
+                let dt = self.rtt_s + self.cum.download_time(t + self.rtt_s, size);
+                self.memo.insert(key, dt);
+                dt
+            }
+        }
+    }
+
+    /// Scores every sibling leaf under the parent row at `depth` in one
+    /// block: the per-level download times are prefetched through the
+    /// memo first, then each level runs one straight-line walk step plus
+    /// the final pause-cost subtraction. Every element computes
+    /// **exactly** one reference step — `(parent.total + w·q) −
+    /// pause_cost` with the identical stall, switch, and KSQI arithmetic
+    /// — so each `leaf_q[level]` is bit-identical to what the per-leaf
+    /// walk produced before this restructuring. (Memo *insertion* order
+    /// changes from visit order to level order; the memo is keyed
+    /// exactly, so insertion order is unobservable.)
+    fn score_leaves(&mut self, depth: usize) {
+        let parent = self.stack[depth];
+        for level in 0..self.n_levels {
+            self.dts[level] = self.download_time(parent.t, depth, level);
+        }
+        let n_levels = self.n_levels;
+        let w = self.weights[depth];
+        let risk = self.risk_aversion;
+        let d = self.d;
+        for level in 0..n_levels {
+            let stall = (self.dts[level] - parent.buf).max(0.0);
+            let vq = self.vqs[depth * n_levels + level];
+            let switch = match parent.prev {
+                Some((pvq, plevel)) if plevel != level => (vq - pvq).abs(),
+                _ => 0.0,
+            };
+            let q = self.qoe.chunk_quality(vq, stall * risk, switch, d);
+            self.leaf_q[level] = (parent.total + w * q) - self.pause_cost;
         }
     }
 }
@@ -547,6 +775,18 @@ impl AbrPolicy for OracleMpc {
     fn rebind(&mut self, trace: &ThroughputTrace) {
         self.cum.rebind(trace);
         self.scratch.memo.clear();
+        // A rebound oracle plans a different network, so every warm-start
+        // carry (scalar and per-lane) is dropped.
+        self.warm.invalidate();
+        for slot in &mut self.lane_warm {
+            slot.invalidate();
+        }
+    }
+
+    /// Session-boundary hygiene: the warm-start carry never crosses a
+    /// session, so a reused instance plans exactly like a fresh one.
+    fn reset(&mut self) {
+        self.warm.invalidate();
     }
 
     fn decide(&mut self, state: &PlayerState<'_>, ctx: &SessionContext<'_>) -> Decision {
@@ -561,9 +801,11 @@ impl AbrPolicy for OracleMpc {
     /// batch's trace (already cleared by `rebind`) or from far-away chunk
     /// positions rarely hit again, and a bounded table keeps lookups hot.
     fn begin_batch(&mut self, lanes: usize) {
-        let _ = lanes;
         self.reset();
         self.scratch.memo.clear();
+        // Fresh per-lane warm-start carry slots for the new lane set.
+        self.lane_warm.clear();
+        self.lane_warm.resize_with(lanes, WarmSlot::default);
     }
 
     /// Plans every lane of the batch in one pass: the horizon weight
@@ -586,9 +828,14 @@ impl AbrPolicy for OracleMpc {
             }
             return;
         }
+        if self.lane_warm.len() < states.len() {
+            self.lane_warm.resize_with(states.len(), WarmSlot::default);
+        }
         for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
             let state = states.state(i);
+            std::mem::swap(&mut self.warm, &mut self.lane_warm[i]);
             *slot = self.decide_prepared(&state, ctx, h);
+            std::mem::swap(&mut self.warm, &mut self.lane_warm[i]);
         }
     }
 }

@@ -12,8 +12,10 @@
 //!    "borrow from low-sensitivity chunks" optimization of Fig. 11(d).
 
 use crate::fugu::Fugu;
+use crate::WarmSlot;
 use sensei_qoe::Ksqi;
 use sensei_sim::{AbrPolicy, BatchStates, Decision, PlayerState, SessionContext};
+use sensei_trace::ThroughputTrace;
 
 /// The intentional-rebuffer action levels (§5.2: "{0, 1, 2} seconds ...
 /// only ... at chunk boundaries").
@@ -36,6 +38,13 @@ pub struct SenseiFugu {
     /// Horizon weight scratch, refilled per decision — one long-lived
     /// buffer instead of a `Vec` allocation per decision.
     weights_scratch: Vec<f64>,
+    /// Per-lane warm-start carries, swapped into the inner MPC's scalar
+    /// slot around each lane's search — same pattern as the pause ledger.
+    lane_warm: Vec<WarmSlot>,
+    /// The winning pause candidate's full plan: every candidate runs its
+    /// own search, so the carry must commit the *winner's* plan, not the
+    /// last one searched.
+    winner_plan: Vec<usize>,
 }
 
 impl SenseiFugu {
@@ -53,7 +62,19 @@ impl SenseiFugu {
             pause_spent_s: 0.0,
             lane_pause_spent_s: Vec::new(),
             weights_scratch: Vec::new(),
+            lane_warm: Vec::new(),
+            winner_plan: Vec::new(),
         }
+    }
+
+    /// Toggles the inner MPC's cross-chunk warm start (on by default);
+    /// see [`Fugu::with_warm_start`].
+    pub fn with_warm_start(mut self, enabled: bool) -> Self {
+        self.inner = self.inner.with_warm_start(enabled);
+        if !enabled {
+            self.lane_warm.clear();
+        }
+        self
     }
 
     /// The Fig. 18b ablation: weighted objective, no new actions.
@@ -127,13 +148,27 @@ impl AbrPolicy for SenseiFugu {
 
     fn reset(&mut self) {
         self.pause_spent_s = 0.0;
+        // Session-boundary hygiene for the inner MPC's warm-start carry.
+        self.inner.reset();
+    }
+
+    /// Trace-boundary hygiene: drop every warm-start carry (the inner
+    /// scalar slot and all lane slots) along with the inner rebind.
+    fn rebind(&mut self, trace: &ThroughputTrace) {
+        self.inner.rebind(trace);
+        for slot in &mut self.lane_warm {
+            slot.invalidate();
+        }
     }
 
     /// The pause budget is per-session state, so a batch keeps one ledger
-    /// slot per lane.
+    /// slot per lane — and likewise one warm-start carry slot per lane.
     fn begin_batch(&mut self, lanes: usize) {
+        self.reset();
         self.lane_pause_spent_s.clear();
         self.lane_pause_spent_s.resize(lanes, 0.0);
+        self.lane_warm.clear();
+        self.lane_warm.resize_with(lanes, WarmSlot::default);
     }
 
     /// Plans every lane of the batch over shared per-tile tables, swapping
@@ -158,9 +193,14 @@ impl AbrPolicy for SenseiFugu {
         }
         self.inner.fill_chunk_tables(states.next_chunk(), h, ctx);
         self.fill_horizon_weights(states.next_chunk(), ctx, h);
+        if self.lane_warm.len() < states.len() {
+            self.lane_warm.resize_with(states.len(), WarmSlot::default);
+        }
         for (i, slot) in out.iter_mut().enumerate().take(states.len()) {
             self.pause_spent_s = self.lane_pause_spent_s[i];
+            std::mem::swap(self.inner.warm_slot_mut(), &mut self.lane_warm[i]);
             *slot = self.decide_prepared(&states.state(i), ctx, h);
+            std::mem::swap(self.inner.warm_slot_mut(), &mut self.lane_warm[i]);
             self.lane_pause_spent_s[i] = self.pause_spent_s;
         }
     }
@@ -232,8 +272,17 @@ impl SenseiFugu {
             if q > best_q {
                 best_q = q;
                 best = (level, pause);
+                // Remember the winning candidate's full plan: the pause
+                // 0.0 candidate always runs, so this is always set.
+                self.winner_plan.clear();
+                self.winner_plan.extend_from_slice(self.inner.last_plan());
             }
         }
+        // Carry the *winner's* plan to the next chunk step — a later
+        // candidate's search may have overwritten the inner last-plan
+        // scratch with a losing plan.
+        self.inner
+            .commit_warm_plan(state.next_chunk, &self.winner_plan);
         self.pause_spent_s += best.1;
         Decision {
             level: best.0,

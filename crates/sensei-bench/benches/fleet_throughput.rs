@@ -22,10 +22,12 @@
 //!
 //! Besides the human-readable stdout, the bench maintains
 //! `BENCH_fleet.json` at the workspace root so the perf trajectory can be
-//! tracked across PRs machine-readably: the latest measurements land in
-//! `runs`, and every run is **appended** to a `trajectory` array (keyed by
-//! run name + ISO date + quick flag), so a re-run records history instead
-//! of overwriting it.
+//! tracked across PRs machine-readably: every run is **appended** to a
+//! single `trajectory` array (keyed by run name + ISO date + quick flag),
+//! so a re-run records history instead of overwriting it. The latest
+//! measurements are simply the newest entries per name — there is no
+//! separate `runs` array (the legacy one is migrated on read and never
+//! written back; CI rejects its reintroduction).
 //!
 //! `SENSEI_FLEET_QUICK=1` bounds the scenario space to a few hundred
 //! sessions (and skips the ≥10k assertion) — the CI smoke mode that keeps
@@ -66,11 +68,10 @@ fn iso_date_today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-/// One measurement entry (used both for the latest `runs` and the
-/// appended `trajectory`). Runs with telemetry on carry a phase/planner
-/// breakdown so the trajectory records not just *how fast* but *where
-/// the time went* — note no nested `date` keys (CI counts them to check
-/// trajectory growth).
+/// One measurement entry for the appended `trajectory`. Runs with
+/// telemetry on carry a phase/planner breakdown so the trajectory
+/// records not just *how fast* but *where the time went* — note no
+/// nested `date` keys (CI counts them to check trajectory growth).
 fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
     let mut fields = vec![
         ("name", Json::Str(name.to_string())),
@@ -111,6 +112,14 @@ fn run_json(name: &str, date: &str, quick: bool, report: &FleetReport) -> Json {
                 ),
                 ("prune_rate", Json::Num(t.prune_rate())),
                 ("memo_hit_rate", Json::Num(t.memo_hit_rate())),
+                (
+                    "warm_start_hits",
+                    Json::Num(t.counter(sensei_fleet::telemetry::Counter::WarmStartHits) as f64),
+                ),
+                (
+                    "seeded_prunes",
+                    Json::Num(t.counter(sensei_fleet::telemetry::Counter::SeededPrunes) as f64),
+                ),
             ]),
         ));
     }
@@ -504,12 +513,10 @@ fn main() {
         ("mpc", &mpc_report),
         ("procedural", &proc_report),
     ];
-    // Build each measurement entry once and share it between the latest
-    // `runs` and the appended history, so the two views can never
-    // disagree. History entries are keyed by (name, date, quick): a
-    // same-day re-run *replaces* its key (local iteration stays
-    // idempotent) while distinct days append — which is what preserves
-    // the cross-PR trajectory across re-measurements.
+    // History entries are keyed by (name, date, quick): a same-day
+    // re-run *replaces* its key (local iteration stays idempotent)
+    // while distinct days append — which is what preserves the
+    // cross-PR trajectory across re-measurements.
     let mut entries: Vec<Json> = latest
         .iter()
         .map(|(name, report)| run_json(name, &date, quick, report))
@@ -533,11 +540,10 @@ fn main() {
     };
     let mut trajectory = prior_trajectory(path);
     trajectory.retain(|old| !entries.iter().any(|new| key(new) == key(old)));
-    trajectory.extend(entries.iter().cloned());
+    trajectory.extend(entries);
     let doc = obj([
         ("bench", Json::Str("fleet_throughput".to_string())),
         ("quick", Json::Bool(quick)),
-        ("runs", Json::Arr(entries)),
         ("trajectory", Json::Arr(trajectory)),
     ]);
     match std::fs::write(path, doc.to_pretty() + "\n") {

@@ -46,6 +46,12 @@ pub struct ExperimentConfig {
     pub rl_episodes: usize,
     /// Player configuration used in every session.
     pub player: PlayerConfig,
+    /// Whether the MPC-family planners (Fugu, SENSEI-Fugu, OracleMpc)
+    /// warm-start each chunk step's search from the previous step's
+    /// winning plan. Bit-identical decisions either way (test-enforced);
+    /// `false` forces the cold reference searches, for parity suites and
+    /// apples-to-apples planner benchmarks.
+    pub mpc_warm_start: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -57,6 +63,7 @@ impl Default for ExperimentConfig {
             train_rl: true,
             rl_episodes: 3000,
             player: PlayerConfig::default(),
+            mpc_warm_start: true,
         }
     }
 }
@@ -76,6 +83,7 @@ impl ExperimentConfig {
             train_rl: false,
             rl_episodes: 0,
             player: PlayerConfig::default(),
+            mpc_warm_start: true,
         }
     }
 }
@@ -233,6 +241,9 @@ pub struct Experiment {
     pub player: PlayerConfig,
     /// Total crowdsourcing cost across the corpus.
     pub total_profile_cost_usd: f64,
+    /// Whether MPC-family policies are built with cross-chunk warm starts
+    /// (see [`ExperimentConfig::mpc_warm_start`]).
+    pub mpc_warm_start: bool,
 }
 
 impl Experiment {
@@ -376,6 +387,7 @@ impl Experiment {
             sensei_pensieve,
             player: config.player,
             total_profile_cost_usd: total_cost,
+            mpc_warm_start: config.mpc_warm_start,
         })
     }
 
@@ -403,9 +415,13 @@ impl Experiment {
     ) -> Result<Box<dyn AbrPolicy>, CoreError> {
         Ok(match kind {
             PolicyKind::Bba => Box::new(Bba::paper_default()),
-            PolicyKind::Fugu => Box::new(Fugu::new()),
-            PolicyKind::SenseiFugu => Box::new(SenseiFugu::new()),
-            PolicyKind::SenseiFuguNoPause => Box::new(SenseiFugu::without_pause_action()),
+            PolicyKind::Fugu => Box::new(Fugu::new().with_warm_start(self.mpc_warm_start)),
+            PolicyKind::SenseiFugu => {
+                Box::new(SenseiFugu::new().with_warm_start(self.mpc_warm_start))
+            }
+            PolicyKind::SenseiFuguNoPause => {
+                Box::new(SenseiFugu::without_pause_action().with_warm_start(self.mpc_warm_start))
+            }
             PolicyKind::Pensieve => Box::new(
                 self.pensieve
                     .clone()
@@ -416,8 +432,12 @@ impl Experiment {
                     CoreError::BadConfig("SENSEI-Pensieve was not trained".into())
                 })?)
             }
-            PolicyKind::OracleAware => Box::new(OracleMpc::aware(trace)),
-            PolicyKind::OracleUnaware => Box::new(OracleMpc::unaware(trace)),
+            PolicyKind::OracleAware => {
+                Box::new(OracleMpc::aware(trace).with_warm_start(self.mpc_warm_start))
+            }
+            PolicyKind::OracleUnaware => {
+                Box::new(OracleMpc::unaware(trace).with_warm_start(self.mpc_warm_start))
+            }
             PolicyKind::DasIp => Box::new(DasIp::new()),
         })
     }

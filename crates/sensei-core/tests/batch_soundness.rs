@@ -167,6 +167,68 @@ fn batches_across_videos_and_traces_stay_identical() {
 }
 
 #[test]
+fn warm_started_planning_is_byte_identical_to_cold_at_every_width() {
+    // Two environments identical but for `mpc_warm_start`: the warm one
+    // carries each lane's winning plan across chunk steps and seeds the
+    // next search's incumbent; the cold one searches from scratch every
+    // step. Seeding is result-invariant by construction, so every cell —
+    // across the whole MPC family, every batch width, and repeated
+    // lanes — must match bit for bit.
+    let warm_env = Experiment::build(&ExperimentConfig::quick(17)).unwrap();
+    let mut cold_cfg = ExperimentConfig::quick(17);
+    cold_cfg.mpc_warm_start = false;
+    let cold_env = Experiment::build(&cold_cfg).unwrap();
+    let mpc_kinds = [
+        PolicyKind::Fugu,
+        PolicyKind::SenseiFugu,
+        PolicyKind::SenseiFuguNoPause,
+        PolicyKind::OracleAware,
+        PolicyKind::OracleUnaware,
+    ];
+    let lane_specs: Vec<(PolicyKind, PlayerConfig)> = (0..64)
+        .map(|i| (mpc_kinds[i % mpc_kinds.len()], PlayerConfig::default()))
+        .collect();
+    let asset = &warm_env.assets[0];
+    let trace = &warm_env.traces[1];
+    // Cold scalar references anchor both engines to fresh-per-step truth.
+    let references: Vec<CellResult> = lane_specs
+        .iter()
+        .map(|(kind, player)| scalar_reference(&cold_env, asset, trace, *kind, player))
+        .collect();
+    for width in [1usize, 3, 8, 64] {
+        let mut warm_runtime = SessionRuntime::new();
+        let mut cold_runtime = SessionRuntime::new();
+        let mut warm_cells = Vec::new();
+        let mut cold_cells = Vec::new();
+        for chunk in lane_specs.chunks(width) {
+            warm_env
+                .run_batch_in(&mut warm_runtime, asset, trace, chunk, &mut warm_cells)
+                .unwrap();
+            cold_env
+                .run_batch_in(&mut cold_runtime, asset, trace, chunk, &mut cold_cells)
+                .unwrap();
+        }
+        assert_eq!(warm_cells.len(), references.len());
+        for (lane, (warm, (cold, want))) in warm_cells
+            .iter()
+            .zip(cold_cells.iter().zip(&references))
+            .enumerate()
+        {
+            assert_cells_identical(
+                warm,
+                cold,
+                &format!("warm vs cold, width {width}, lane {lane}"),
+            );
+            assert_cells_identical(
+                warm,
+                want,
+                &format!("warm vs scalar, width {width}, lane {lane}"),
+            );
+        }
+    }
+}
+
+#[test]
 fn lane_order_is_preserved_across_policy_regrouping() {
     // Input lanes deliberately interleave kinds so the engine's
     // group-then-scatter path is exercised: cells must come back in the

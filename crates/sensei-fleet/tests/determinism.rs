@@ -101,6 +101,53 @@ fn aggregates_are_identical_for_every_batch_width_and_worker_count() {
 }
 
 #[test]
+fn warm_started_fleets_match_cold_fleets_bit_for_bit() {
+    // Same seed, same matrix, two environments differing only in
+    // `mpc_warm_start`: carrying plan incumbents across chunk steps (and
+    // seeding each search from the previous winner) must not move a
+    // single bit of the deterministic aggregates — across an MPC-heavy
+    // policy axis, perturbed scenarios, multiple workers, and batch
+    // widths that straddle tile boundaries.
+    let mut warm_cfg = ExperimentConfig::quick(11);
+    warm_cfg.videos = Some(vec!["Mountain".to_string()]);
+    let mut cold_cfg = warm_cfg.clone();
+    cold_cfg.mpc_warm_start = false;
+    let warm_env = Experiment::build(&warm_cfg).unwrap();
+    let cold_env = Experiment::build(&cold_cfg).unwrap();
+    let matrix = ScenarioMatrix::builder()
+        .policies([
+            PolicyKind::Fugu,
+            PolicyKind::SenseiFugu,
+            PolicyKind::OracleAware,
+        ])
+        .perturbations([
+            TracePerturbation::identity(),
+            TracePerturbation {
+                scale: 0.8,
+                jitter_std_kbps: 150.0,
+            },
+        ])
+        .master_seed(0xD00F)
+        .build()
+        .unwrap();
+    for (workers, width) in [(1usize, 1usize), (2, 3), (4, 0)] {
+        let config = || FleetConfig::new(workers).with_batch_width(width);
+        let warm = Fleet::new(&warm_env, &matrix, config())
+            .unwrap()
+            .run()
+            .unwrap();
+        let cold = Fleet::new(&cold_env, &matrix, config())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            warm.stats, cold.stats,
+            "warm vs cold diverged at {workers} workers, width {width}"
+        );
+    }
+}
+
+#[test]
 fn different_master_seeds_change_perturbed_scenarios() {
     let env = quick_experiment(11);
     // Jitter-only matrices: the seed drives the noise stream.

@@ -118,6 +118,10 @@ impl Ksqi {
     /// quality-switch delta `switch_delta = |Δvq|` at its boundary (callers
     /// pass 0 when the bitrate did not change). The stall term is unbounded
     /// above (long stalls keep hurting); the score is floored at −4.
+    // Inlined into the MPC planners' straight-line leaf loops so the
+    // whole per-leaf computation is branch-light slice arithmetic the
+    // autovectorizer can work with.
+    #[inline]
     pub fn chunk_quality(
         &self,
         vq: f64,

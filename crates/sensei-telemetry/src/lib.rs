@@ -63,11 +63,18 @@ pub enum Counter {
     DtMemoLookups,
     /// Download-time memo hits (exact-bit reuse of a sibling's walk).
     DtMemoHits,
+    /// Plan searches that seeded their incumbent from the previous chunk
+    /// step's committed plan (the cross-chunk warm start).
+    WarmStartHits,
+    /// Subtrees pruned while the incumbent was still the warm-start seed
+    /// (no leaf had improved on it yet) — the pruning the seed bought
+    /// outright.
+    SeededPrunes,
 }
 
 impl Counter {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// This counter's shard slot: the enum discriminant as a
     /// lossless array index (so callers never need an `as` cast).
@@ -88,6 +95,8 @@ impl Counter {
         Counter::PlanPrunes,
         Counter::DtMemoLookups,
         Counter::DtMemoHits,
+        Counter::WarmStartHits,
+        Counter::SeededPrunes,
     ];
 
     /// Stable snake_case name (the JSON key in the report's `telemetry`
@@ -105,6 +114,8 @@ impl Counter {
             Counter::PlanPrunes => "plan_prunes",
             Counter::DtMemoLookups => "dt_memo_lookups",
             Counter::DtMemoHits => "dt_memo_hits",
+            Counter::WarmStartHits => "warm_start_hits",
+            Counter::SeededPrunes => "seeded_prunes",
         }
     }
 
@@ -417,10 +428,11 @@ impl TelemetrySnapshot {
         if self.counter(Counter::PlanNodes) > 0 {
             let _ = writeln!(
                 out,
-                "  planner: {} nodes, prune rate {:.1}%, memo hit rate {:.1}%",
+                "  planner: {} nodes, prune rate {:.1}%, memo hit rate {:.1}%, {} warm starts",
                 self.counter(Counter::PlanNodes),
                 self.prune_rate() * 100.0,
                 self.memo_hit_rate() * 100.0,
+                self.counter(Counter::WarmStartHits),
             );
         }
         out

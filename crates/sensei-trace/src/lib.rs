@@ -372,9 +372,25 @@ impl ThroughputTrace {
         buf.extend(self.kbps.iter().map(|&v| v * scale));
         if jitter_std_kbps > 0.0 {
             use rand::SeedableRng;
-            let mut gauss = GaussianSource::new(rand::rngs::StdRng::seed_from_u64(seed));
-            for v in &mut buf {
-                *v = (*v + gauss.next_value() * jitter_std_kbps).max(0.0);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // One Box–Muller pair per two samples, both variates applied
+            // in stream order (cosine first, sine second) — byte-identical
+            // to driving a `GaussianSource` over the buffer one sample at
+            // a time (regression-tested below), minus the per-call spare
+            // branch that kept this pass from being one straight sweep
+            // over the recycled buffer.
+            let mut pairs = buf.chunks_exact_mut(2);
+            for pair in &mut pairs {
+                let (zc, zs) = gaussian_pair(&mut rng);
+                pair[0] = (pair[0] + zc * jitter_std_kbps).max(0.0);
+                pair[1] = (pair[1] + zs * jitter_std_kbps).max(0.0);
+            }
+            // Odd tail: draw a pair, apply the cosine variate, drop the
+            // sine — exactly what the streaming source's final call does
+            // (its cached spare would never be consumed).
+            for v in pairs.into_remainder() {
+                let (zc, _) = gaussian_pair(&mut rng);
+                *v = (*v + zc * jitter_std_kbps).max(0.0);
             }
         }
         Self::new(name, self.interval_s, buf)
@@ -411,6 +427,19 @@ pub fn gaussian<R: rand::Rng>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
+/// Both Box–Muller variates of one `(u1, u2)` pair, cosine variate first —
+/// the exact per-pair draw a [`GaussianSource`] performs, factored out so
+/// whole-buffer jitter passes can consume pairs directly without the
+/// per-call spare branch. The pair order defines the stream:
+/// `(pair.0, pair.1)` is what two consecutive `next_value` calls return.
+pub fn gaussian_pair<R: rand::Rng>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
 /// Streaming standard-normal source that uses **both** Box–Muller variates
 /// of each `(u1, u2)` pair, halving the transcendental cost per draw —
 /// the noise generator for whole-trace perturbations, where the per-sample
@@ -433,12 +462,9 @@ impl<R: rand::Rng> GaussianSource<R> {
         if let Some(z) = self.spare.take() {
             return z;
         }
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
+        let (zc, zs) = gaussian_pair(&mut self.rng);
+        self.spare = Some(zs);
+        zc
     }
 }
 
@@ -576,6 +602,37 @@ mod tests {
         // Determinism.
         let n2 = t.with_gaussian_noise(500.0, 7).unwrap();
         assert_eq!(n.samples(), n2.samples());
+    }
+
+    #[test]
+    fn batched_jitter_reproduces_the_streaming_draw_order_bit_for_bit() {
+        // The paired one-pass jitter sweep in `perturbed_into` must emit
+        // exactly the stream a per-sample `GaussianSource` walk produced
+        // before the batching — including the odd-length tail, where the
+        // final pair's sine variate is drawn but never consumed.
+        use rand::SeedableRng;
+        for len in [1usize, 2, 3, 8, 599, 600] {
+            let samples: Vec<f64> = (0..len).map(|i| 500.0 + 7.0 * i as f64).collect();
+            let t = ThroughputTrace::new("ref", 1.0, samples.clone()).unwrap();
+            for (scale, std, seed) in [(1.0, 300.0, 0u64), (0.75, 450.0, 41), (1.5, 120.0, 9)] {
+                let fast = t
+                    .perturbed_into(scale, std, seed, t.perturbed_name(scale, std), Vec::new())
+                    .unwrap();
+                let mut gauss = GaussianSource::new(rand::rngs::StdRng::seed_from_u64(seed));
+                let slow: Vec<f64> = samples
+                    .iter()
+                    .map(|&v| (v * scale + gauss.next_value() * std).max(0.0))
+                    .collect();
+                assert_eq!(fast.samples().len(), slow.len());
+                for (i, (&f, &s)) in fast.samples().iter().zip(&slow).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        s.to_bits(),
+                        "sample {i} of {len} (scale {scale}, std {std}, seed {seed})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
